@@ -1,0 +1,417 @@
+//! k-set-agreement algorithms over a broadcast abstraction.
+
+use std::collections::BTreeMap;
+
+use camp_sim::{AgreementAlgorithm, AgreementStep, AppMessage};
+use camp_trace::{ProcessId, Value};
+
+/// **First-Delivered** k-SA: B-broadcast your proposal; decide the content
+/// of the first message you B-deliver.
+///
+/// *Correctness over a k-BO broadcast* (the paper's §1.3/§4 context): by the
+/// pigeonhole property of k-BO, at most `k` distinct messages are delivered
+/// first across all processes — were there `k + 1`, every pair of them would
+/// be delivered in opposite orders somewhere, contradicting the k-BO
+/// predicate. Hence at most `k` distinct values are decided. Termination
+/// follows from BC-Global-CS-Termination (a correct process eventually
+/// B-delivers its own message, so it delivers *something*); validity holds
+/// because only proposals are broadcast. Over Total-Order broadcast
+/// (`k = 1`) this is the classical consensus-from-TO-broadcast algorithm
+/// (Chandra & Toueg \[7\]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FirstDelivered;
+
+impl FirstDelivered {
+    /// Creates the algorithm.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+/// Per-process state of [`FirstDelivered`].
+#[derive(Debug, Clone)]
+pub struct FirstDeliveredState {
+    proposal: Value,
+    broadcast_done: bool,
+    decision: Option<Value>,
+    decision_emitted: bool,
+}
+
+impl AgreementAlgorithm for FirstDelivered {
+    type State = FirstDeliveredState;
+
+    fn name(&self) -> String {
+        "first-delivered".into()
+    }
+
+    fn init(&self, _pid: ProcessId, _n: usize, proposal: Value) -> Self::State {
+        FirstDeliveredState {
+            proposal,
+            broadcast_done: false,
+            decision: None,
+            decision_emitted: false,
+        }
+    }
+
+    fn on_deliver(&self, st: &mut Self::State, msg: AppMessage) {
+        if st.decision.is_none() {
+            st.decision = Some(msg.content);
+        }
+    }
+
+    fn next_step(&self, st: &mut Self::State) -> Option<AgreementStep> {
+        if !st.broadcast_done {
+            st.broadcast_done = true;
+            return Some(AgreementStep::Broadcast {
+                content: st.proposal,
+            });
+        }
+        if let Some(v) = st.decision {
+            if !st.decision_emitted {
+                st.decision_emitted = true;
+                return Some(AgreementStep::Decide { value: v });
+            }
+        }
+        None
+    }
+}
+
+/// **Trivial n-SA**: decide your own proposal without any communication.
+///
+/// This is the `k = n` boundary the paper's §4 notes: *"for `k = n`, n-set
+/// agreement can be trivially solved without any communication, rendering
+/// it equivalent to Send-To-All Broadcast."* With `n` processes at most `n`
+/// distinct values are decided, which is exactly the n-SA bound.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrivialNsa;
+
+impl TrivialNsa {
+    /// Creates the algorithm.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+/// Per-process state of [`TrivialNsa`].
+#[derive(Debug, Clone)]
+pub struct TrivialNsaState {
+    proposal: Value,
+    decided: bool,
+}
+
+impl AgreementAlgorithm for TrivialNsa {
+    type State = TrivialNsaState;
+
+    fn name(&self) -> String {
+        "trivial-nsa".into()
+    }
+
+    fn init(&self, _pid: ProcessId, _n: usize, proposal: Value) -> Self::State {
+        TrivialNsaState {
+            proposal,
+            decided: false,
+        }
+    }
+
+    fn on_deliver(&self, _st: &mut Self::State, _msg: AppMessage) {}
+
+    fn next_step(&self, st: &mut Self::State) -> Option<AgreementStep> {
+        if st.decided {
+            None
+        } else {
+            st.decided = true;
+            Some(AgreementStep::Decide { value: st.proposal })
+        }
+    }
+}
+
+/// **Threshold k-SA** (solvable side of the frontier, for `t < k`):
+/// B-broadcast your proposal, wait until proposals from `n − t` distinct
+/// processes have been B-delivered, decide the smallest value seen.
+///
+/// Classical argument: every process's wait terminates (at most `t` crash,
+/// so `n − t` broadcasts are eventually delivered everywhere), and any two
+/// processes' received sets of `n − t` proposals overlap in at least
+/// `n − 2t` processes; the decided minima all come from the union of the
+/// `t + 1 ≤ k` smallest proposals, so at most `k` distinct values are
+/// decided. (The bound actually achieved is `t + 1`; the algorithm is the
+/// textbook contrast to the paper's `k < t` impossibility regime.)
+#[derive(Debug, Clone, Copy)]
+pub struct ThresholdKsa {
+    t: usize,
+}
+
+impl ThresholdKsa {
+    /// Creates the algorithm tolerating `t` crashes.
+    #[must_use]
+    pub fn new(t: usize) -> Self {
+        Self { t }
+    }
+
+    /// The crash tolerance `t`.
+    #[must_use]
+    pub fn t(&self) -> usize {
+        self.t
+    }
+}
+
+/// Per-process state of [`ThresholdKsa`].
+#[derive(Debug, Clone)]
+pub struct ThresholdState {
+    proposal: Value,
+    n: usize,
+    t: usize,
+    broadcast_done: bool,
+    /// Proposals seen, by proposer (one broadcast per process).
+    seen: BTreeMap<ProcessId, Value>,
+    decision_emitted: bool,
+}
+
+impl AgreementAlgorithm for ThresholdKsa {
+    type State = ThresholdState;
+
+    fn name(&self) -> String {
+        format!("threshold-ksa(t={})", self.t)
+    }
+
+    fn init(&self, _pid: ProcessId, n: usize, proposal: Value) -> Self::State {
+        ThresholdState {
+            proposal,
+            n,
+            t: self.t,
+            broadcast_done: false,
+            seen: BTreeMap::new(),
+            decision_emitted: false,
+        }
+    }
+
+    fn on_deliver(&self, st: &mut Self::State, msg: AppMessage) {
+        st.seen.entry(msg.sender).or_insert(msg.content);
+    }
+
+    fn next_step(&self, st: &mut Self::State) -> Option<AgreementStep> {
+        if !st.broadcast_done {
+            st.broadcast_done = true;
+            return Some(AgreementStep::Broadcast {
+                content: st.proposal,
+            });
+        }
+        if !st.decision_emitted && st.seen.len() >= st.n - st.t {
+            st.decision_emitted = true;
+            let min = st
+                .seen
+                .values()
+                .min()
+                .copied()
+                .expect("n - t ≥ 1 values seen");
+            return Some(AgreementStep::Decide { value: min });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camp_trace::MessageId;
+
+    fn msg(sender: usize, content: u64) -> AppMessage {
+        AppMessage {
+            id: MessageId::new(content),
+            content: Value::new(content),
+            sender: ProcessId::new(sender),
+        }
+    }
+
+    #[test]
+    fn patient_waits_for_its_patience() {
+        let a = Patient::new(3);
+        let mut st = a.init(ProcessId::new(1), 2, Value::new(5));
+        // Emits exactly `patience` broadcasts while undecided.
+        for _ in 0..3 {
+            assert!(matches!(
+                a.next_step(&mut st),
+                Some(AgreementStep::Broadcast { .. })
+            ));
+        }
+        assert_eq!(a.next_step(&mut st), None);
+        a.on_deliver(&mut st, msg(1, 5));
+        a.on_deliver(&mut st, msg(2, 9));
+        assert_eq!(a.next_step(&mut st), None, "two deliveries < patience");
+        a.on_deliver(&mut st, msg(1, 5));
+        assert_eq!(
+            a.next_step(&mut st),
+            Some(AgreementStep::Decide {
+                value: Value::new(5)
+            })
+        );
+        assert_eq!(a.next_step(&mut st), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "patience")]
+    fn patient_zero_rejected() {
+        let _ = Patient::new(0);
+    }
+
+    #[test]
+    fn first_delivered_decides_first_delivery() {
+        let a = FirstDelivered::new();
+        let mut st = a.init(ProcessId::new(1), 3, Value::new(10));
+        assert_eq!(
+            a.next_step(&mut st),
+            Some(AgreementStep::Broadcast {
+                content: Value::new(10)
+            })
+        );
+        assert_eq!(a.next_step(&mut st), None);
+        a.on_deliver(&mut st, msg(2, 20));
+        a.on_deliver(&mut st, msg(1, 10));
+        assert_eq!(
+            a.next_step(&mut st),
+            Some(AgreementStep::Decide {
+                value: Value::new(20)
+            })
+        );
+        assert_eq!(a.next_step(&mut st), None, "decides exactly once");
+    }
+
+    #[test]
+    fn trivial_nsa_decides_own_without_communication() {
+        let a = TrivialNsa::new();
+        let mut st = a.init(ProcessId::new(2), 4, Value::new(42));
+        assert_eq!(
+            a.next_step(&mut st),
+            Some(AgreementStep::Decide {
+                value: Value::new(42)
+            })
+        );
+        assert_eq!(a.next_step(&mut st), None);
+    }
+
+    #[test]
+    fn threshold_waits_for_quorum_then_takes_min() {
+        let a = ThresholdKsa::new(1); // n = 3, t = 1 → wait for 2
+        let mut st = a.init(ProcessId::new(1), 3, Value::new(30));
+        assert!(matches!(
+            a.next_step(&mut st),
+            Some(AgreementStep::Broadcast { .. })
+        ));
+        assert_eq!(a.next_step(&mut st), None);
+        a.on_deliver(&mut st, msg(1, 30));
+        assert_eq!(a.next_step(&mut st), None, "one proposal is not enough");
+        a.on_deliver(&mut st, msg(3, 7));
+        assert_eq!(
+            a.next_step(&mut st),
+            Some(AgreementStep::Decide {
+                value: Value::new(7)
+            })
+        );
+    }
+
+    #[test]
+    fn threshold_ignores_duplicate_proposers() {
+        let a = ThresholdKsa::new(1);
+        let mut st = a.init(ProcessId::new(1), 3, Value::new(5));
+        let _ = a.next_step(&mut st);
+        a.on_deliver(&mut st, msg(2, 9));
+        a.on_deliver(&mut st, msg(2, 9));
+        assert_eq!(
+            a.next_step(&mut st),
+            None,
+            "same proposer twice counts once"
+        );
+    }
+}
+
+/// **Patient first-delivered** (pipeline stress): B-broadcast the proposal
+/// repeatedly and decide the content of the `patience`-th delivered message.
+///
+/// With `patience = 1` this is [`FirstDelivered`]. Larger values make the
+/// solo delivery budget `N_i = patience`, which exercises the `N > 1` paths
+/// of Lemma 9's machinery (restriction to several designated messages per
+/// process, multi-message renaming, replay past several deliveries).
+///
+/// Correctness caveat: over Total-Order broadcast (`k = 1`) this solves
+/// consensus for any `patience` (all processes see the same prefix); over a
+/// k-BO broadcast with `k > 1` it is **not** a correct k-SA algorithm in
+/// general (the set of position-`patience` messages is not bounded by `k`),
+/// so treat it as a consensus algorithm and a Lemma 9 stress harness.
+#[derive(Debug, Clone, Copy)]
+pub struct Patient {
+    patience: usize,
+}
+
+impl Patient {
+    /// Creates the algorithm deciding on the `patience`-th delivery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patience == 0`.
+    #[must_use]
+    pub fn new(patience: usize) -> Self {
+        assert!(patience > 0, "patience must be at least 1");
+        Self { patience }
+    }
+
+    /// The number of deliveries awaited before deciding.
+    #[must_use]
+    pub fn patience(&self) -> usize {
+        self.patience
+    }
+}
+
+/// Per-process state of [`Patient`].
+#[derive(Debug, Clone)]
+pub struct PatientState {
+    proposal: Value,
+    patience: usize,
+    broadcasts_emitted: usize,
+    delivered: Vec<Value>,
+    decision_emitted: bool,
+}
+
+impl AgreementAlgorithm for Patient {
+    type State = PatientState;
+
+    fn name(&self) -> String {
+        format!("patient({})", self.patience)
+    }
+
+    fn init(&self, _pid: ProcessId, _n: usize, proposal: Value) -> Self::State {
+        PatientState {
+            proposal,
+            patience: self.patience,
+            broadcasts_emitted: 0,
+            delivered: Vec::new(),
+            decision_emitted: false,
+        }
+    }
+
+    fn on_deliver(&self, st: &mut Self::State, msg: AppMessage) {
+        if st.delivered.len() < st.patience {
+            st.delivered.push(msg.content);
+        }
+    }
+
+    fn next_step(&self, st: &mut Self::State) -> Option<AgreementStep> {
+        if st.decision_emitted {
+            return None;
+        }
+        if st.delivered.len() >= st.patience {
+            st.decision_emitted = true;
+            return Some(AgreementStep::Decide {
+                value: st.delivered[st.patience - 1],
+            });
+        }
+        if st.broadcasts_emitted < st.patience {
+            st.broadcasts_emitted += 1;
+            return Some(AgreementStep::Broadcast {
+                content: st.proposal,
+            });
+        }
+        None
+    }
+}

@@ -1,0 +1,127 @@
+//! The outcome of an agreement run, with the three k-SA property checks.
+
+use camp_trace::{Execution, ProcessId, Value};
+
+/// The result of running a k-SA algorithm at every process.
+#[derive(Debug, Clone)]
+pub struct AgreementOutcome {
+    proposals: Vec<Value>,
+    decisions: Vec<Option<Value>>,
+    /// The broadcast-level execution underneath the run.
+    trace: Execution,
+}
+
+impl AgreementOutcome {
+    /// Bundles an outcome.
+    #[must_use]
+    pub fn new(proposals: Vec<Value>, decisions: Vec<Option<Value>>, trace: Execution) -> Self {
+        assert_eq!(proposals.len(), decisions.len());
+        Self {
+            proposals,
+            decisions,
+            trace,
+        }
+    }
+
+    /// Proposal of each process, by index.
+    #[must_use]
+    pub fn proposals(&self) -> &[Value] {
+        &self.proposals
+    }
+
+    /// Decision of each process (`None` = undecided), by index.
+    #[must_use]
+    pub fn decisions(&self) -> &[Option<Value>] {
+        &self.decisions
+    }
+
+    /// The decision of a process.
+    #[must_use]
+    pub fn decision_of(&self, p: ProcessId) -> Option<Value> {
+        self.decisions[p.index()]
+    }
+
+    /// The underlying execution.
+    #[must_use]
+    pub fn trace(&self) -> &Execution {
+        &self.trace
+    }
+
+    /// Distinct decided values, in process order.
+    #[must_use]
+    pub fn distinct_decisions(&self) -> Vec<Value> {
+        let mut seen = Vec::new();
+        for v in self.decisions.iter().flatten() {
+            if !seen.contains(v) {
+                seen.push(*v);
+            }
+        }
+        seen
+    }
+
+    /// k-SA-Agreement: at most `k` distinct values decided.
+    #[must_use]
+    pub fn satisfies_agreement(&self, k: usize) -> bool {
+        self.distinct_decisions().len() <= k
+    }
+
+    /// k-SA-Validity: every decision was somebody's proposal.
+    #[must_use]
+    pub fn satisfies_validity(&self) -> bool {
+        self.decisions
+            .iter()
+            .flatten()
+            .all(|v| self.proposals.contains(v))
+    }
+
+    /// k-SA-Termination for the given set of correct processes: each of
+    /// them decided.
+    #[must_use]
+    pub fn satisfies_termination(&self, correct: impl IntoIterator<Item = ProcessId>) -> bool {
+        correct
+            .into_iter()
+            .all(|p| self.decisions[p.index()].is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(props: &[u64], decs: &[Option<u64>]) -> AgreementOutcome {
+        AgreementOutcome::new(
+            props.iter().map(|&v| Value::new(v)).collect(),
+            decs.iter().map(|d| d.map(Value::new)).collect(),
+            Execution::new(props.len()),
+        )
+    }
+
+    #[test]
+    fn distinct_decisions_deduplicate() {
+        let o = outcome(&[1, 2, 3], &[Some(1), Some(2), Some(1)]);
+        assert_eq!(o.distinct_decisions(), vec![Value::new(1), Value::new(2)]);
+        assert!(o.satisfies_agreement(2));
+        assert!(!o.satisfies_agreement(1));
+    }
+
+    #[test]
+    fn validity_catches_foreign_values() {
+        let o = outcome(&[1, 2], &[Some(9), None]);
+        assert!(!o.satisfies_validity());
+        let o = outcome(&[1, 2], &[Some(2), None]);
+        assert!(o.satisfies_validity());
+    }
+
+    #[test]
+    fn termination_checks_only_named_processes() {
+        let o = outcome(&[1, 2], &[Some(1), None]);
+        assert!(o.satisfies_termination([ProcessId::new(1)]));
+        assert!(!o.satisfies_termination([ProcessId::new(1), ProcessId::new(2)]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_rejected() {
+        let _ = AgreementOutcome::new(vec![Value::new(1)], vec![], Execution::new(1));
+    }
+}

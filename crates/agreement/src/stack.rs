@@ -1,0 +1,413 @@
+//! The `𝒜`-over-`ℬ` stack: run a k-SA algorithm on top of a concrete
+//! broadcast algorithm inside one simulation.
+
+use std::collections::VecDeque;
+
+use camp_sim::scheduler::CrashPlan;
+use camp_sim::{
+    AgreementAlgorithm, AgreementStep, AppMessage, BroadcastAlgorithm, Executed, KsaOracle,
+    SimError, Simulation,
+};
+use camp_trace::{ProcessId, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::outcome::AgreementOutcome;
+
+/// A k-SA algorithm `𝒜` stacked on a broadcast algorithm `ℬ` running in
+/// `CAMP_n[k-SA]`: `𝒜`'s `Broadcast` steps become `B.broadcast` invocations
+/// of the simulation, and the simulation's B-deliveries feed `𝒜`'s
+/// `on_deliver`.
+///
+/// # Example
+///
+/// ```
+/// use camp_agreement::{FirstDelivered, Stack};
+/// use camp_broadcast::AgreedBroadcast;
+/// use camp_sim::{scheduler::CrashPlan, KsaOracle, OwnValueRule};
+/// use camp_trace::{ProcessId, Value};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Consensus from Total-Order broadcast: k = 1 objects under the stack.
+/// let oracle = KsaOracle::new(1, Box::new(OwnValueRule));
+/// let proposals: Vec<Value> = (1..=3).map(|i| Value::new(i * 10)).collect();
+/// let mut stack = Stack::new(FirstDelivered::new(), AgreedBroadcast::new(), oracle, proposals);
+/// stack.run_random(7, 400, CrashPlan::none())?;
+/// let out = stack.into_outcome();
+/// assert!(out.satisfies_agreement(1));
+/// assert!(out.satisfies_termination(ProcessId::all(3)));
+/// # Ok(())
+/// # }
+/// ```
+///
+/// This composition is exactly the shape Theorem 1 rules out as an
+/// *equivalence*: `𝒜` solves k-SA in `CAMP_n[B]` and `ℬ` implements `B` in
+/// `CAMP_n[k-SA]`. The stack itself runs fine — k-SA from k-SA is trivially
+/// solvable — the theorem's point is that no content-neutral compositional
+/// *specification* `B` separates the two layers; `camp-impossibility` makes
+/// that failure observable.
+#[derive(Debug)]
+pub struct Stack<A: AgreementAlgorithm, B: BroadcastAlgorithm> {
+    agreement: A,
+    sim: Simulation<B>,
+    a_states: Vec<A::State>,
+    proposals: Vec<Value>,
+    decisions: Vec<Option<Value>>,
+}
+
+impl<A: AgreementAlgorithm, B: BroadcastAlgorithm> Stack<A, B> {
+    /// Builds a stack of `n = proposals.len()` processes; process `p_i`
+    /// proposes `proposals[i - 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proposals` is empty.
+    #[must_use]
+    pub fn new(agreement: A, broadcast: B, oracle: KsaOracle, proposals: Vec<Value>) -> Self {
+        let n = proposals.len();
+        assert!(n > 0, "at least one process required");
+        let sim = Simulation::new(broadcast, n, oracle);
+        let a_states = ProcessId::all(n)
+            .map(|p| agreement.init(p, n, proposals[p.index()]))
+            .collect();
+        Self {
+            agreement,
+            sim,
+            a_states,
+            proposals,
+            decisions: vec![None; n],
+        }
+    }
+
+    /// The underlying simulation (read access).
+    #[must_use]
+    pub fn sim(&self) -> &Simulation<B> {
+        &self.sim
+    }
+
+    /// Decisions recorded so far.
+    #[must_use]
+    pub fn decisions(&self) -> &[Option<Value>] {
+        &self.decisions
+    }
+
+    /// Crashes a process (it stops both layers).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::ProcessCrashed`] if already crashed.
+    pub fn crash(&mut self, pid: ProcessId) -> Result<(), SimError> {
+        self.sim.crash(pid)
+    }
+
+    /// Executes at most one `𝒜` step at `pid`. Returns whether a step ran.
+    ///
+    /// A `Broadcast` step is held back (without consuming it) while the
+    /// previous `B.broadcast` invocation of `pid` is still pending, so the
+    /// well-formedness rule of Definition 1 is respected.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors from the broadcast invocation.
+    pub fn pump_agreement(&mut self, pid: ProcessId) -> Result<bool, SimError> {
+        if self.sim.is_crashed(pid) {
+            return Ok(false);
+        }
+        // Peek on a clone: `next_step` is deterministic, so re-polling the
+        // real state yields the same step once we know it is executable.
+        let mut probe = self.a_states[pid.index()].clone();
+        let Some(step) = self.agreement.next_step(&mut probe) else {
+            return Ok(false);
+        };
+        match step {
+            AgreementStep::Broadcast { content } => {
+                if self.sim.pending_broadcast(pid).is_some() {
+                    return Ok(false); // hold back until the invocation returns
+                }
+                let real = self.agreement.next_step(&mut self.a_states[pid.index()]);
+                debug_assert_eq!(
+                    real,
+                    Some(step),
+                    "agreement algorithm must be deterministic"
+                );
+                self.sim.invoke_broadcast(pid, content)?;
+            }
+            AgreementStep::Decide { value } => {
+                let _ = self.agreement.next_step(&mut self.a_states[pid.index()]);
+                self.decisions[pid.index()] = Some(value);
+            }
+            AgreementStep::Internal { .. } => {
+                let _ = self.agreement.next_step(&mut self.a_states[pid.index()]);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Executes one `ℬ` step at `pid`, forwarding B-deliveries up to `𝒜`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    pub fn pump_broadcast(&mut self, pid: ProcessId) -> Result<bool, SimError> {
+        let Some(executed) = self.sim.step_process(pid)? else {
+            return Ok(false);
+        };
+        if let Executed::Delivered { origin, msg } = executed {
+            let content = self
+                .sim
+                .trace()
+                .message(msg)
+                .expect("delivered messages are registered")
+                .content;
+            self.agreement.on_deliver(
+                &mut self.a_states[pid.index()],
+                AppMessage {
+                    id: msg,
+                    content,
+                    sender: origin,
+                },
+            );
+        }
+        Ok(true)
+    }
+
+    /// Fair run to quiescence (bounded by `max_events`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    pub fn run_fair(&mut self, max_events: usize) -> Result<(), SimError> {
+        let n = self.sim.n();
+        let mut events = 0;
+        loop {
+            let mut progressed = false;
+            for pid in ProcessId::all(n) {
+                if self.sim.is_crashed(pid) {
+                    continue;
+                }
+                while self.pump_agreement(pid)? {
+                    progressed = true;
+                    events += 1;
+                }
+                while self.pump_broadcast(pid)? {
+                    progressed = true;
+                    events += 1;
+                    if let Some(obj) = self.sim.oracle().pending_of(pid) {
+                        self.sim.respond_ksa(obj, pid)?;
+                        events += 1;
+                    }
+                }
+                while let Some(slot) = self.sim.network().first_slot_to(pid) {
+                    self.sim.receive(slot)?;
+                    progressed = true;
+                    events += 1;
+                    if events >= max_events {
+                        return Ok(());
+                    }
+                }
+            }
+            if !progressed || events >= max_events {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Seeded-random run followed by a fair drain, with optional crashes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors.
+    pub fn run_random(
+        &mut self,
+        seed: u64,
+        random_events: usize,
+        plan: CrashPlan,
+    ) -> Result<(), SimError> {
+        let n = self.sim.n();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut crashes = 0;
+
+        #[derive(Clone, Copy)]
+        enum Choice {
+            Agreement(ProcessId),
+            Broadcast(ProcessId),
+            Receive(usize),
+            Respond(ProcessId),
+        }
+
+        for _ in 0..random_events {
+            if crashes < plan.max_crashes && rng.gen_bool(plan.crash_probability) {
+                let live: Vec<ProcessId> = ProcessId::all(n)
+                    .filter(|p| !self.sim.is_crashed(*p))
+                    .collect();
+                if live.len() > 1 {
+                    self.sim.crash(live[rng.gen_range(0..live.len())])?;
+                    crashes += 1;
+                    continue;
+                }
+            }
+            let mut choices: VecDeque<Choice> = VecDeque::new();
+            for pid in ProcessId::all(n) {
+                if self.sim.is_crashed(pid) {
+                    continue;
+                }
+                // Agreement steps (peek on clone).
+                let mut probe = self.a_states[pid.index()].clone();
+                if let Some(step) = self.agreement.next_step(&mut probe) {
+                    let issuable = !matches!(step, AgreementStep::Broadcast { .. })
+                        || self.sim.pending_broadcast(pid).is_none();
+                    if issuable {
+                        choices.push_back(Choice::Agreement(pid));
+                    }
+                }
+                if self.sim.has_local_step(pid) {
+                    choices.push_back(Choice::Broadcast(pid));
+                }
+                if self.sim.oracle().pending_of(pid).is_some() {
+                    choices.push_back(Choice::Respond(pid));
+                }
+            }
+            for (slot, m) in self.sim.network().in_flight().iter().enumerate() {
+                if !self.sim.is_crashed(m.to) {
+                    choices.push_back(Choice::Receive(slot));
+                }
+            }
+            if choices.is_empty() {
+                break;
+            }
+            match choices[rng.gen_range(0..choices.len())] {
+                Choice::Agreement(pid) => {
+                    self.pump_agreement(pid)?;
+                }
+                Choice::Broadcast(pid) => {
+                    self.pump_broadcast(pid)?;
+                }
+                Choice::Receive(slot) => {
+                    self.sim.receive(slot)?;
+                }
+                Choice::Respond(pid) => {
+                    let obj = self.sim.oracle().pending_of(pid).expect("enabled");
+                    self.sim.respond_ksa(obj, pid)?;
+                }
+            }
+        }
+        self.run_fair(random_events.saturating_mul(20) + 10_000)
+    }
+
+    /// Finishes the run and bundles the outcome.
+    #[must_use]
+    pub fn into_outcome(self) -> AgreementOutcome {
+        AgreementOutcome::new(self.proposals, self.decisions, self.sim.into_trace())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{FirstDelivered, ThresholdKsa, TrivialNsa};
+    use camp_broadcast::{AgreedBroadcast, SendToAll};
+    use camp_sim::{FirstProposalRule, OwnValueRule};
+
+    fn proposals(n: usize) -> Vec<Value> {
+        (1..=n).map(|i| Value::new(i as u64 * 100)).collect()
+    }
+
+    #[test]
+    fn consensus_from_total_order_broadcast() {
+        // 𝒜 = first-delivered, ℬ = agreed-rounds over consensus objects:
+        // the classical TO-broadcast ⇒ consensus direction.
+        for seed in 0..10 {
+            let oracle = KsaOracle::new(1, Box::new(OwnValueRule));
+            let mut stack = Stack::new(
+                FirstDelivered::new(),
+                AgreedBroadcast::new(),
+                oracle,
+                proposals(3),
+            );
+            stack.run_random(seed, 500, CrashPlan::none()).unwrap();
+            let out = stack.into_outcome();
+            assert!(
+                out.satisfies_agreement(1),
+                "seed {seed}: {:?}",
+                out.decisions()
+            );
+            assert!(out.satisfies_validity());
+            assert!(out.satisfies_termination(ProcessId::all(3)));
+        }
+    }
+
+    #[test]
+    fn first_delivered_over_k2_candidate_decides_at_most_two() {
+        // One-shot k-SA over the k = 2 candidate broadcast: the oracle's
+        // bound propagates to the first-delivered set. (This is the
+        // "effective for solving k-SA once" observation of §1.4.)
+        for seed in 0..15 {
+            let oracle = KsaOracle::new(2, Box::new(OwnValueRule));
+            let mut stack = Stack::new(
+                FirstDelivered::new(),
+                AgreedBroadcast::new(),
+                oracle,
+                proposals(3),
+            );
+            stack.run_random(seed, 500, CrashPlan::none()).unwrap();
+            let out = stack.into_outcome();
+            assert!(
+                out.satisfies_agreement(2),
+                "seed {seed}: {:?}",
+                out.decisions()
+            );
+            assert!(out.satisfies_validity());
+            assert!(out.satisfies_termination(ProcessId::all(3)));
+        }
+    }
+
+    #[test]
+    fn trivial_nsa_needs_no_communication() {
+        let oracle = KsaOracle::new(1, Box::new(FirstProposalRule));
+        let mut stack = Stack::new(TrivialNsa::new(), SendToAll::new(), oracle, proposals(4));
+        stack.run_fair(10_000).unwrap();
+        let out = stack.into_outcome();
+        assert_eq!(out.distinct_decisions().len(), 4); // n-SA: everyone keeps its own
+        assert!(out.satisfies_agreement(4));
+        assert!(out.satisfies_validity());
+        assert_eq!(out.trace().len(), 0, "no communication at all");
+    }
+
+    #[test]
+    fn threshold_ksa_tolerates_t_crashes() {
+        // n = 4, t = 2 (< k = 3): threshold algorithm over send-to-all.
+        for seed in 0..10 {
+            let oracle = KsaOracle::new(1, Box::new(FirstProposalRule));
+            let mut stack =
+                Stack::new(ThresholdKsa::new(2), SendToAll::new(), oracle, proposals(4));
+            stack
+                .run_random(seed, 400, CrashPlan::up_to(2, 0.05))
+                .unwrap();
+            let out = stack.into_outcome();
+            let correct: Vec<ProcessId> = out.trace().correct_processes().collect();
+            assert!(
+                out.satisfies_termination(correct.iter().copied()),
+                "seed {seed}"
+            );
+            assert!(out.satisfies_agreement(3), "t + 1 = 3 ≥ distinct decisions");
+            assert!(out.satisfies_validity());
+        }
+    }
+
+    #[test]
+    fn crash_stops_both_layers() {
+        let oracle = KsaOracle::new(1, Box::new(FirstProposalRule));
+        let mut stack = Stack::new(
+            FirstDelivered::new(),
+            SendToAll::new(),
+            oracle,
+            proposals(2),
+        );
+        stack.crash(ProcessId::new(1)).unwrap();
+        assert!(!stack.pump_agreement(ProcessId::new(1)).unwrap());
+        stack.run_fair(10_000).unwrap();
+        let out = stack.into_outcome();
+        assert_eq!(out.decision_of(ProcessId::new(1)), None);
+        assert!(out.decision_of(ProcessId::new(2)).is_some());
+    }
+}

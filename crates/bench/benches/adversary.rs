@@ -1,0 +1,37 @@
+//! B1 — cost of the adversarial scheduler (Algorithm 1) as k and N grow.
+
+use camp_broadcast::{AgreedBroadcast, SendToAll};
+use camp_impossibility::adversarial_scheduler;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_adversary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversarial_scheduler");
+    for k in [2usize, 3, 4] {
+        for n_solo in [1usize, 4, 16] {
+            group.bench_with_input(
+                BenchmarkId::new("agreed-rounds", format!("k{k}_N{n_solo}")),
+                &(k, n_solo),
+                |b, &(k, n_solo)| {
+                    b.iter(|| {
+                        adversarial_scheduler(k, n_solo, AgreedBroadcast::new(), 100_000_000)
+                            .expect("correct candidate")
+                    });
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("send-to-all", format!("k{k}_N{n_solo}")),
+                &(k, n_solo),
+                |b, &(k, n_solo)| {
+                    b.iter(|| {
+                        adversarial_scheduler(k, n_solo, SendToAll::new(), 100_000_000)
+                            .expect("correct candidate")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adversary);
+criterion_main!(benches);

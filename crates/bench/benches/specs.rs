@@ -1,0 +1,50 @@
+//! B3 — specification-checker cost as the trace grows, plus the symmetry
+//! closure testers (exhaustive vs sampled subset strategies).
+
+use camp_bench::send_to_all_corpus;
+use camp_specs::symmetry::{check_compositional, SymmetryConfig};
+use camp_specs::{BroadcastSpec, CausalSpec, FifoSpec, KBoundedOrderSpec, TotalOrderSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_checkers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spec_admits");
+    for (n, m) in [(3usize, 4usize), (4, 8), (4, 25)] {
+        let corpus = send_to_all_corpus(n, m);
+        let label = format!("{}steps", corpus.len());
+        group.bench_with_input(BenchmarkId::new("fifo", &label), &corpus, |b, e| {
+            b.iter(|| FifoSpec::new().admits(e));
+        });
+        group.bench_with_input(BenchmarkId::new("causal", &label), &corpus, |b, e| {
+            b.iter(|| CausalSpec::new().admits(e));
+        });
+        group.bench_with_input(BenchmarkId::new("total-order", &label), &corpus, |b, e| {
+            b.iter(|| TotalOrderSpec::new().admits(e));
+        });
+        group.bench_with_input(BenchmarkId::new("k-bo(3)", &label), &corpus, |b, e| {
+            b.iter(|| KBoundedOrderSpec::new(3).admits(e));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("symmetry_strategies");
+    let corpus = send_to_all_corpus(3, 3); // 9 messages
+    group.bench_function("compositional_exhaustive_512_subsets", |b| {
+        let cfg = SymmetryConfig {
+            max_exhaustive_messages: 10,
+            ..Default::default()
+        };
+        b.iter(|| check_compositional(&TotalOrderSpec::new(), &corpus, &cfg, 7));
+    });
+    group.bench_function("compositional_sampled", |b| {
+        let cfg = SymmetryConfig {
+            max_exhaustive_messages: 0,
+            sampled_subsets: 64,
+            ..Default::default()
+        };
+        b.iter(|| check_compositional(&TotalOrderSpec::new(), &corpus, &cfg, 7));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkers);
+criterion_main!(benches);

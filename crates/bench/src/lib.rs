@@ -1,0 +1,41 @@
+//! Shared corpus builders for the camp-bench benchmarks and experiment
+//! tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use camp_broadcast::SendToAll;
+use camp_sim::scheduler::{run_fair, Workload};
+use camp_sim::{FirstProposalRule, KsaOracle, Simulation};
+use camp_trace::Execution;
+
+/// Builds a completed Send-To-All execution over `n` processes with `m`
+/// broadcasts per process — the standard corpus for checker benchmarks.
+///
+/// # Panics
+///
+/// Panics if the fair run does not reach quiescence within its budget.
+#[must_use]
+pub fn send_to_all_corpus(n: usize, m: usize) -> Execution {
+    let mut sim = Simulation::new(
+        SendToAll::new(),
+        n,
+        KsaOracle::new(1, Box::new(FirstProposalRule)),
+    );
+    let report =
+        run_fair(&mut sim, &Workload::uniform(n, m), 10_000_000).expect("send-to-all cannot fail");
+    assert!(report.quiescent, "corpus run must complete");
+    sim.into_trace()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_has_expected_shape() {
+        let e = send_to_all_corpus(3, 2);
+        assert_eq!(e.broadcast_messages().count(), 6);
+        camp_specs::base::check_all(&e).unwrap();
+    }
+}

@@ -1,0 +1,48 @@
+//! # camp-impossibility
+//!
+//! The paper's core contribution, executable: *no content-neutral and
+//! compositional broadcast abstraction is computationally equivalent to
+//! k-set agreement in `CAMP_n[∅]` for `1 < k < n`* (Gay, Mostéfaoui &
+//! Perrin, PODC 2024).
+//!
+//! The proof is a *reductio*: assume an equivalence, i.e. an algorithm `𝒜`
+//! solving k-SA in `CAMP_{k+1}[B]` and an algorithm `ℬ` implementing `B` in
+//! `CAMP_{k+1}[k-SA]`. Then:
+//!
+//! * **Algorithm 1** ([`adversarial_scheduler`]) builds, against any
+//!   concrete `ℬ`, the execution `α_{k,N,B,ℬ}` in which every process
+//!   B-delivers `N` of its own messages before any messages of the others —
+//!   lemmas 1–8 establish that `α` is admitted by `CAMP_{k+1}[k-SA]`
+//!   ([`verify_lemmas`] re-checks every one of them on the generated
+//!   execution), so its broadcast-level projection `β` ([`AdversarialRun::beta`])
+//!   is an execution of `B`: `B` admits an **N-solo execution**
+//!   (Lemma 10, [`NSolo`]).
+//! * **Lemma 9** ([`solo_run`], [`theorem1`]) shows that if `𝒜` solves k-SA
+//!   over `B`, then for `N` large enough `B` admits **no** N-solo execution:
+//!   compositionality restricts the N-solo execution to each process's solo
+//!   message budget `N_i`, content-neutrality renames the messages to those
+//!   of `𝒜`'s solo executions `α_i`, and the resulting execution `δ` is
+//!   indistinguishable, per process, from `α_i` — so every `p_i` decides its
+//!   own value: `k + 1` distinct decisions, violating k-SA-Agreement.
+//!
+//! [`theorem1`] runs the whole pipeline on concrete `(𝒜, ℬ)` candidates and
+//! returns the contradiction with all intermediate artifacts; [`refute_spec`]
+//! checks the corollary of §1.3 (no `ℬ` over k-SA implements k-BO broadcast)
+//! by exhibiting the spec violation in `β`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adversary;
+mod lemmas;
+mod nsolo;
+mod solo;
+mod theorem;
+
+pub use adversary::{adversarial_scheduler, AdversarialRun, AdversaryError, SYNCH};
+pub use lemmas::{verify_lemmas, LemmaOutcome, LemmaReport};
+pub use nsolo::NSolo;
+pub use solo::{solo_run, SoloError, SoloRun};
+pub use theorem::{
+    fair_completion, refute_spec, theorem1, Contradiction, SpecRefutation, TheoremError,
+};

@@ -1,0 +1,314 @@
+//! N-solo executions (Definition 5).
+
+use camp_trace::{DeliveryView, Execution, MessageId, ProcessId};
+
+use camp_specs::{SpecResult, Violation};
+
+/// Checker for the paper's Definition 5:
+///
+/// > An execution `β` is **N-solo** if, for each process `p_i`, there exist
+/// > `N` messages `m_{i,1} … m_{i,N}` B-broadcast by `p_i` such that, for
+/// > all pairs of distinct processes `p_i` and `p_j`, `p_i` B-delivers all
+/// > its own messages `m_{i,·}` before B-delivering any of `p_j`'s messages
+/// > `m_{j,·}`.
+///
+/// The definition is existential in the message designation; [`NSolo::check`]
+/// verifies a given designation, and [`NSolo::find_designation`] searches
+/// for one using the two natural heuristics (first-N and last-N own
+/// deliveries), which cover the designations arising from Algorithm 1.
+#[derive(Debug, Clone, Copy)]
+pub struct NSolo {
+    n_solo: usize,
+}
+
+impl NSolo {
+    /// Creates a checker for the given `N`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_solo == 0`.
+    #[must_use]
+    pub fn new(n_solo: usize) -> Self {
+        assert!(n_solo > 0, "N must be positive");
+        Self { n_solo }
+    }
+
+    /// The parameter `N`.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n_solo
+    }
+
+    /// Verifies that `designated` witnesses the N-solo property of `exec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Violation`] explaining which clause of Definition 5
+    /// fails (wrong designation arity, non-own messages, undelivered own
+    /// messages, or a foreign designated message delivered too early).
+    pub fn check(&self, exec: &Execution, designated: &[Vec<MessageId>]) -> SpecResult {
+        let n = exec.process_count();
+        if designated.len() != n {
+            return Err(Violation::new(
+                "N-solo",
+                format!(
+                    "designation covers {} processes, expected {n}",
+                    designated.len()
+                ),
+            ));
+        }
+        let view = DeliveryView::of(exec);
+        for p in ProcessId::all(n) {
+            let mine = &designated[p.index()];
+            if mine.len() != self.n_solo {
+                return Err(Violation::new(
+                    "N-solo",
+                    format!(
+                        "{p} designates {} messages, expected N = {}",
+                        mine.len(),
+                        self.n_solo
+                    ),
+                ));
+            }
+            let broadcasts = exec.broadcasts_by(p);
+            for &m in mine {
+                if !broadcasts.contains(&m) {
+                    return Err(Violation::new(
+                        "N-solo",
+                        format!("designated message {m} was not B-broadcast by {p}"),
+                    ));
+                }
+                if view.position(p, m).is_none() {
+                    return Err(Violation::new(
+                        "N-solo",
+                        format!("{p} never B-delivers its own designated message {m}"),
+                    ));
+                }
+            }
+            // p's last own designated delivery must precede p's first
+            // foreign designated delivery.
+            let last_own = mine
+                .iter()
+                .map(|&m| view.position(p, m).expect("checked above"))
+                .max()
+                .expect("N ≥ 1");
+            for q in ProcessId::all(n) {
+                if q == p {
+                    continue;
+                }
+                for &m in &designated[q.index()] {
+                    if let Some(pos) = view.position(p, m) {
+                        if pos < last_own {
+                            return Err(Violation::new(
+                                "N-solo",
+                                format!(
+                                    "{p} B-delivers {q}'s designated message {m} (position \
+                                     {pos}) before finishing its own designated messages \
+                                     (position {last_own})"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Searches for a designation witnessing the N-solo property, trying
+    /// the last-N then the first-N own deliveries of each process.
+    #[must_use]
+    pub fn find_designation(&self, exec: &Execution) -> Option<Vec<Vec<MessageId>>> {
+        let n = exec.process_count();
+        let own_deliveries: Vec<Vec<MessageId>> = ProcessId::all(n)
+            .map(|p| {
+                let broadcasts = exec.broadcasts_by(p);
+                exec.delivery_order(p)
+                    .into_iter()
+                    .filter(|m| broadcasts.contains(m))
+                    .collect()
+            })
+            .collect();
+        for take_last in [true, false] {
+            let candidate: Option<Vec<Vec<MessageId>>> = own_deliveries
+                .iter()
+                .map(|own| {
+                    if own.len() < self.n_solo {
+                        None
+                    } else if take_last {
+                        Some(own[own.len() - self.n_solo..].to_vec())
+                    } else {
+                        Some(own[..self.n_solo].to_vec())
+                    }
+                })
+                .collect();
+            if let Some(c) = candidate {
+                if self.check(exec, &c).is_ok() {
+                    return Some(c);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camp_trace::{Action, ExecutionBuilder, Value};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    /// Each of `n` processes broadcasts `count` messages and delivers all
+    /// its own before everyone else's.
+    fn solo_execution(n: usize, count: usize) -> (Execution, Vec<Vec<MessageId>>) {
+        let mut b = ExecutionBuilder::new(n);
+        let mut msgs = vec![Vec::new(); n];
+        for pi in ProcessId::all(n) {
+            for s in 0..count {
+                let m = b.fresh_broadcast_message(pi, Value::new(s as u64));
+                b.step(pi, Action::Broadcast { msg: m });
+                msgs[pi.index()].push(m);
+            }
+        }
+        for pi in ProcessId::all(n) {
+            for &m in &msgs[pi.index()] {
+                b.step(pi, Action::Deliver { from: pi, msg: m });
+            }
+            for qi in ProcessId::all(n) {
+                if qi == pi {
+                    continue;
+                }
+                for &m in &msgs[qi.index()] {
+                    b.step(pi, Action::Deliver { from: qi, msg: m });
+                }
+            }
+        }
+        (b.build(), msgs)
+    }
+
+    #[test]
+    fn solo_execution_is_n_solo() {
+        let (e, msgs) = solo_execution(3, 2);
+        NSolo::new(2).check(&e, &msgs).unwrap();
+        NSolo::new(2).find_designation(&e).unwrap();
+    }
+
+    #[test]
+    fn interleaved_execution_is_not_n_solo() {
+        // p1 delivers p2's designated message before its own.
+        let mut b = ExecutionBuilder::new(2);
+        let m1 = b.fresh_broadcast_message(p(1), Value::new(1));
+        let m2 = b.fresh_broadcast_message(p(2), Value::new(2));
+        b.step(p(1), Action::Broadcast { msg: m1 });
+        b.step(p(2), Action::Broadcast { msg: m2 });
+        b.step(
+            p(1),
+            Action::Deliver {
+                from: p(2),
+                msg: m2,
+            },
+        );
+        b.step(
+            p(1),
+            Action::Deliver {
+                from: p(1),
+                msg: m1,
+            },
+        );
+        b.step(
+            p(2),
+            Action::Deliver {
+                from: p(2),
+                msg: m2,
+            },
+        );
+        let e = b.build();
+        let designated = vec![vec![m1], vec![m2]];
+        let err = NSolo::new(1).check(&e, &designated).unwrap_err();
+        assert!(err.witness().contains("before finishing"));
+        assert!(NSolo::new(1).find_designation(&e).is_none());
+    }
+
+    #[test]
+    fn undelivered_own_message_rejected() {
+        let mut b = ExecutionBuilder::new(1);
+        let m1 = b.fresh_broadcast_message(p(1), Value::new(1));
+        b.step(p(1), Action::Broadcast { msg: m1 });
+        let e = b.build();
+        let err = NSolo::new(1).check(&e, &[vec![m1]]).unwrap_err();
+        assert!(err.witness().contains("never B-delivers"));
+    }
+
+    #[test]
+    fn foreign_designation_rejected() {
+        let (e, msgs) = solo_execution(2, 1);
+        // Swap the designations: p1 designates p2's message.
+        let swapped = vec![msgs[1].clone(), msgs[0].clone()];
+        let err = NSolo::new(1).check(&e, &swapped).unwrap_err();
+        assert!(err.witness().contains("not B-broadcast"));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let (e, msgs) = solo_execution(2, 2);
+        assert!(
+            NSolo::new(1).check(&e, &msgs).is_err(),
+            "designates 2, N = 1"
+        );
+        assert!(NSolo::new(2).check(&e, &msgs[..1]).is_err());
+    }
+
+    #[test]
+    fn non_designated_interleaving_is_allowed() {
+        // p2 delivers p1's EXTRA (non-designated) message before its own
+        // designated one: still N-solo for the designated sets.
+        let mut b = ExecutionBuilder::new(2);
+        let extra = b.fresh_broadcast_message(p(1), Value::new(0));
+        let m1 = b.fresh_broadcast_message(p(1), Value::new(1));
+        let m2 = b.fresh_broadcast_message(p(2), Value::new(2));
+        b.step(p(1), Action::Broadcast { msg: extra });
+        b.step(p(1), Action::Broadcast { msg: m1 });
+        b.step(p(2), Action::Broadcast { msg: m2 });
+        b.step(
+            p(1),
+            Action::Deliver {
+                from: p(1),
+                msg: extra,
+            },
+        );
+        b.step(
+            p(1),
+            Action::Deliver {
+                from: p(1),
+                msg: m1,
+            },
+        );
+        b.step(
+            p(2),
+            Action::Deliver {
+                from: p(1),
+                msg: extra,
+            },
+        );
+        b.step(
+            p(2),
+            Action::Deliver {
+                from: p(2),
+                msg: m2,
+            },
+        );
+        let e = b.build();
+        NSolo::new(1).check(&e, &[vec![m1], vec![m2]]).unwrap();
+        // And the search finds it via the last-N heuristic.
+        assert!(NSolo::new(1).find_designation(&e).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "N must be positive")]
+    fn zero_n_rejected() {
+        let _ = NSolo::new(0);
+    }
+}

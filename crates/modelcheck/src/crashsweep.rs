@@ -1,0 +1,375 @@
+//! Failure-injection sweeps: systematically crash chosen victims at every
+//! step boundary of an otherwise-fair run.
+//!
+//! The exhaustive explorer ([`crate::explore()`]) deliberately drains local
+//! steps atomically — sound for crash-free runs, but a crash *between* two
+//! local steps of one process is exactly where uniformity bugs hide (e.g. a
+//! reliable broadcast that delivers before relaying). The sweep covers that
+//! dimension: for each victim, and for each count `j` of events the victim
+//! executes before crashing, run a deterministic fair schedule with the
+//! crash injected at that point, and check the property on the completed
+//! execution. With several victims the sweep enumerates the product of
+//! crash points (nested, later victims swept within each earlier choice).
+//!
+//! The sweep is linear per victim (quadratic for two, …) instead of
+//! exponential, and it is *complete for fair schedules*: every way the
+//! victims can crash along the fair run is covered.
+
+use camp_sim::scheduler::Workload;
+use camp_sim::{BroadcastAlgorithm, KsaOracle, SimError, Simulation};
+use camp_specs::{SpecResult, Violation};
+use camp_trace::{Execution, ProcessId};
+
+/// The outcome of a crash sweep.
+#[derive(Debug)]
+pub enum SweepOutcome {
+    /// Every injected-crash run satisfied the property.
+    Verified {
+        /// Number of runs executed.
+        runs: usize,
+    },
+    /// Some crash timing violated the property.
+    CounterExample {
+        /// The events each victim executed before crashing (victims in the
+        /// order given to [`crash_point_sweep`]; `None` = did not crash in
+        /// this run because the run ended first).
+        crash_points: Vec<Option<usize>>,
+        /// The violating execution.
+        trace: Box<Execution>,
+        /// The violation.
+        violation: Violation,
+    },
+    /// The simulation rejected an algorithm action.
+    Error(SimError),
+}
+
+impl SweepOutcome {
+    /// Did the sweep verify the property?
+    #[must_use]
+    pub fn verified(&self) -> bool {
+        matches!(self, SweepOutcome::Verified { .. })
+    }
+}
+
+/// Runs one fair schedule, crashing each `(victim, after)` pair once the
+/// victim has executed `after` events (invocations, local steps, and
+/// receptions all count). Returns the completed execution and how many
+/// events each victim had executed when (and if) it crashed.
+fn fair_run_with_crashes<B: BroadcastAlgorithm>(
+    mut sim: Simulation<B>,
+    workload: &Workload,
+    crash_at: &[(ProcessId, usize)],
+    max_events: usize,
+) -> Result<(Execution, Vec<Option<usize>>), SimError> {
+    let n = sim.n();
+    let mut issued = vec![0usize; n];
+    let mut counts = vec![0usize; n];
+    let mut crashed_at: Vec<Option<usize>> = vec![None; crash_at.len()];
+    let mut events = 0usize;
+
+    // Crash check: called after every event of a process.
+    let maybe_crash = |sim: &mut Simulation<B>,
+                       counts: &[usize],
+                       crashed_at: &mut Vec<Option<usize>>|
+     -> Result<(), SimError> {
+        for (vi, &(victim, after)) in crash_at.iter().enumerate() {
+            if crashed_at[vi].is_none()
+                && !sim.is_crashed(victim)
+                && counts[victim.index()] >= after
+            {
+                sim.crash(victim)?;
+                crashed_at[vi] = Some(counts[victim.index()]);
+            }
+        }
+        Ok(())
+    };
+
+    maybe_crash(&mut sim, &counts, &mut crashed_at)?; // `after == 0` cases
+
+    loop {
+        let mut progressed = false;
+        for pid in ProcessId::all(n) {
+            if sim.is_crashed(pid) {
+                continue;
+            }
+            if sim.pending_broadcast(pid).is_none() {
+                if let Some(content) = workload.get(pid, issued[pid.index()]) {
+                    sim.invoke_broadcast(pid, content)?;
+                    issued[pid.index()] += 1;
+                    counts[pid.index()] += 1;
+                    events += 1;
+                    progressed = true;
+                    maybe_crash(&mut sim, &counts, &mut crashed_at)?;
+                }
+            }
+            while !sim.is_crashed(pid) && sim.has_local_step(pid) && events < max_events {
+                sim.step_process(pid)?;
+                counts[pid.index()] += 1;
+                events += 1;
+                progressed = true;
+                if let Some(obj) = sim.oracle().pending_of(pid) {
+                    sim.respond_ksa(obj, pid)?;
+                    events += 1;
+                }
+                maybe_crash(&mut sim, &counts, &mut crashed_at)?;
+            }
+            while !sim.is_crashed(pid) && events < max_events {
+                let Some(slot) = sim.network().first_slot_to(pid) else {
+                    break;
+                };
+                sim.receive(slot)?;
+                counts[pid.index()] += 1;
+                events += 1;
+                progressed = true;
+                maybe_crash(&mut sim, &counts, &mut crashed_at)?;
+                // Drain the local steps this reception enabled before the
+                // next reception (fair, and keeps crash points meaningful).
+                while !sim.is_crashed(pid) && sim.has_local_step(pid) {
+                    sim.step_process(pid)?;
+                    counts[pid.index()] += 1;
+                    events += 1;
+                    if let Some(obj) = sim.oracle().pending_of(pid) {
+                        sim.respond_ksa(obj, pid)?;
+                        events += 1;
+                    }
+                    maybe_crash(&mut sim, &counts, &mut crashed_at)?;
+                }
+            }
+        }
+        if !progressed || events >= max_events {
+            return Ok((sim.into_trace(), crashed_at));
+        }
+    }
+}
+
+/// Sweeps every combination of crash points of the `victims` along fair
+/// schedules of `make_sim()` under `workload`, checking `property` on each
+/// completed execution.
+///
+/// The crash-point range per victim is discovered adaptively: the sweep
+/// first runs crash-free to count the victim's events, then tries every
+/// `0 ..= count` prefix (nested for multiple victims, re-counting within
+/// each outer choice since earlier crashes change later runs).
+///
+/// `property` should check **safety plus the liveness appropriate for
+/// crashy runs** (e.g. `bc_global_cs_termination`, `bc_uniform_agreement`)
+/// — the runs are completed fair schedules, so liveness checkers apply.
+pub fn crash_point_sweep<B, F>(
+    make_sim: &dyn Fn() -> Simulation<B>,
+    workload: &Workload,
+    victims: &[ProcessId],
+    property: &F,
+    max_events: usize,
+) -> SweepOutcome
+where
+    B: BroadcastAlgorithm,
+    F: Fn(&Execution) -> SpecResult,
+{
+    fn recurse<B, F>(
+        make_sim: &dyn Fn() -> Simulation<B>,
+        workload: &Workload,
+        victims: &[ProcessId],
+        chosen: &mut Vec<(ProcessId, usize)>,
+        property: &F,
+        max_events: usize,
+        runs: &mut usize,
+    ) -> Option<SweepOutcome>
+    where
+        B: BroadcastAlgorithm,
+        F: Fn(&Execution) -> SpecResult,
+    {
+        let Some((&victim, rest)) = victims.split_first() else {
+            // All victims fixed: run and check.
+            *runs += 1;
+            let result = fair_run_with_crashes(make_sim(), workload, chosen, max_events);
+            return match result {
+                Ok((trace, crashed_at)) => match property(&trace) {
+                    Ok(()) => None,
+                    Err(violation) => Some(SweepOutcome::CounterExample {
+                        crash_points: crashed_at,
+                        trace: Box::new(trace),
+                        violation,
+                    }),
+                },
+                Err(e) => Some(SweepOutcome::Error(e)),
+            };
+        };
+        // Discover this victim's event count with it never crashing
+        // (sentinel usize::MAX), within the outer choices.
+        let probe = {
+            let mut probe_points = chosen.clone();
+            probe_points.push((victim, usize::MAX));
+            fair_run_with_crashes(make_sim(), workload, &probe_points, max_events)
+        };
+        let victim_events = match probe {
+            Ok((trace, _)) => trace.steps_of(victim).count(),
+            Err(e) => return Some(SweepOutcome::Error(e)),
+        };
+        for after in 0..=victim_events {
+            chosen.push((victim, after));
+            let out = recurse(make_sim, workload, rest, chosen, property, max_events, runs);
+            chosen.pop();
+            if out.is_some() {
+                return out;
+            }
+        }
+        None
+    }
+
+    let mut runs = 0;
+    let mut chosen = Vec::new();
+    match recurse(
+        make_sim,
+        workload,
+        victims,
+        &mut chosen,
+        property,
+        max_events,
+        &mut runs,
+    ) {
+        Some(outcome) => outcome,
+        None => SweepOutcome::Verified { runs },
+    }
+}
+
+/// Convenience constructor matching the other engines.
+#[must_use]
+pub fn default_sim<B: BroadcastAlgorithm>(algo: B, n: usize) -> Simulation<B> {
+    Simulation::new(
+        algo,
+        n,
+        KsaOracle::new(1, Box::new(camp_sim::FirstProposalRule)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camp_broadcast::{EagerReliable, FifoBroadcast, SendToAll};
+    use camp_specs::base;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn uniform_reliable_broadcast_survives_every_crash_timing() {
+        // Uniform agreement holds for the forward-before-deliver variant at
+        // EVERY joint crash point of (p1, p2).
+        let outcome = crash_point_sweep(
+            &|| default_sim(EagerReliable::uniform(), 3),
+            &Workload::uniform(3, 1),
+            &[p(1), p(2)],
+            &|e| {
+                base::check_safety(e)?;
+                base::bc_uniform_agreement(e)?;
+                base::bc_global_cs_termination(e)
+            },
+            100_000,
+        );
+        match outcome {
+            SweepOutcome::Verified { runs } => {
+                assert!(
+                    runs > 50,
+                    "the sweep must cover many crash points, got {runs}"
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_finds_the_non_uniform_bug_automatically() {
+        // The deliver-before-forward variant has a window where a process
+        // delivers and crashes before relaying; the sweep finds it without
+        // being told where it is.
+        let outcome = crash_point_sweep(
+            &|| default_sim(EagerReliable::non_uniform(), 3),
+            &Workload::uniform(3, 1),
+            &[p(1), p(2)],
+            &|e| {
+                base::check_safety(e)?;
+                base::bc_uniform_agreement(e)
+            },
+            100_000,
+        );
+        match outcome {
+            SweepOutcome::CounterExample {
+                violation,
+                crash_points,
+                ..
+            } => {
+                assert_eq!(violation.property(), "BC-Uniform-Agreement");
+                assert!(
+                    crash_points.iter().any(Option::is_some),
+                    "a crash must be involved: {crash_points:?}"
+                );
+            }
+            other => panic!("expected a counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn base_properties_survive_crashes_for_send_to_all() {
+        let outcome = crash_point_sweep(
+            &|| default_sim(SendToAll::new(), 3),
+            &Workload::uniform(3, 1),
+            &[p(1)],
+            &|e| {
+                base::check_safety(e)?;
+                base::bc_global_cs_termination(e)
+            },
+            100_000,
+        );
+        assert!(outcome.verified(), "{outcome:?}");
+    }
+
+    #[test]
+    fn send_to_all_is_not_uniform_and_the_sweep_proves_it() {
+        // Send-To-All without relaying cannot provide uniform agreement:
+        // a receiver that delivers and crashes may be the only one that
+        // ever got the (crashed) sender's message.
+        let outcome = crash_point_sweep(
+            &|| default_sim(SendToAll::new(), 3),
+            &Workload::uniform(3, 1),
+            &[p(1), p(2)],
+            &|e| base::bc_uniform_agreement(e),
+            100_000,
+        );
+        assert!(
+            !outcome.verified(),
+            "send-to-all must fail uniform agreement somewhere"
+        );
+    }
+
+    #[test]
+    fn fifo_safety_survives_crashes() {
+        use camp_specs::{BroadcastSpec, FifoSpec};
+        let outcome = crash_point_sweep(
+            &|| default_sim(FifoBroadcast::new(), 3),
+            &Workload::uniform(3, 1),
+            &[p(2)],
+            &|e| {
+                base::check_safety(e)?;
+                FifoSpec::new().admits(e)
+            },
+            100_000,
+        );
+        assert!(outcome.verified(), "{outcome:?}");
+    }
+
+    #[test]
+    fn zero_victims_is_a_single_fair_run() {
+        let outcome = crash_point_sweep(
+            &|| default_sim(SendToAll::new(), 2),
+            &Workload::uniform(2, 1),
+            &[],
+            &|e| base::check_all(e),
+            100_000,
+        );
+        match outcome {
+            SweepOutcome::Verified { runs } => assert_eq!(runs, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+}

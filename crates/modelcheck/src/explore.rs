@@ -1,0 +1,364 @@
+//! Exhaustive exploration of scheduler choices against a concrete algorithm
+//! in the simulator.
+//!
+//! The explorer walks the tree of *environment choices* — which in-flight
+//! message is received next, when each k-SA object responds, when the next
+//! workload broadcast is invoked — and checks a property on every reachable
+//! *completed* execution (one with no enabled event left).
+//!
+//! **Reduction.** Local algorithm steps are *not* branch points: after every
+//! environment event the explorer drains all enabled local steps of all
+//! processes deterministically. This is sound for the properties of
+//! `camp-specs`, which only read per-process event orders: local steps
+//! consume no external input, so a process's event sequence depends only on
+//! the order in which the environment feeds it inputs — exactly the choices
+//! the explorer does branch on. The reduction turns an intractable
+//! interleaving space into the much smaller input-ordering space.
+
+use std::ops::ControlFlow;
+
+use camp_sim::scheduler::Workload;
+use camp_sim::{BroadcastAlgorithm, SimError, Simulation};
+use camp_specs::{SpecResult, Violation};
+use camp_trace::{Execution, ProcessId};
+
+/// Budgets for an exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreConfig {
+    /// Maximum environment events along one execution.
+    pub max_depth: usize,
+    /// Maximum completed executions to check.
+    pub max_executions: usize,
+    /// Maximum tree nodes to visit.
+    pub max_nodes: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 200,
+            max_executions: 2_000_000,
+            max_nodes: 20_000_000,
+        }
+    }
+}
+
+/// The outcome of an exploration.
+#[derive(Debug)]
+pub enum ExploreOutcome {
+    /// Every completed execution satisfied the property.
+    Verified {
+        /// Completed executions checked.
+        completed: usize,
+        /// Tree nodes visited.
+        nodes: usize,
+        /// Whether a budget was hit (verification is then partial).
+        truncated: bool,
+    },
+    /// A completed execution violated the property.
+    CounterExample {
+        /// The violating execution.
+        trace: Box<Execution>,
+        /// The violation.
+        violation: Violation,
+    },
+    /// The simulation itself rejected an algorithm action.
+    Error(SimError),
+}
+
+impl ExploreOutcome {
+    /// Did the exploration verify the property (possibly partially)?
+    #[must_use]
+    pub fn verified(&self) -> bool {
+        matches!(self, ExploreOutcome::Verified { .. })
+    }
+}
+
+/// One branchable environment event.
+#[derive(Debug, Clone, Copy)]
+enum Choice {
+    Invoke(ProcessId),
+    Receive(usize),
+    Respond(ProcessId),
+}
+
+/// Explores every environment schedule of `sim` under `workload`, checking
+/// `property` on each completed execution.
+///
+/// The simulation must be freshly created (no steps taken). `property` is
+/// called with the final execution of each maximal branch; liveness-style
+/// checks are appropriate because the explorer only deems a branch complete
+/// when no event is enabled at all.
+pub fn explore<B>(
+    sim: Simulation<B>,
+    workload: &Workload,
+    property: &dyn Fn(&Execution) -> SpecResult,
+    cfg: ExploreConfig,
+) -> ExploreOutcome
+where
+    B: BroadcastAlgorithm + Clone,
+    B::Msg: Clone,
+{
+    struct Ctx<'a, B: BroadcastAlgorithm> {
+        workload: &'a Workload,
+        property: &'a dyn Fn(&Execution) -> SpecResult,
+        cfg: ExploreConfig,
+        completed: usize,
+        nodes: usize,
+        truncated: bool,
+        _marker: std::marker::PhantomData<B>,
+    }
+
+    /// Drains all local steps of all processes (the reduction), responding
+    /// to nothing — proposals stay pending as branchable choices.
+    fn drain<B: BroadcastAlgorithm>(sim: &mut Simulation<B>) -> Result<(), SimError> {
+        loop {
+            let mut progressed = false;
+            for p in ProcessId::all(sim.n()) {
+                if sim.is_crashed(p) {
+                    continue;
+                }
+                while sim.has_local_step(p) {
+                    sim.step_process(p)?;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                return Ok(());
+            }
+        }
+    }
+
+    fn choices<B: BroadcastAlgorithm>(
+        sim: &Simulation<B>,
+        workload: &Workload,
+        issued: &[usize],
+    ) -> Vec<Choice> {
+        let mut out = Vec::new();
+        for p in ProcessId::all(sim.n()) {
+            if sim.is_crashed(p) {
+                continue;
+            }
+            if sim.pending_broadcast(p).is_none() && workload.get(p, issued[p.index()]).is_some() {
+                out.push(Choice::Invoke(p));
+            }
+            if sim.oracle().pending_of(p).is_some() {
+                out.push(Choice::Respond(p));
+            }
+        }
+        for (slot, m) in sim.network().in_flight().iter().enumerate() {
+            if !sim.is_crashed(m.to) {
+                out.push(Choice::Receive(slot));
+            }
+        }
+        out
+    }
+
+    fn dfs<B>(
+        sim: Simulation<B>,
+        issued: Vec<usize>,
+        depth: usize,
+        ctx: &mut Ctx<'_, B>,
+    ) -> ControlFlow<ExploreOutcome>
+    where
+        B: BroadcastAlgorithm + Clone,
+        B::Msg: Clone,
+    {
+        ctx.nodes += 1;
+        if ctx.nodes > ctx.cfg.max_nodes
+            || depth > ctx.cfg.max_depth
+            || ctx.completed > ctx.cfg.max_executions
+        {
+            ctx.truncated = true;
+            return ControlFlow::Continue(());
+        }
+        let available = choices(&sim, ctx.workload, &issued);
+        if available.is_empty() {
+            ctx.completed += 1;
+            if let Err(violation) = (ctx.property)(sim.trace()) {
+                return ControlFlow::Break(ExploreOutcome::CounterExample {
+                    trace: Box::new(sim.into_trace()),
+                    violation,
+                });
+            }
+            return ControlFlow::Continue(());
+        }
+        for choice in available {
+            let mut branch = sim.clone();
+            let mut issued_branch = issued.clone();
+            let applied = (|| -> Result<(), SimError> {
+                match choice {
+                    Choice::Invoke(p) => {
+                        let content = ctx
+                            .workload
+                            .get(p, issued_branch[p.index()])
+                            .expect("enabled implies available");
+                        branch.invoke_broadcast(p, content)?;
+                        issued_branch[p.index()] += 1;
+                    }
+                    Choice::Receive(slot) => {
+                        branch.receive(slot)?;
+                    }
+                    Choice::Respond(p) => {
+                        let obj = branch.oracle().pending_of(p).expect("enabled");
+                        branch.respond_ksa(obj, p)?;
+                    }
+                }
+                drain(&mut branch)
+            })();
+            if let Err(e) = applied {
+                return ControlFlow::Break(ExploreOutcome::Error(e));
+            }
+            dfs(branch, issued_branch, depth + 1, ctx)?;
+        }
+        ControlFlow::Continue(())
+    }
+
+    let mut ctx = Ctx::<B> {
+        workload,
+        property,
+        cfg,
+        completed: 0,
+        nodes: 0,
+        truncated: false,
+        _marker: std::marker::PhantomData,
+    };
+    let mut root = sim;
+    if let Err(e) = drain(&mut root) {
+        return ExploreOutcome::Error(e);
+    }
+    match dfs(root, vec![0; workload.total().max(1)].clone(), 0, &mut ctx) {
+        ControlFlow::Break(outcome) => outcome,
+        ControlFlow::Continue(()) => ExploreOutcome::Verified {
+            completed: ctx.completed,
+            nodes: ctx.nodes,
+            truncated: ctx.truncated,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camp_broadcast::{AgreedBroadcast, FifoBroadcast, SendToAll};
+    use camp_sim::{FirstProposalRule, KsaOracle, OwnValueRule};
+    use camp_specs::{base, BroadcastSpec, FifoSpec, TotalOrderSpec};
+
+    fn fresh<B: BroadcastAlgorithm>(algo: B, n: usize, k: usize, own: bool) -> Simulation<B> {
+        let rule: Box<dyn camp_sim::DecisionRule + Send> = if own {
+            Box::new(OwnValueRule)
+        } else {
+            Box::new(FirstProposalRule)
+        };
+        Simulation::new(algo, n, KsaOracle::new(k, rule))
+    }
+
+    #[test]
+    fn send_to_all_base_properties_hold_on_all_schedules() {
+        let outcome = explore(
+            fresh(SendToAll::new(), 2, 1, false),
+            &Workload::uniform(2, 1),
+            &|e| base::check_all(e),
+            ExploreConfig::default(),
+        );
+        match outcome {
+            ExploreOutcome::Verified {
+                completed,
+                truncated,
+                ..
+            } => {
+                assert!(!truncated);
+                assert!(completed > 0, "some execution must complete");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn fifo_implementation_verified_at_small_scope() {
+        // Every schedule of 2 processes with 2 + 1 messages: the FIFO
+        // implementation always satisfies the FIFO spec and base props.
+        // (The fully symmetric 2 × 2 scope is exercised by the release-mode
+        // `tables modelcheck` binary; it is too slow for debug-mode CI.)
+        let mut workload = Workload::new(2);
+        workload.push(ProcessId::new(1), camp_trace::Value::new(10));
+        workload.push(ProcessId::new(1), camp_trace::Value::new(11));
+        workload.push(ProcessId::new(2), camp_trace::Value::new(20));
+        let outcome = explore(
+            fresh(FifoBroadcast::new(), 2, 1, false),
+            &workload,
+            &|e| {
+                base::check_all(e)?;
+                FifoSpec::new().admits(e)
+            },
+            ExploreConfig::default(),
+        );
+        match outcome {
+            ExploreOutcome::Verified {
+                completed,
+                truncated,
+                ..
+            } => {
+                assert!(!truncated, "scope should fit the budget");
+                assert!(completed > 10, "got {completed}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn agreed_broadcast_with_consensus_oracle_is_total_order_everywhere() {
+        let outcome = explore(
+            fresh(AgreedBroadcast::new(), 2, 1, true),
+            &Workload::uniform(2, 1),
+            &|e| {
+                base::check_all(e)?;
+                TotalOrderSpec::new().admits(e)
+            },
+            ExploreConfig::default(),
+        );
+        assert!(outcome.verified(), "{outcome:?}");
+    }
+
+    #[test]
+    fn counterexamples_are_reported() {
+        // Deliberately absurd property: "no process ever delivers".
+        let outcome = explore(
+            fresh(SendToAll::new(), 2, 1, false),
+            &Workload::uniform(2, 1),
+            &|e| {
+                if e.delivery_order(ProcessId::new(1)).is_empty() {
+                    Ok(())
+                } else {
+                    Err(Violation::new("no-delivery", "p1 delivered something"))
+                }
+            },
+            ExploreConfig::default(),
+        );
+        match outcome {
+            ExploreOutcome::CounterExample { violation, trace } => {
+                assert_eq!(violation.property(), "no-delivery");
+                assert!(!trace.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let outcome = explore(
+            fresh(SendToAll::new(), 3, 1, false),
+            &Workload::uniform(3, 2),
+            &|_| Ok(()),
+            ExploreConfig {
+                max_depth: 3,
+                max_executions: 10,
+                max_nodes: 50,
+            },
+        );
+        match outcome {
+            ExploreOutcome::Verified { truncated, .. } => assert!(truncated),
+            other => panic!("{other:?}"),
+        }
+    }
+}

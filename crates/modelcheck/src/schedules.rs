@@ -1,0 +1,351 @@
+//! Exhaustive enumeration of complete broadcast-level delivery schedules.
+//!
+//! A *complete schedule* over `n` processes with `m` messages per process is
+//! an execution in which every process first B-broadcasts its `m` messages
+//! (in a fixed canonical order) and then B-delivers **all** `n·m` messages,
+//! in an arbitrary per-process order. Enumerating every combination of
+//! per-process delivery permutations covers the full space of observable
+//! delivery behaviours (the predicates of `camp-specs` only read per-process
+//! event orders).
+//!
+//! Because all broadcasts precede all deliveries, no cross-process causal
+//! dependencies exist in the enumerated executions; this keeps the space
+//! `(n·m)!^n` instead of unmanageably interleaved, while still separating
+//! every ordering specification in the crate.
+
+use std::ops::ControlFlow;
+
+use camp_specs::BroadcastSpec;
+use camp_trace::{Action, Execution, ExecutionBuilder, MessageId, ProcessId, Value};
+
+/// Statistics of an enumeration pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleStats {
+    /// Number of schedules visited.
+    pub visited: usize,
+    /// Whether the callback stopped the enumeration early.
+    pub stopped_early: bool,
+}
+
+/// Generates every permutation of `items` (Heap's algorithm), invoking `f`
+/// on each. Returns `false` if `f` broke out early.
+fn for_each_permutation<T: Clone>(
+    items: &[T],
+    f: &mut impl FnMut(&[T]) -> ControlFlow<()>,
+) -> bool {
+    fn heap<T: Clone>(
+        arr: &mut [T],
+        k: usize,
+        f: &mut impl FnMut(&[T]) -> ControlFlow<()>,
+    ) -> bool {
+        if k <= 1 {
+            return !matches!(f(arr), ControlFlow::Break(()));
+        }
+        for i in 0..k {
+            if !heap(arr, k - 1, f) {
+                return false;
+            }
+            if i < k - 1 {
+                if k.is_multiple_of(2) {
+                    arr.swap(i, k - 1);
+                } else {
+                    arr.swap(0, k - 1);
+                }
+            }
+        }
+        true
+    }
+    let mut arr = items.to_vec();
+    if arr.is_empty() {
+        return !matches!(f(&arr), ControlFlow::Break(()));
+    }
+    let len = arr.len();
+    heap(&mut arr, len, f)
+}
+
+/// Enumerates every complete schedule of `n` processes × `m` messages each,
+/// calling `f` on each; `f` may stop the enumeration with
+/// [`ControlFlow::Break`].
+///
+/// The number of schedules is `((n·m)!)^n` — keep the scope small
+/// (`n ≤ 3`, `m = 1`, or `n = 2`, `m ≤ 2`).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `m == 0`.
+pub fn for_each_complete_schedule(
+    n: usize,
+    m: usize,
+    mut f: impl FnMut(&Execution) -> ControlFlow<()>,
+) -> ScheduleStats {
+    assert!(n > 0 && m > 0, "scope must be non-empty");
+
+    // Canonical broadcast prefix.
+    let mut builder = ExecutionBuilder::new(n);
+    let mut msgs: Vec<MessageId> = Vec::new();
+    let mut sender_of: Vec<ProcessId> = Vec::new();
+    for p in ProcessId::all(n) {
+        for s in 0..m {
+            let msg = builder.fresh_broadcast_message(p, Value::new((p.id() * 100 + s) as u64));
+            builder.step(p, Action::Broadcast { msg });
+            builder.step(p, Action::ReturnBroadcast { msg });
+            msgs.push(msg);
+            sender_of.push(p);
+        }
+    }
+    let prefix = builder.build();
+
+    // Recursive product of per-process permutations.
+    let mut stats = ScheduleStats {
+        visited: 0,
+        stopped_early: false,
+    };
+    let indices: Vec<usize> = (0..msgs.len()).collect();
+
+    fn recurse(
+        level: usize,
+        n: usize,
+        indices: &[usize],
+        chosen: &mut Vec<Vec<usize>>,
+        prefix: &Execution,
+        msgs: &[MessageId],
+        sender_of: &[ProcessId],
+        stats: &mut ScheduleStats,
+        f: &mut impl FnMut(&Execution) -> ControlFlow<()>,
+    ) -> bool {
+        if level == n {
+            let mut exec = prefix.clone();
+            for (pi, order) in chosen.iter().enumerate() {
+                let p = ProcessId::new(pi + 1);
+                for &idx in order {
+                    exec.push(camp_trace::Step::new(
+                        p,
+                        Action::Deliver {
+                            from: sender_of[idx],
+                            msg: msgs[idx],
+                        },
+                    ))
+                    .expect("valid delivery");
+                }
+            }
+            stats.visited += 1;
+            if matches!(f(&exec), ControlFlow::Break(())) {
+                stats.stopped_early = true;
+                return false;
+            }
+            return true;
+        }
+        let mut keep_going = true;
+        for_each_permutation(indices, &mut |perm: &[usize]| {
+            chosen.push(perm.to_vec());
+            let cont = recurse(
+                level + 1,
+                n,
+                indices,
+                chosen,
+                prefix,
+                msgs,
+                sender_of,
+                stats,
+                f,
+            );
+            chosen.pop();
+            if cont {
+                ControlFlow::Continue(())
+            } else {
+                ControlFlow::Break(())
+            }
+        });
+        if stats.stopped_early {
+            keep_going = false;
+        }
+        keep_going
+    }
+
+    let mut chosen = Vec::new();
+    recurse(
+        0,
+        n,
+        &indices,
+        &mut chosen,
+        &prefix,
+        &msgs,
+        &sender_of,
+        &mut stats,
+        &mut f,
+    );
+    stats
+}
+
+/// Convenience queries over the complete-schedule space.
+#[derive(Debug, Clone, Copy)]
+pub struct ScheduleQuery {
+    n: usize,
+    m: usize,
+}
+
+impl ScheduleQuery {
+    /// A query over `n` processes × `m` messages each.
+    #[must_use]
+    pub fn new(n: usize, m: usize) -> Self {
+        Self { n, m }
+    }
+
+    /// Counts schedules admitted by `spec` (and the total).
+    #[must_use]
+    pub fn count_admitted(&self, spec: &dyn BroadcastSpec) -> (usize, usize) {
+        let mut admitted = 0;
+        let stats = for_each_complete_schedule(self.n, self.m, |exec| {
+            if spec.admits(exec).is_ok() {
+                admitted += 1;
+            }
+            ControlFlow::Continue(())
+        });
+        (admitted, stats.visited)
+    }
+
+    /// Finds a schedule admitted by `spec` and satisfying `predicate`.
+    pub fn find(
+        &self,
+        spec: &dyn BroadcastSpec,
+        mut predicate: impl FnMut(&Execution) -> bool,
+    ) -> Option<Execution> {
+        let mut found = None;
+        for_each_complete_schedule(self.n, self.m, |exec| {
+            if spec.admits(exec).is_ok() && predicate(exec) {
+                found = Some(exec.clone());
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        found
+    }
+
+    /// Verifies that **no** schedule admitted by `spec` satisfies
+    /// `predicate`; returns the counterexample otherwise.
+    pub fn verify_none(
+        &self,
+        spec: &dyn BroadcastSpec,
+        predicate: impl FnMut(&Execution) -> bool,
+    ) -> Result<ScheduleStats, Execution> {
+        let mut predicate = predicate;
+        let mut counterexample = None;
+        let stats = for_each_complete_schedule(self.n, self.m, |exec| {
+            if spec.admits(exec).is_ok() && predicate(exec) {
+                counterexample = Some(exec.clone());
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        match counterexample {
+            Some(c) => Err(c),
+            None => Ok(stats),
+        }
+    }
+}
+
+/// The 1-solo predicate at this scope: every process delivers all its own
+/// messages before any other process's (Definition 5 with the designation
+/// "all own messages").
+#[must_use]
+pub fn is_one_solo_all_own(exec: &Execution) -> bool {
+    let n = exec.process_count();
+    ProcessId::all(n).all(|p| {
+        let own = exec.broadcasts_by(p);
+        let order = exec.delivery_order(p);
+        order.iter().take(own.len()).all(|m| own.contains(m))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camp_specs::{FifoSpec, KBoundedOrderSpec, MutualSpec, SendToAllSpec, TotalOrderSpec};
+
+    #[test]
+    fn enumeration_counts_match_factorials() {
+        // n = 2, m = 1: (2!)^2 = 4 schedules.
+        let stats = for_each_complete_schedule(2, 1, |_| ControlFlow::Continue(()));
+        assert_eq!(stats.visited, 4);
+        assert!(!stats.stopped_early);
+        // n = 3, m = 1: (3!)^3 = 216.
+        let stats = for_each_complete_schedule(3, 1, |_| ControlFlow::Continue(()));
+        assert_eq!(stats.visited, 216);
+        // n = 2, m = 2: (4!)^2 = 576.
+        let stats = for_each_complete_schedule(2, 2, |_| ControlFlow::Continue(()));
+        assert_eq!(stats.visited, 576);
+    }
+
+    #[test]
+    fn early_stop_reported() {
+        let stats = for_each_complete_schedule(2, 1, |_| ControlFlow::Break(()));
+        assert_eq!(stats.visited, 1);
+        assert!(stats.stopped_early);
+    }
+
+    #[test]
+    fn total_order_admits_no_one_solo_schedule() {
+        // Small-scope shadow of Lemma 9 at k = 1: a spec solving consensus
+        // cannot allow both processes to see themselves first.
+        let q = ScheduleQuery::new(2, 1);
+        let verified = q.verify_none(&TotalOrderSpec::new(), is_one_solo_all_own);
+        assert!(verified.is_ok());
+    }
+
+    #[test]
+    fn kbo_admits_no_one_solo_schedule_with_k_plus_1_processes() {
+        // Small-scope shadow of Lemma 9 at k = 2, n = 3 over the FULL space:
+        // among all 216 schedules, none is both k-BO(2)-admissible and
+        // 1-solo.
+        let q = ScheduleQuery::new(3, 1);
+        let verified = q.verify_none(&KBoundedOrderSpec::new(2), is_one_solo_all_own);
+        match verified {
+            Ok(stats) => assert_eq!(stats.visited, 216),
+            Err(cex) => panic!("counterexample found:\n{cex}"),
+        }
+    }
+
+    #[test]
+    fn mutual_admits_no_one_solo_schedule() {
+        let q = ScheduleQuery::new(2, 1);
+        assert!(q
+            .verify_none(&MutualSpec::new(), is_one_solo_all_own)
+            .is_ok());
+    }
+
+    #[test]
+    fn weak_specs_do_admit_one_solo_schedules() {
+        // Shadow of Lemma 10: the base properties alone admit solo-first
+        // executions; so does k-BO(k) with only k processes.
+        let q = ScheduleQuery::new(2, 1);
+        assert!(q.find(&SendToAllSpec::new(), is_one_solo_all_own).is_some());
+        let q = ScheduleQuery::new(2, 1);
+        assert!(q
+            .find(&KBoundedOrderSpec::new(2), is_one_solo_all_own)
+            .is_some());
+    }
+
+    #[test]
+    fn admitted_counts_are_monotone_in_k() {
+        let q = ScheduleQuery::new(3, 1);
+        let (to, total) = q.count_admitted(&TotalOrderSpec::new());
+        let (k2, _) = q.count_admitted(&KBoundedOrderSpec::new(2));
+        let (k3, _) = q.count_admitted(&KBoundedOrderSpec::new(3));
+        assert_eq!(total, 216);
+        assert!(to <= k2 && k2 <= k3, "{to} ≤ {k2} ≤ {k3}");
+        assert_eq!(k3, 216, "k = n admits everything");
+        assert_eq!(to, 6, "exactly the 3! common total orders");
+    }
+
+    #[test]
+    fn fifo_constrains_multi_message_schedules() {
+        let q = ScheduleQuery::new(2, 2);
+        let (fifo, total) = q.count_admitted(&FifoSpec::new());
+        assert_eq!(total, 576);
+        // Per process: orders of 4 messages with both per-sender pairs
+        // ordered: 4!/(2·2) = 6; two processes independent: 36.
+        assert_eq!(fifo, 36);
+    }
+}

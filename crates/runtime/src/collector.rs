@@ -1,0 +1,201 @@
+//! The trace collector: merges per-node event streams into one
+//! [`Execution`], repairing cross-thread arrival races.
+
+use std::collections::VecDeque;
+
+use camp_trace::{Action, Execution, MessageId, MessageInfo, Step};
+
+/// An event reported by a node to the collector.
+#[derive(Debug)]
+pub(crate) enum TraceEvent {
+    /// Register a message (emitted before the step that references it).
+    Register(MessageId, MessageInfo),
+    /// A step taken by a process.
+    Step(Step),
+}
+
+/// Builds an [`Execution`] from a stream of [`TraceEvent`]s.
+///
+/// Per-node event order is preserved (each node reports its own events in
+/// program order through a FIFO channel). Across nodes the arrival order is
+/// a race: a `receive` may arrive at the collector before the matching
+/// `send` (reported by another thread). The collector therefore defers any
+/// step that references a not-yet-registered message and retries deferred
+/// steps after every insertion — producing a valid linearization in which
+/// registration precedes use.
+#[derive(Debug)]
+pub(crate) struct Collector {
+    exec: Execution,
+    deferred: VecDeque<Step>,
+}
+
+impl Collector {
+    pub(crate) fn new(n: usize) -> Self {
+        Self {
+            exec: Execution::new(n),
+            deferred: VecDeque::new(),
+        }
+    }
+
+    pub(crate) fn handle(&mut self, event: TraceEvent) {
+        match event {
+            TraceEvent::Register(id, info) => {
+                self.exec
+                    .register_message(id, info)
+                    .expect("nodes register each message exactly once");
+                self.retry_deferred();
+            }
+            TraceEvent::Step(step) => self.push_or_defer(step),
+        }
+    }
+
+    fn push_or_defer(&mut self, step: Step) {
+        let known = step
+            .action
+            .message()
+            .is_none_or(|m| self.exec.message(m).is_some());
+        // A receive must also come after its send within the built trace;
+        // defer receives whose send step has not been appended yet.
+        let ordered = match step.action {
+            Action::Receive { from, msg } => self.exec.steps().iter().any(|s| {
+                s.process == from
+                    && s.action
+                        == Action::Send {
+                            to: step.process,
+                            msg,
+                        }
+            }),
+            Action::Deliver { from, msg } => self
+                .exec
+                .steps()
+                .iter()
+                .any(|s| s.process == from && s.action == Action::Broadcast { msg }),
+            _ => true,
+        };
+        if known && ordered {
+            self.exec.push(step).expect("validated above");
+            self.retry_deferred();
+        } else {
+            self.deferred.push_back(step);
+        }
+    }
+
+    fn retry_deferred(&mut self) {
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for _ in 0..self.deferred.len() {
+                let step = self.deferred.pop_front().expect("len checked");
+                let before = self.exec.len();
+                self.push_or_defer(step);
+                if self.exec.len() > before {
+                    progress = true;
+                    // push_or_defer may have recursed through retry_deferred
+                    // already; restart the scan.
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Finishes the build. Any still-deferred step indicates a protocol bug
+    /// (a reception whose emission never happened).
+    pub(crate) fn finish(self) -> Execution {
+        assert!(
+            self.deferred.is_empty(),
+            "unmatched steps at shutdown: {:?}",
+            self.deferred
+        );
+        self.exec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camp_trace::{MessageKind, ProcessId, Value};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn info(sender: usize) -> MessageInfo {
+        MessageInfo {
+            sender: p(sender),
+            kind: MessageKind::PointToPoint,
+            content: Value::new(0),
+            label: String::new(),
+        }
+    }
+
+    #[test]
+    fn in_order_events_pass_through() {
+        let mut c = Collector::new(2);
+        let m = MessageId::new(0);
+        c.handle(TraceEvent::Register(m, info(1)));
+        c.handle(TraceEvent::Step(Step::new(
+            p(1),
+            Action::Send { to: p(2), msg: m },
+        )));
+        c.handle(TraceEvent::Step(Step::new(
+            p(2),
+            Action::Receive { from: p(1), msg: m },
+        )));
+        let e = c.finish();
+        assert_eq!(e.len(), 2);
+        camp_specs::channel::check_all(&e).unwrap();
+    }
+
+    #[test]
+    fn racing_receive_is_reordered_after_send() {
+        let mut c = Collector::new(2);
+        let m = MessageId::new(0);
+        // The receive arrives first (cross-thread race), then the
+        // registration and the send.
+        c.handle(TraceEvent::Step(Step::new(
+            p(2),
+            Action::Receive { from: p(1), msg: m },
+        )));
+        c.handle(TraceEvent::Register(m, info(1)));
+        c.handle(TraceEvent::Step(Step::new(
+            p(1),
+            Action::Send { to: p(2), msg: m },
+        )));
+        let e = c.finish();
+        assert_eq!(e.len(), 2);
+        // SR-Validity holds in the repaired linearization.
+        camp_specs::channel::sr_validity(&e).unwrap();
+    }
+
+    #[test]
+    fn racing_deliver_is_reordered_after_broadcast() {
+        let mut c = Collector::new(2);
+        let m = MessageId::new(0);
+        let mut i = info(1);
+        i.kind = MessageKind::Broadcast;
+        c.handle(TraceEvent::Step(Step::new(
+            p(2),
+            Action::Deliver { from: p(1), msg: m },
+        )));
+        c.handle(TraceEvent::Register(m, i));
+        c.handle(TraceEvent::Step(Step::new(
+            p(1),
+            Action::Broadcast { msg: m },
+        )));
+        let e = c.finish();
+        camp_specs::base::bc_validity(&e).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "unmatched steps")]
+    fn orphan_receive_detected_at_finish() {
+        let mut c = Collector::new(2);
+        let m = MessageId::new(0);
+        c.handle(TraceEvent::Register(m, info(1)));
+        c.handle(TraceEvent::Step(Step::new(
+            p(2),
+            Action::Receive { from: p(1), msg: m },
+        )));
+        let _ = c.finish();
+    }
+}

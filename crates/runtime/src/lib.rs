@@ -1,0 +1,39 @@
+//! # camp-runtime
+//!
+//! A threaded message-passing runtime hosting the **same**
+//! [`BroadcastAlgorithm`](camp_sim::BroadcastAlgorithm) automata that run in the `camp-sim` simulator —
+//! on OS threads, with crossbeam channels as the asynchronous reliable
+//! network and a mutex-protected [`KsaOracle`](camp_sim::KsaOracle) as the `[k-SA]` enrichment.
+//!
+//! The runtime exists to answer the "is this a real library?" question: an
+//! algorithm written once against the step-automaton interface runs under
+//! the paper's adversarial scheduler, under the bounded model checker, *and*
+//! as an actual concurrent program. Every run records an
+//! [`camp_trace::Execution`] (a linearization of the observed events, with
+//! per-process order preserved exactly), so the `camp-specs` checkers apply
+//! to real concurrent traces too — the integration tests do differential
+//! checking between simulator and runtime traces.
+//!
+//! # Example
+//!
+//! ```
+//! use camp_broadcast::SendToAll;
+//! use camp_runtime::ThreadedRuntime;
+//! use camp_trace::{ProcessId, Value};
+//!
+//! let mut rt = ThreadedRuntime::start(SendToAll::new(), 3, 1);
+//! rt.broadcast(ProcessId::new(1), Value::new(42)).unwrap();
+//! let deliveries = rt.wait_deliveries(3, std::time::Duration::from_secs(5)).unwrap();
+//! assert_eq!(deliveries.len(), 3); // all three processes deliver m
+//! let trace = rt.shutdown();
+//! camp_specs::base::check_all(&trace).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collector;
+mod node;
+mod runtime;
+
+pub use runtime::{Delivery, RuntimeError, ThreadedRuntime};

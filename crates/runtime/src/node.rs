@@ -1,0 +1,184 @@
+//! The per-process node loop: an event-driven host for one
+//! [`BroadcastAlgorithm`] automaton.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use camp_sim::{AppMessage, BroadcastAlgorithm, BroadcastStep, KsaOracle};
+use camp_trace::{Action, MessageId, MessageInfo, MessageKind, ProcessId, Step, Value};
+use crossbeam::channel::{Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::collector::TraceEvent;
+use crate::runtime::Delivery;
+
+/// A message another node (or the runtime front-end) sends to a node.
+#[derive(Debug)]
+pub(crate) enum NodeMsg<M> {
+    /// The upper layer invokes `B.broadcast(content)`.
+    Invoke(Value),
+    /// The network delivers a low-level message.
+    Net {
+        /// Sender.
+        from: ProcessId,
+        /// Trace identity.
+        id: MessageId,
+        /// Protocol payload.
+        payload: M,
+    },
+    /// Stop the node loop.
+    Shutdown,
+}
+
+/// Everything a node thread needs.
+pub(crate) struct NodeCtx<B: BroadcastAlgorithm> {
+    pub me: ProcessId,
+    pub n: usize,
+    pub algo: B,
+    pub inbox: Receiver<NodeMsg<B::Msg>>,
+    pub peers: Vec<Sender<NodeMsg<B::Msg>>>,
+    pub oracle: Arc<Mutex<KsaOracle>>,
+    pub trace: Sender<TraceEvent>,
+    pub deliveries: Sender<Delivery>,
+    pub msg_ids: Arc<AtomicU64>,
+}
+
+/// Runs the node loop until `Shutdown`.
+///
+/// Each inbox event is injected into the automaton, after which every
+/// available local step is executed: sends become channel messages,
+/// proposals are answered synchronously by the shared oracle (a k-SA object
+/// is atomic; its response latency is the lock hold time), deliveries go to
+/// the application stream, and every step is reported to the trace
+/// collector in program order.
+pub(crate) fn run_node<B: BroadcastAlgorithm>(ctx: NodeCtx<B>) {
+    let NodeCtx {
+        me,
+        n,
+        algo,
+        inbox,
+        peers,
+        oracle,
+        trace,
+        deliveries,
+        msg_ids,
+    } = ctx;
+    let mut st = algo.init(me, n);
+    let mut pending_broadcast: Option<MessageId> = None;
+
+    let pump = |st: &mut B::State, pending_broadcast: &mut Option<MessageId>| {
+        while let Some(step) = algo.next_step(st) {
+            match step {
+                BroadcastStep::Send { to, payload } => {
+                    let id = MessageId::new(msg_ids.fetch_add(1, Ordering::Relaxed));
+                    let _ = trace.send(TraceEvent::Register(
+                        id,
+                        MessageInfo {
+                            sender: me,
+                            kind: MessageKind::PointToPoint,
+                            content: Value::default(),
+                            label: format!("{payload:?}"),
+                        },
+                    ));
+                    let _ = trace.send(TraceEvent::Step(Step::new(
+                        me,
+                        Action::Send { to, msg: id },
+                    )));
+                    let _ = peers[to.index()].send(NodeMsg::Net {
+                        from: me,
+                        id,
+                        payload,
+                    });
+                }
+                BroadcastStep::Propose { obj, value } => {
+                    let _ = trace.send(TraceEvent::Step(Step::new(
+                        me,
+                        Action::Propose { obj, value },
+                    )));
+                    // A k-SA object is atomic: propose + respond under one
+                    // lock acquisition.
+                    let decided = {
+                        let mut o = oracle.lock();
+                        o.propose(obj, me, value).expect("one-shot usage per node");
+                        o.respond(obj, me)
+                            .expect("responding to own fresh proposal")
+                    };
+                    let _ = trace.send(TraceEvent::Step(Step::new(
+                        me,
+                        Action::Decide {
+                            obj,
+                            value: decided,
+                        },
+                    )));
+                    algo.on_decide(st, obj, decided);
+                }
+                BroadcastStep::Deliver { msg } => {
+                    let _ = trace.send(TraceEvent::Step(Step::new(
+                        me,
+                        Action::Deliver {
+                            from: msg.sender,
+                            msg: msg.id,
+                        },
+                    )));
+                    let _ = deliveries.send(Delivery { process: me, msg });
+                }
+                BroadcastStep::ReturnBroadcast => {
+                    let msg = pending_broadcast
+                        .take()
+                        .expect("algorithms return only from pending invocations");
+                    let _ = trace.send(TraceEvent::Step(Step::new(
+                        me,
+                        Action::ReturnBroadcast { msg },
+                    )));
+                }
+                BroadcastStep::Internal { tag } => {
+                    let _ = trace.send(TraceEvent::Step(Step::new(me, Action::Internal { tag })));
+                }
+            }
+        }
+    };
+
+    while let Ok(msg) = inbox.recv() {
+        match msg {
+            NodeMsg::Invoke(content) => {
+                assert!(
+                    pending_broadcast.is_none(),
+                    "well-formedness: broadcast invoked while one is pending at {me}"
+                );
+                let id = MessageId::new(msg_ids.fetch_add(1, Ordering::Relaxed));
+                let _ = trace.send(TraceEvent::Register(
+                    id,
+                    MessageInfo {
+                        sender: me,
+                        kind: MessageKind::Broadcast,
+                        content,
+                        label: String::new(),
+                    },
+                ));
+                let _ = trace.send(TraceEvent::Step(Step::new(
+                    me,
+                    Action::Broadcast { msg: id },
+                )));
+                pending_broadcast = Some(id);
+                algo.on_invoke_broadcast(
+                    &mut st,
+                    AppMessage {
+                        id,
+                        content,
+                        sender: me,
+                    },
+                );
+                pump(&mut st, &mut pending_broadcast);
+            }
+            NodeMsg::Net { from, id, payload } => {
+                let _ = trace.send(TraceEvent::Step(Step::new(
+                    me,
+                    Action::Receive { from, msg: id },
+                )));
+                algo.on_receive(&mut st, from, payload);
+                pump(&mut st, &mut pending_broadcast);
+            }
+            NodeMsg::Shutdown => break,
+        }
+    }
+}

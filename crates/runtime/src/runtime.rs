@@ -1,0 +1,243 @@
+//! The runtime front-end: spawn nodes, feed broadcasts, await deliveries,
+//! collect the trace.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use camp_sim::{AppMessage, BroadcastAlgorithm, KsaOracle, OwnValueRule};
+use camp_trace::{Execution, ProcessId, Value};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+
+use crate::collector::{Collector, TraceEvent};
+use crate::node::{run_node, NodeCtx, NodeMsg};
+
+/// One B-delivery observed at a process — the application-facing event
+/// stream of the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Delivery {
+    /// The delivering process.
+    pub process: ProcessId,
+    /// The delivered message.
+    pub msg: AppMessage,
+}
+
+/// Errors of the runtime front-end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// The targeted process does not exist.
+    UnknownProcess(ProcessId),
+    /// The runtime was already shut down (node channel closed).
+    Disconnected,
+    /// [`ThreadedRuntime::wait_deliveries`] timed out.
+    Timeout {
+        /// Deliveries observed before the deadline.
+        received: usize,
+        /// Deliveries asked for.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::UnknownProcess(p) => write!(f, "{p} does not exist"),
+            RuntimeError::Disconnected => write!(f, "runtime already shut down"),
+            RuntimeError::Timeout { received, expected } => {
+                write!(f, "timed out after {received}/{expected} deliveries")
+            }
+        }
+    }
+}
+
+impl Error for RuntimeError {}
+
+/// A running fleet of `n` node threads executing a broadcast algorithm,
+/// with a shared k-SA oracle, full trace capture, and an application-level
+/// delivery stream.
+#[derive(Debug)]
+pub struct ThreadedRuntime {
+    n: usize,
+    inboxes: Vec<Sender<NodeMsgErased>>,
+    deliveries: Receiver<Delivery>,
+    collected: Vec<Delivery>,
+    handles: Vec<JoinHandle<()>>,
+    collector_handle: JoinHandle<Execution>,
+    trace_tx: Sender<TraceEvent>,
+}
+
+/// Type-erased sender wrapper: the front-end does not know `B::Msg`, so it
+/// only ever sends `Invoke`/`Shutdown`; the erasure forwards those.
+#[derive(Debug)]
+struct NodeMsgErased {
+    invoke: Option<Value>,
+    shutdown: bool,
+}
+
+impl ThreadedRuntime {
+    /// Spawns `n` node threads running `algo` with a shared `k`-SA oracle
+    /// (using the max-disagreement [`OwnValueRule`], which for `k = 1`
+    /// behaves as consensus).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `k == 0`.
+    #[must_use]
+    pub fn start<B>(algo: B, n: usize, k: usize) -> Self
+    where
+        B: BroadcastAlgorithm + Clone + Send + 'static,
+        B::State: Send,
+        B::Msg: Send,
+    {
+        assert!(n > 0, "at least one node required");
+        let oracle = Arc::new(Mutex::new(KsaOracle::new(k, Box::new(OwnValueRule))));
+        let msg_ids = Arc::new(AtomicU64::new(0));
+        let (trace_tx, trace_rx) = unbounded::<TraceEvent>();
+        let (deliv_tx, deliv_rx) = unbounded::<Delivery>();
+
+        // Node channels (typed), plus erased front-end channels.
+        let typed: Vec<(Sender<NodeMsg<B::Msg>>, Receiver<NodeMsg<B::Msg>>)> =
+            (0..n).map(|_| unbounded()).collect();
+        let peers: Vec<Sender<NodeMsg<B::Msg>>> = typed.iter().map(|(tx, _)| tx.clone()).collect();
+
+        let mut inboxes = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for (i, (tx, rx)) in typed.into_iter().enumerate() {
+            let me = ProcessId::new(i + 1);
+            let ctx = NodeCtx {
+                me,
+                n,
+                algo: algo.clone(),
+                inbox: rx,
+                peers: peers.clone(),
+                oracle: Arc::clone(&oracle),
+                trace: trace_tx.clone(),
+                deliveries: deliv_tx.clone(),
+                msg_ids: Arc::clone(&msg_ids),
+            };
+            handles.push(std::thread::spawn(move || run_node(ctx)));
+
+            // Erased bridge: forwards Invoke/Shutdown into the typed inbox.
+            let (etx, erx) = unbounded::<NodeMsgErased>();
+            let typed_tx = tx;
+            std::thread::spawn(move || {
+                while let Ok(m) = erx.recv() {
+                    if m.shutdown {
+                        let _ = typed_tx.send(NodeMsg::Shutdown);
+                        break;
+                    }
+                    if let Some(v) = m.invoke {
+                        let _ = typed_tx.send(NodeMsg::Invoke(v));
+                    }
+                }
+            });
+            inboxes.push(etx);
+        }
+
+        let collector_handle = std::thread::spawn(move || {
+            let mut c = Collector::new(n);
+            while let Ok(event) = trace_rx.recv() {
+                c.handle(event);
+            }
+            c.finish()
+        });
+
+        Self {
+            n,
+            inboxes,
+            deliveries: deliv_rx,
+            collected: Vec::new(),
+            handles,
+            collector_handle,
+            trace_tx,
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Asks `pid` to `B.broadcast(content)`.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::UnknownProcess`] / [`RuntimeError::Disconnected`].
+    pub fn broadcast(&self, pid: ProcessId, content: Value) -> Result<(), RuntimeError> {
+        let inbox = self
+            .inboxes
+            .get(pid.index())
+            .ok_or(RuntimeError::UnknownProcess(pid))?;
+        inbox
+            .send(NodeMsgErased {
+                invoke: Some(content),
+                shutdown: false,
+            })
+            .map_err(|_| RuntimeError::Disconnected)
+    }
+
+    /// Blocks until `count` further deliveries were observed (across all
+    /// processes) or the timeout elapses; returns them.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Timeout`] with the partial count.
+    pub fn wait_deliveries(
+        &mut self,
+        count: usize,
+        timeout: Duration,
+    ) -> Result<Vec<Delivery>, RuntimeError> {
+        let deadline = Instant::now() + timeout;
+        let mut got = Vec::with_capacity(count);
+        while got.len() < count {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match self.deliveries.recv_timeout(remaining) {
+                Ok(d) => {
+                    self.collected.push(d);
+                    got.push(d);
+                }
+                Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
+                    return Err(RuntimeError::Timeout {
+                        received: got.len(),
+                        expected: count,
+                    });
+                }
+            }
+        }
+        Ok(got)
+    }
+
+    /// All deliveries observed so far through [`wait_deliveries`].
+    ///
+    /// [`wait_deliveries`]: Self::wait_deliveries
+    #[must_use]
+    pub fn deliveries_seen(&self) -> &[Delivery] {
+        &self.collected
+    }
+
+    /// Stops every node, joins all threads, and returns the recorded
+    /// execution (a per-process-order-preserving linearization of the run).
+    #[must_use]
+    pub fn shutdown(self) -> Execution {
+        for inbox in &self.inboxes {
+            let _ = inbox.send(NodeMsgErased {
+                invoke: None,
+                shutdown: true,
+            });
+        }
+        for h in self.handles {
+            let _ = h.join();
+        }
+        // Close the trace channel so the collector finishes.
+        drop(self.trace_tx);
+        self.collector_handle
+            .join()
+            .expect("collector thread panicked")
+    }
+}

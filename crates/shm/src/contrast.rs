@@ -1,0 +1,243 @@
+//! The write/collect **immediacy theorem** — the executable reason the
+//! paper's Lemma 10 weapon does not exist in shared memory.
+//!
+//! In `CAMP_n[∅]` the adversarial scheduler builds *N-solo executions*:
+//! every process broadcasts and hears only itself, because the scheduler
+//! withholds all messages (Lemma 10). The shared-memory analogue of
+//! "broadcast then listen" is **write your register, then collect (read
+//! everyone's registers)** — and there the adversary is powerless:
+//!
+//! > In every interleaving, at most **one** process collects a view
+//! > containing only its own write.
+//!
+//! Proof (two solo processes `p`, `q` would be contradictory): `p` not
+//! seeing `q` means `p`'s read of `q`'s register precedes `q`'s write;
+//! `q` not seeing `p` likewise. With each process writing before reading,
+//! `p.write < p.read(q) < q.write < q.read(p) < p.write` — a cycle.
+//!
+//! [`verify_immediacy`] checks this over **every** interleaving at small
+//! scope, and also confirms that the bound is tight (schedules with exactly
+//! one solo process exist — the process that runs first in isolation). The
+//! message-passing side of the contrast is `camp-impossibility`'s Lemma 10
+//! machinery, where *all* `n` processes are simultaneously solo.
+
+use std::ops::ControlFlow;
+
+use camp_trace::{ProcessId, Value};
+
+use crate::explore::for_each_interleaving;
+use crate::model::{ShmAlgorithm, ShmSimulation, ShmStep};
+
+/// The write-then-collect algorithm: one write of the process's identity,
+/// then one read of every register (own included), in identifier order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WriteThenCollect;
+
+impl WriteThenCollect {
+    /// Creates the algorithm.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+/// Per-process state of [`WriteThenCollect`].
+#[derive(Debug, Clone)]
+pub struct WtcState {
+    me: ProcessId,
+    n: usize,
+    wrote: bool,
+    cursor: usize,
+    /// Versions observed per owner (0 = absent).
+    pub observed: Vec<u64>,
+}
+
+impl WtcState {
+    /// The set of processes whose write this process observed.
+    #[must_use]
+    pub fn saw(&self) -> Vec<ProcessId> {
+        self.observed
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v > 0)
+            .map(|(i, _)| ProcessId::new(i + 1))
+            .collect()
+    }
+
+    /// Did this process observe nobody but itself?
+    #[must_use]
+    pub fn is_solo(&self) -> bool {
+        self.saw() == vec![self.me]
+    }
+}
+
+impl ShmAlgorithm for WriteThenCollect {
+    type State = WtcState;
+
+    fn name(&self) -> String {
+        "write-then-collect".into()
+    }
+
+    fn init(&self, pid: ProcessId, n: usize) -> Self::State {
+        WtcState {
+            me: pid,
+            n,
+            wrote: false,
+            cursor: 0,
+            observed: vec![0; n],
+        }
+    }
+
+    fn next_step(&self, st: &mut Self::State) -> Option<ShmStep> {
+        if !st.wrote {
+            st.wrote = true;
+            return Some(ShmStep::Write {
+                value: Value::new(st.me.id() as u64),
+            });
+        }
+        if st.cursor < st.n {
+            let owner = ProcessId::new(st.cursor + 1);
+            st.cursor += 1;
+            return Some(ShmStep::Read { owner });
+        }
+        None
+    }
+
+    fn on_read(&self, st: &mut Self::State, owner: ProcessId, version: u64, _value: Value) {
+        st.observed[owner.index()] = version;
+    }
+}
+
+/// The verdict of [`verify_immediacy`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImmediacyReport {
+    /// Number of processes.
+    pub n: usize,
+    /// Interleavings enumerated (all of them).
+    pub interleavings: usize,
+    /// The largest number of simultaneously-solo processes observed.
+    pub max_solo: usize,
+    /// Whether some interleaving had exactly one solo process (tightness).
+    pub one_solo_exists: bool,
+}
+
+impl ImmediacyReport {
+    /// Does the immediacy theorem hold (`max_solo ≤ 1`)?
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        self.max_solo <= 1
+    }
+}
+
+/// Exhaustively verifies the immediacy theorem for `n` processes: across
+/// **every** interleaving of write-then-collect, at most one process ends
+/// solo. Also reports tightness (a one-solo interleaving exists).
+///
+/// Interleavings number `(n·(n+1))! / (n+1)!^n`; keep `n ≤ 3`.
+///
+/// # Example
+///
+/// ```
+/// use camp_shm::verify_immediacy;
+///
+/// let report = verify_immediacy(2);
+/// assert_eq!(report.interleavings, 20); // all of them
+/// assert!(report.holds());              // at most one solo process, ever
+/// ```
+#[must_use]
+pub fn verify_immediacy(n: usize) -> ImmediacyReport {
+    let algo = WriteThenCollect::new();
+    let mut max_solo = 0usize;
+    let mut one_solo_exists = false;
+
+    // Replay each completed trace per process to recover final states: the
+    // explorer hands us traces, so reconstruct observations from them.
+    let interleavings = for_each_interleaving(&|| ShmSimulation::new(algo, n), &mut |trace| {
+        let mut observed = vec![vec![0u64; n]; n];
+        for e in &trace.events {
+            if let crate::model::ShmEvent::Read {
+                p, owner, version, ..
+            } = e
+            {
+                observed[p.index()][owner.index()] = *version;
+            }
+        }
+        let solo = ProcessId::all(n)
+            .filter(|p| {
+                observed[p.index()]
+                    .iter()
+                    .enumerate()
+                    .all(|(o, &v)| (v > 0) == (o == p.index()))
+            })
+            .count();
+        max_solo = max_solo.max(solo);
+        if solo == 1 {
+            one_solo_exists = true;
+        }
+        ControlFlow::Continue(())
+    });
+    ImmediacyReport {
+        n,
+        interleavings,
+        max_solo,
+        one_solo_exists,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediacy_holds_exhaustively_for_two_processes() {
+        let report = verify_immediacy(2);
+        // 2 processes × 3 steps each: C(6,3) = 20 interleavings.
+        assert_eq!(report.interleavings, 20);
+        assert!(report.holds(), "{report:?}");
+        assert!(report.one_solo_exists, "the bound is tight");
+    }
+
+    #[test]
+    fn immediacy_holds_exhaustively_for_three_processes() {
+        let report = verify_immediacy(3);
+        // 3 processes × 4 steps each: 12!/(4!^3) = 34 650 interleavings.
+        assert_eq!(report.interleavings, 34_650);
+        assert!(report.holds(), "{report:?}");
+        assert!(report.one_solo_exists);
+    }
+
+    #[test]
+    fn solo_state_helpers() {
+        let algo = WriteThenCollect::new();
+        let mut sim = ShmSimulation::new(algo, 2);
+        let p1 = ProcessId::new(1);
+        // p1 runs entirely alone: write, read p1, read p2.
+        while sim.step(p1) {}
+        assert!(sim.state(p1).is_solo());
+        assert_eq!(sim.state(p1).saw(), vec![p1]);
+        // Now p2 runs: it must see p1.
+        let p2 = ProcessId::new(2);
+        while sim.step(p2) {}
+        assert!(!sim.state(p2).is_solo());
+        assert_eq!(sim.state(p2).saw(), vec![p1, p2]);
+    }
+
+    /// The message-passing contrast, in one test: the same
+    /// "communicate-then-listen" pattern over send/receive admits a
+    /// schedule where EVERY process is solo (Lemma 10's shadow) — here via
+    /// the camp-modelcheck schedule space.
+    #[test]
+    fn message_passing_allows_everyone_solo_but_shared_memory_does_not() {
+        use camp_modelcheck::schedules::{is_one_solo_all_own, ScheduleQuery};
+        use camp_specs::SendToAllSpec;
+
+        // Message passing: an all-solo schedule exists.
+        let q = ScheduleQuery::new(2, 1);
+        assert!(
+            q.find(&SendToAllSpec::new(), is_one_solo_all_own).is_some(),
+            "CAMP admits the all-solo execution"
+        );
+        // Shared memory: provably not, over all interleavings.
+        assert_eq!(verify_immediacy(2).max_solo, 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! Exhaustive enumeration of shared-memory interleavings.
+//!
+//! Shared-memory nondeterminism is exactly the interleaving of process
+//! steps, so the whole behaviour space at small scope is the set of
+//! shuffles of the per-process step sequences. The explorer walks it by
+//! DFS, branching on "who steps next" and cloning the simulation at each
+//! branch.
+
+use std::ops::ControlFlow;
+
+use camp_trace::ProcessId;
+
+use crate::model::{ShmAlgorithm, ShmSimulation, ShmTrace};
+
+/// Enumerates every interleaving of `make_sim()`'s processes, invoking `f`
+/// on the trace of each completed run. `f` may stop the enumeration early
+/// with [`ControlFlow::Break`]. Returns the number of completed
+/// interleavings visited (exact when not stopped early).
+///
+/// The count grows as the multinomial of the step counts — keep scopes
+/// small (`n ≤ 3` with a handful of steps each).
+pub fn for_each_interleaving<A>(
+    make_sim: &dyn Fn() -> ShmSimulation<A>,
+    f: &mut dyn FnMut(&ShmTrace) -> ControlFlow<()>,
+) -> usize
+where
+    A: ShmAlgorithm + Clone,
+{
+    fn dfs<A>(
+        sim: ShmSimulation<A>,
+        f: &mut dyn FnMut(&ShmTrace) -> ControlFlow<()>,
+        count: &mut usize,
+    ) -> ControlFlow<()>
+    where
+        A: ShmAlgorithm + Clone,
+    {
+        let enabled: Vec<ProcessId> = ProcessId::all(sim.n())
+            .filter(|p| sim.has_step(*p))
+            .collect();
+        if enabled.is_empty() {
+            *count += 1;
+            return f(sim.trace());
+        }
+        for p in enabled {
+            let mut branch = sim.clone();
+            assert!(branch.step(p), "has_step implies step succeeds");
+            dfs(branch, f, count)?;
+        }
+        ControlFlow::Continue(())
+    }
+
+    let mut count = 0;
+    let _ = dfs(make_sim(), f, &mut count);
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ShmStep;
+    use camp_trace::Value;
+
+    /// Each process performs exactly `steps` writes.
+    #[derive(Debug, Clone, Copy)]
+    struct JustWrites {
+        steps: u64,
+    }
+
+    #[derive(Debug, Clone)]
+    struct JwState {
+        me: ProcessId,
+        left: u64,
+    }
+
+    impl ShmAlgorithm for JustWrites {
+        type State = JwState;
+
+        fn name(&self) -> String {
+            "just-writes".into()
+        }
+
+        fn init(&self, pid: ProcessId, _n: usize) -> Self::State {
+            JwState {
+                me: pid,
+                left: self.steps,
+            }
+        }
+
+        fn next_step(&self, st: &mut Self::State) -> Option<ShmStep> {
+            if st.left == 0 {
+                return None;
+            }
+            st.left -= 1;
+            Some(ShmStep::Write {
+                value: Value::new(st.me.id() as u64),
+            })
+        }
+
+        fn on_read(&self, _st: &mut Self::State, _o: ProcessId, _v: u64, _val: Value) {}
+    }
+
+    #[test]
+    fn interleaving_counts_are_multinomials() {
+        // 2 processes × 2 steps: C(4,2) = 6 interleavings.
+        let count = for_each_interleaving(
+            &|| ShmSimulation::new(JustWrites { steps: 2 }, 2),
+            &mut |_| ControlFlow::Continue(()),
+        );
+        assert_eq!(count, 6);
+        // 3 processes × 1 step: 3! = 6.
+        let count = for_each_interleaving(
+            &|| ShmSimulation::new(JustWrites { steps: 1 }, 3),
+            &mut |_| ControlFlow::Continue(()),
+        );
+        assert_eq!(count, 6);
+        // 3 processes × 2 steps: 6!/(2!2!2!) = 90.
+        let count = for_each_interleaving(
+            &|| ShmSimulation::new(JustWrites { steps: 2 }, 3),
+            &mut |_| ControlFlow::Continue(()),
+        );
+        assert_eq!(count, 90);
+    }
+
+    #[test]
+    fn early_stop_works() {
+        let mut seen = 0;
+        let _ = for_each_interleaving(
+            &|| ShmSimulation::new(JustWrites { steps: 2 }, 2),
+            &mut |_| {
+                seen += 1;
+                ControlFlow::Break(())
+            },
+        );
+        assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn every_interleaving_has_all_writes() {
+        let _ = for_each_interleaving(
+            &|| ShmSimulation::new(JustWrites { steps: 2 }, 2),
+            &mut |trace| {
+                assert_eq!(trace.events.len(), 4);
+                ControlFlow::Continue(())
+            },
+        );
+    }
+}

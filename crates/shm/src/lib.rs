@@ -1,0 +1,48 @@
+//! # camp-shm
+//!
+//! The **shared-memory contrast model** for the paper's central comparison:
+//!
+//! > "In crash-prone asynchronous systems where processes additionally have
+//! > access to a shared memory composed of atomic read/write registers,
+//! > k-BO Broadcast is computationally equivalent to k-set agreement.
+//! > However, this equivalence in shared memory does not inherently
+//! > translate to message-passing systems." (paper §1.3)
+//!
+//! This crate builds the shared-memory side far enough to make the *reason*
+//! for the divergence executable. The paper's Lemma 10 hinges on **N-solo
+//! executions**: in message passing, the scheduler can withhold every
+//! message, so each process runs as if alone. In shared memory that weapon
+//! does not exist — a write cannot be withheld from a later read. The
+//! crisp, classical form of this is the **write/collect immediacy theorem**
+//! ([`contrast::verify_immediacy`]): if every process first writes to its
+//! own register and then collects (reads everyone's registers, in any
+//! order, not even atomically), then *in every interleaving* at most one
+//! process sees only itself — two processes can never both be "solo".
+//!
+//! Contents:
+//!
+//! * [`model`] — SWMR atomic registers, step-automaton processes
+//!   ([`ShmAlgorithm`]), the interleaving scheduler, and a recorded
+//!   [`ShmTrace`];
+//! * [`explore`] — exhaustive enumeration of *all* interleavings at small
+//!   scope;
+//! * [`contrast`] — the write-then-collect algorithm, the immediacy
+//!   theorem verified over every interleaving, and its quantitative form
+//!   (the "see only self" count is ≤ 1 in shared memory, versus `n` in the
+//!   message-passing model — exactly Lemma 10's N-solo executions);
+//! * [`snapshot`] — the classical double-collect scan with sequence
+//!   numbers, plus an atomicity checker validating every returned scan
+//!   against the register history.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod contrast;
+pub mod explore;
+pub mod model;
+pub mod snapshot;
+
+pub use contrast::{verify_immediacy, ImmediacyReport, WriteThenCollect};
+pub use explore::for_each_interleaving;
+pub use model::{ShmAlgorithm, ShmEvent, ShmSimulation, ShmStep, ShmTrace};
+pub use snapshot::{check_scan_atomicity, DoubleCollectScanner};

@@ -1,0 +1,377 @@
+//! The shared-memory model: single-writer multi-reader atomic registers and
+//! step-automaton processes.
+//!
+//! Asynchrony in shared memory is *step interleaving* and nothing else:
+//! there are no messages to delay, so the scheduler's only choice is which
+//! process executes its next operation. Every register operation is atomic
+//! (it takes effect entirely at its step), and — this is the heart of the
+//! contrast with `CAMP_n[∅]` — a completed write is visible to **every**
+//! later read: the environment has no way to withhold it.
+
+use std::fmt;
+
+use camp_trace::{ProcessId, Value};
+
+/// One operation a shared-memory process may take.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShmStep {
+    /// Write `value` to the process's own SWMR register. The model assigns
+    /// a fresh per-register version number to each write.
+    Write {
+        /// The value written.
+        value: Value,
+    },
+    /// Read `owner`'s register; the result arrives via
+    /// [`ShmAlgorithm::on_read`] before the next step.
+    Read {
+        /// Whose register to read.
+        owner: ProcessId,
+    },
+    /// Marks the start of a scan operation (bracketing for the atomicity
+    /// checker; no memory effect).
+    ScanStart,
+    /// Marks the end of a scan, reporting the view the scan returns: one
+    /// `(owner, version, value)` triple per process.
+    ScanEnd {
+        /// The returned view, indexed by `ProcessId::index()`.
+        view: Vec<(u64, Value)>,
+    },
+}
+
+/// A deterministic shared-memory step automaton.
+///
+/// Mirrors [`camp_sim::BroadcastAlgorithm`]'s philosophy: the process owns
+/// no nondeterminism; the scheduler decides who steps next, and a blocked /
+/// finished process returns `None`.
+///
+/// [`camp_sim::BroadcastAlgorithm`]: https://docs.rs/camp-sim
+pub trait ShmAlgorithm {
+    /// Per-process state.
+    type State: Clone + fmt::Debug;
+
+    /// Display name.
+    fn name(&self) -> String;
+
+    /// Initial state of `pid` among `n` processes.
+    fn init(&self, pid: ProcessId, n: usize) -> Self::State;
+
+    /// The next operation, or `None` when finished.
+    fn next_step(&self, st: &mut Self::State) -> Option<ShmStep>;
+
+    /// Result of the previous [`ShmStep::Read`]: `owner`'s register held
+    /// `value` at version `version` (0 = never written).
+    fn on_read(&self, st: &mut Self::State, owner: ProcessId, version: u64, value: Value);
+}
+
+/// One recorded event of a shared-memory execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShmEvent {
+    /// `p` wrote `value`, advancing its register to `version`.
+    Write {
+        /// The writer.
+        p: ProcessId,
+        /// The fresh version.
+        version: u64,
+        /// The written value.
+        value: Value,
+    },
+    /// `p` read `owner`'s register, observing `(version, value)`.
+    Read {
+        /// The reader.
+        p: ProcessId,
+        /// The register owner.
+        owner: ProcessId,
+        /// Observed version.
+        version: u64,
+        /// Observed value.
+        value: Value,
+    },
+    /// `p` started a scan.
+    ScanStart {
+        /// The scanner.
+        p: ProcessId,
+    },
+    /// `p` finished a scan returning `view`.
+    ScanEnd {
+        /// The scanner.
+        p: ProcessId,
+        /// The returned view, indexed by `ProcessId::index()`.
+        view: Vec<(u64, Value)>,
+    },
+}
+
+/// A recorded shared-memory execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShmTrace {
+    /// Number of processes.
+    pub n: usize,
+    /// The events, in global (linearization) order.
+    pub events: Vec<ShmEvent>,
+}
+
+impl ShmTrace {
+    /// The sequence of memory states (version vectors with values), one
+    /// entry per prefix of writes: `states()[w]` is memory after `w`
+    /// writes. Version vectors are strictly increasing, so states never
+    /// repeat — each view corresponds to at most one instant.
+    #[must_use]
+    pub fn states(&self) -> Vec<Vec<(u64, Value)>> {
+        let mut mem = vec![(0u64, Value::default()); self.n];
+        let mut out = vec![mem.clone()];
+        for e in &self.events {
+            if let ShmEvent::Write { p, version, value } = e {
+                mem[p.index()] = (*version, *value);
+                out.push(mem.clone());
+            }
+        }
+        out
+    }
+}
+
+/// A running shared-memory simulation.
+#[derive(Debug)]
+pub struct ShmSimulation<A: ShmAlgorithm> {
+    algo: A,
+    n: usize,
+    states: Vec<A::State>,
+    regs: Vec<(u64, Value)>,
+    trace: ShmTrace,
+}
+
+impl<A: ShmAlgorithm + Clone> Clone for ShmSimulation<A> {
+    fn clone(&self) -> Self {
+        Self {
+            algo: self.algo.clone(),
+            n: self.n,
+            states: self.states.clone(),
+            regs: self.regs.clone(),
+            trace: self.trace.clone(),
+        }
+    }
+}
+
+impl<A: ShmAlgorithm> ShmSimulation<A> {
+    /// Creates a simulation of `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(algo: A, n: usize) -> Self {
+        assert!(n > 0, "at least one process required");
+        let states = ProcessId::all(n).map(|p| algo.init(p, n)).collect();
+        Self {
+            algo,
+            n,
+            states,
+            regs: vec![(0, Value::default()); n],
+            trace: ShmTrace {
+                n,
+                events: Vec::new(),
+            },
+        }
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The recorded trace so far.
+    #[must_use]
+    pub fn trace(&self) -> &ShmTrace {
+        &self.trace
+    }
+
+    /// Consumes the simulation, returning the trace.
+    #[must_use]
+    pub fn into_trace(self) -> ShmTrace {
+        self.trace
+    }
+
+    /// Read access to a process state (assertions in tests).
+    #[must_use]
+    pub fn state(&self, p: ProcessId) -> &A::State {
+        &self.states[p.index()]
+    }
+
+    /// Does `p` have a step available? (Polls a clone; observable state is
+    /// untouched.)
+    #[must_use]
+    pub fn has_step(&self, p: ProcessId) -> bool {
+        let mut probe = self.states[p.index()].clone();
+        self.algo.next_step(&mut probe).is_some()
+    }
+
+    /// Executes `p`'s next step, if any. Returns whether a step ran.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the algorithm writes to another process's register (the
+    /// `ShmStep::Write` form only targets the process's own register by
+    /// construction) or reads an out-of-range owner.
+    pub fn step(&mut self, p: ProcessId) -> bool {
+        let Some(op) = self.algo.next_step(&mut self.states[p.index()]) else {
+            return false;
+        };
+        match op {
+            ShmStep::Write { value } => {
+                let version = self.regs[p.index()].0 + 1;
+                self.regs[p.index()] = (version, value);
+                self.trace
+                    .events
+                    .push(ShmEvent::Write { p, version, value });
+            }
+            ShmStep::Read { owner } => {
+                assert!(owner.id() <= self.n, "read of unknown register {owner}");
+                let (version, value) = self.regs[owner.index()];
+                self.trace.events.push(ShmEvent::Read {
+                    p,
+                    owner,
+                    version,
+                    value,
+                });
+                self.algo
+                    .on_read(&mut self.states[p.index()], owner, version, value);
+            }
+            ShmStep::ScanStart => {
+                self.trace.events.push(ShmEvent::ScanStart { p });
+            }
+            ShmStep::ScanEnd { view } => {
+                self.trace.events.push(ShmEvent::ScanEnd { p, view });
+            }
+        }
+        true
+    }
+
+    /// Runs every process round-robin to completion.
+    pub fn run_round_robin(&mut self) {
+        loop {
+            let mut progressed = false;
+            for p in ProcessId::all(self.n) {
+                if self.step(p) {
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                return;
+            }
+        }
+    }
+
+    /// Are all processes finished?
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        ProcessId::all(self.n).all(|p| !self.has_step(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Writes `rounds` values, then reads every register once.
+    #[derive(Debug, Clone, Copy)]
+    struct WriterReader {
+        rounds: u64,
+    }
+
+    #[derive(Debug, Clone)]
+    struct WrState {
+        me: ProcessId,
+        n: usize,
+        written: u64,
+        rounds: u64,
+        read_cursor: usize,
+        observed: Vec<(u64, Value)>,
+    }
+
+    impl ShmAlgorithm for WriterReader {
+        type State = WrState;
+
+        fn name(&self) -> String {
+            "writer-reader".into()
+        }
+
+        fn init(&self, pid: ProcessId, n: usize) -> Self::State {
+            WrState {
+                me: pid,
+                n,
+                written: 0,
+                rounds: self.rounds,
+                read_cursor: 0,
+                observed: vec![(0, Value::default()); n],
+            }
+        }
+
+        fn next_step(&self, st: &mut Self::State) -> Option<ShmStep> {
+            if st.written < st.rounds {
+                st.written += 1;
+                return Some(ShmStep::Write {
+                    value: Value::new(st.me.id() as u64 * 100 + st.written),
+                });
+            }
+            if st.read_cursor < st.n {
+                let owner = ProcessId::new(st.read_cursor + 1);
+                st.read_cursor += 1;
+                return Some(ShmStep::Read { owner });
+            }
+            None
+        }
+
+        fn on_read(&self, st: &mut Self::State, owner: ProcessId, version: u64, value: Value) {
+            st.observed[owner.index()] = (version, value);
+        }
+    }
+
+    #[test]
+    fn writes_bump_versions_monotonically() {
+        let mut sim = ShmSimulation::new(WriterReader { rounds: 3 }, 2);
+        sim.run_round_robin();
+        assert!(sim.is_done());
+        let states = sim.trace().states();
+        assert_eq!(states.len(), 7); // initial + 6 writes
+        for w in states.windows(2) {
+            assert!(w[0] != w[1], "states never repeat");
+        }
+    }
+
+    #[test]
+    fn round_robin_readers_see_final_versions() {
+        let mut sim = ShmSimulation::new(WriterReader { rounds: 2 }, 3);
+        sim.run_round_robin();
+        for p in ProcessId::all(3) {
+            let st = sim.state(p);
+            for (owner_idx, &(version, _)) in st.observed.iter().enumerate() {
+                assert_eq!(version, 2, "{p} sees both writes of p{}", owner_idx + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn a_completed_write_is_visible_to_every_later_read() {
+        // The anti-withholding property the message-passing model lacks.
+        let mut sim = ShmSimulation::new(WriterReader { rounds: 1 }, 2);
+        let (p1, p2) = (ProcessId::new(1), ProcessId::new(2));
+        assert!(sim.step(p1)); // p1 writes
+                               // p2 writes, then reads p1: MUST see version 1.
+        assert!(sim.step(p2));
+        assert!(sim.step(p2)); // read p1
+        assert_eq!(sim.state(p2).observed[0].0, 1);
+    }
+
+    #[test]
+    fn has_step_does_not_consume() {
+        let sim = ShmSimulation::new(WriterReader { rounds: 1 }, 1);
+        assert!(sim.has_step(ProcessId::new(1)));
+        assert!(sim.has_step(ProcessId::new(1)));
+        assert_eq!(sim.trace().events.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn zero_processes_rejected() {
+        let _ = ShmSimulation::new(WriterReader { rounds: 1 }, 0);
+    }
+}

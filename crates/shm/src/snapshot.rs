@@ -1,0 +1,349 @@
+//! Atomic scans from registers: the classical double-collect algorithm,
+//! with a checker that validates every returned scan against the register
+//! history — and a deliberately broken single-collect scanner the checker
+//! (driven by the exhaustive explorer) catches.
+
+use std::error::Error;
+use std::fmt;
+
+use camp_trace::{ProcessId, Value};
+
+use crate::model::{ShmAlgorithm, ShmEvent, ShmStep, ShmTrace};
+
+/// A scanner process: performs `writes` writes to its own register, then
+/// one scan of the whole memory.
+///
+/// * `naive = false`: **double collect** — read all registers repeatedly
+///   until two consecutive collects see identical version vectors; a stable
+///   double collect is atomic (no write intervened between the two
+///   collects, so the view equals memory at every instant in between).
+///   Terminates whenever the total number of writes is finite, as in every
+///   bounded workload here.
+/// * `naive = true`: **single collect** — one sequential pass over the
+///   registers. Not atomic: writes interleaved with the pass can yield a
+///   view that equals *no* instantaneous memory state (the classic
+///   new-old inversion), which [`check_scan_atomicity`] detects.
+#[derive(Debug, Clone, Copy)]
+pub struct DoubleCollectScanner {
+    /// Writes performed before scanning.
+    pub writes: u64,
+    /// Use the broken single-collect variant.
+    pub naive: bool,
+    /// If `true`, only `p1` scans and the other processes only write —
+    /// the asymmetric scope where single-collect inversions live (a
+    /// process scanning after finishing its own writes can never misread
+    /// its *own* register, so with everyone scanning the bug hides).
+    pub only_first_scans: bool,
+}
+
+impl DoubleCollectScanner {
+    /// The correct double-collect scanner (every process writes then scans).
+    #[must_use]
+    pub fn new(writes: u64) -> Self {
+        Self {
+            writes,
+            naive: false,
+            only_first_scans: false,
+        }
+    }
+
+    /// The broken single-collect scanner.
+    #[must_use]
+    pub fn naive(writes: u64) -> Self {
+        Self {
+            writes,
+            naive: true,
+            only_first_scans: false,
+        }
+    }
+
+    /// Restricts scanning to `p1`; everyone else only writes.
+    #[must_use]
+    pub fn with_single_scanner(mut self) -> Self {
+        self.only_first_scans = true;
+        self
+    }
+}
+
+/// Phases of the scanner state machine.
+#[derive(Debug, Clone)]
+enum Phase {
+    Writing {
+        left: u64,
+    },
+    StartScan,
+    Collect {
+        cursor: usize,
+        current: Vec<(u64, Value)>,
+        prev: Option<Vec<(u64, Value)>>,
+    },
+    Done,
+}
+
+/// Per-process state of [`DoubleCollectScanner`].
+#[derive(Debug, Clone)]
+pub struct ScannerState {
+    me: ProcessId,
+    n: usize,
+    naive: bool,
+    scans: bool,
+    phase: Phase,
+}
+
+impl ShmAlgorithm for DoubleCollectScanner {
+    type State = ScannerState;
+
+    fn name(&self) -> String {
+        if self.naive {
+            "naive-collect".into()
+        } else {
+            "double-collect".into()
+        }
+    }
+
+    fn init(&self, pid: ProcessId, n: usize) -> Self::State {
+        let scans = !self.only_first_scans || pid.id() == 1;
+        let writes = if self.only_first_scans && pid.id() == 1 {
+            0
+        } else {
+            self.writes
+        };
+        ScannerState {
+            me: pid,
+            n,
+            naive: self.naive,
+            scans,
+            phase: Phase::Writing { left: writes },
+        }
+    }
+
+    fn next_step(&self, st: &mut Self::State) -> Option<ShmStep> {
+        match &mut st.phase {
+            Phase::Writing { left } => {
+                if *left > 0 {
+                    *left -= 1;
+                    let v = Value::new(st.me.id() as u64 * 1000 + *left);
+                    Some(ShmStep::Write { value: v })
+                } else if st.scans {
+                    st.phase = Phase::StartScan;
+                    self.next_step(st)
+                } else {
+                    st.phase = Phase::Done;
+                    None
+                }
+            }
+            Phase::StartScan => {
+                st.phase = Phase::Collect {
+                    cursor: 0,
+                    current: vec![(0, Value::default()); st.n],
+                    prev: None,
+                };
+                Some(ShmStep::ScanStart)
+            }
+            Phase::Collect {
+                cursor,
+                current,
+                prev,
+            } => {
+                if *cursor < st.n {
+                    let owner = ProcessId::new(*cursor + 1);
+                    return Some(ShmStep::Read { owner });
+                }
+                // A full collect is complete.
+                let view = current.clone();
+                let stable = st.naive
+                    || prev
+                        .as_ref()
+                        .is_some_and(|p| p.iter().map(|(v, _)| v).eq(view.iter().map(|(v, _)| v)));
+                if stable {
+                    st.phase = Phase::Done;
+                    Some(ShmStep::ScanEnd { view })
+                } else {
+                    *prev = Some(view);
+                    *cursor = 0;
+                    let owner = ProcessId::new(1);
+                    let _ = owner;
+                    self.next_step(st)
+                }
+            }
+            Phase::Done => None,
+        }
+    }
+
+    fn on_read(&self, st: &mut Self::State, owner: ProcessId, version: u64, value: Value) {
+        if let Phase::Collect {
+            cursor, current, ..
+        } = &mut st.phase
+        {
+            current[owner.index()] = (version, value);
+            *cursor += 1;
+        }
+    }
+}
+
+/// A scan that cannot be linearized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanAtomicityError {
+    /// The offending scanner.
+    pub scanner: ProcessId,
+    /// Why the scan cannot be placed.
+    pub reason: String,
+}
+
+impl fmt::Display for ScanAtomicityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scan by {} is not atomic: {}", self.scanner, self.reason)
+    }
+}
+
+impl Error for ScanAtomicityError {}
+
+/// Validates every scan in `trace` against the register history:
+///
+/// 1. each returned view must equal the memory state after some prefix of
+///    writes, with that prefix falling inside the scan's `[start, end]`
+///    window (version vectors never repeat, so the instant is unique);
+/// 2. scans must linearize in real-time order: if one scan returns before
+///    another starts, its instant must not be later.
+///
+/// # Errors
+///
+/// A [`ScanAtomicityError`] naming the scan that cannot be placed.
+pub fn check_scan_atomicity(trace: &ShmTrace) -> Result<(), ScanAtomicityError> {
+    let states = trace.states();
+    // (scanner, start-write-count, end-write-count, view)
+    let mut scans: Vec<(ProcessId, usize, usize, &Vec<(u64, Value)>)> = Vec::new();
+    let mut open: Vec<(ProcessId, usize)> = Vec::new();
+    let mut writes_so_far = 0usize;
+    for e in &trace.events {
+        match e {
+            ShmEvent::Write { .. } => writes_so_far += 1,
+            ShmEvent::ScanStart { p } => open.push((*p, writes_so_far)),
+            ShmEvent::ScanEnd { p, view } => {
+                let idx = open
+                    .iter()
+                    .position(|(q, _)| q == p)
+                    .expect("ScanEnd without ScanStart");
+                let (_, start) = open.remove(idx);
+                scans.push((*p, start, writes_so_far, view));
+            }
+            ShmEvent::Read { .. } => {}
+        }
+    }
+    // Place each scan (scans are recorded in end order, so real-time order
+    // across non-overlapping scans is their order here filtered by
+    // end ≤ start comparisons).
+    let mut placements: Vec<(ProcessId, usize, usize, usize)> = Vec::new(); // (p, start, end, instant)
+    for (p, start, end, view) in scans {
+        let instant = (start..=end).find(|&w| &states[w] == view);
+        let Some(instant) = instant else {
+            return Err(ScanAtomicityError {
+                scanner: p,
+                reason: format!(
+                    "the returned view {view:?} equals no memory state within its \
+                     [{start}, {end}] write window"
+                ),
+            });
+        };
+        for &(q, q_start, q_end, q_instant) in &placements {
+            // q returned before p started ⇒ q's instant ≤ p's instant.
+            if q_end <= start && q_instant > instant {
+                return Err(ScanAtomicityError {
+                    scanner: p,
+                    reason: format!(
+                        "real-time order violated: {q}'s earlier scan linearized at write \
+                         {q_instant} (window [{q_start}, {q_end}]), after this scan's \
+                         instant {instant}"
+                    ),
+                });
+            }
+        }
+        placements.push((p, start, end, instant));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::for_each_interleaving;
+    use crate::model::ShmSimulation;
+    use std::ops::ControlFlow;
+
+    #[test]
+    fn double_collect_is_atomic_on_round_robin() {
+        let mut sim = ShmSimulation::new(DoubleCollectScanner::new(2), 3);
+        sim.run_round_robin();
+        check_scan_atomicity(sim.trace()).unwrap();
+    }
+
+    #[test]
+    fn double_collect_is_atomic_on_every_interleaving() {
+        // 2 processes, 1 write + scan each: exhaustive.
+        let mut checked = 0;
+        let count = for_each_interleaving(
+            &|| ShmSimulation::new(DoubleCollectScanner::new(1), 2),
+            &mut |trace| {
+                check_scan_atomicity(trace).unwrap();
+                checked += 1;
+                ControlFlow::Continue(())
+            },
+        );
+        assert_eq!(count, checked);
+        assert!(
+            count > 100,
+            "interleaving space should be non-trivial, got {count}"
+        );
+    }
+
+    #[test]
+    fn naive_collect_violates_atomicity_somewhere() {
+        // The exhaustive search finds the classical new-old inversion: p1
+        // single-collects while p2 and p3 write. (Note the asymmetric
+        // scope: a scanner that has finished its own writes can never
+        // misread its own register, so the symmetric everyone-scans
+        // workload hides the bug.)
+        let mut violation = None;
+        let _ = for_each_interleaving(
+            &|| ShmSimulation::new(DoubleCollectScanner::naive(1).with_single_scanner(), 3),
+            &mut |trace| {
+                if let Err(e) = check_scan_atomicity(trace) {
+                    violation = Some(e);
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            },
+        );
+        let e = violation.expect("the single collect must be non-atomic somewhere");
+        assert!(e.to_string().contains("no memory state"), "{e}");
+    }
+
+    #[test]
+    fn double_collect_survives_the_same_asymmetric_scope() {
+        let count = for_each_interleaving(
+            &|| ShmSimulation::new(DoubleCollectScanner::new(1).with_single_scanner(), 3),
+            &mut |trace| {
+                check_scan_atomicity(trace).unwrap();
+                ControlFlow::Continue(())
+            },
+        );
+        assert!(count > 40, "got {count}");
+    }
+
+    #[test]
+    fn scanner_terminates_under_contention_with_finite_writes() {
+        // Writers finish eventually, so the double collect stabilizes.
+        let mut sim = ShmSimulation::new(DoubleCollectScanner::new(5), 4);
+        sim.run_round_robin();
+        assert!(sim.is_done());
+        let scan_ends = sim
+            .trace()
+            .events
+            .iter()
+            .filter(|e| matches!(e, ShmEvent::ScanEnd { .. }))
+            .count();
+        assert_eq!(scan_ends, 4, "every process completes its scan");
+        check_scan_atomicity(sim.trace()).unwrap();
+    }
+}

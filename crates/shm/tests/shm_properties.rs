@@ -1,0 +1,94 @@
+//! Property-based tests of the shared-memory model: visibility monotonicity
+//! (the anti-withholding law), version coherence, and scan atomicity under
+//! random interleavings.
+
+use camp_shm::{check_scan_atomicity, DoubleCollectScanner, ShmSimulation};
+use camp_trace::ProcessId;
+use proptest::prelude::*;
+
+/// Drives a simulation by a random-but-deterministic interleaving derived
+/// from `choices`.
+fn run_with_choices(
+    mut sim: ShmSimulation<DoubleCollectScanner>,
+    choices: &[usize],
+) -> ShmSimulation<DoubleCollectScanner> {
+    let n = sim.n();
+    for &c in choices {
+        let enabled: Vec<ProcessId> = ProcessId::all(n).filter(|p| sim.has_step(*p)).collect();
+        if enabled.is_empty() {
+            break;
+        }
+        sim.step(enabled[c % enabled.len()]);
+    }
+    // Drain to completion.
+    sim.run_round_robin();
+    sim
+}
+
+proptest! {
+    /// Versions per register are strictly increasing along the trace, and
+    /// every read observes a version no newer than the writes so far.
+    #[test]
+    fn versions_are_monotone_and_reads_are_current(
+        n in 2usize..=4,
+        writes in 1u64..=3,
+        choices in proptest::collection::vec(0usize..8, 0..60),
+    ) {
+        let sim = run_with_choices(
+            ShmSimulation::new(DoubleCollectScanner::new(writes), n),
+            &choices,
+        );
+        let trace = sim.trace();
+        let mut current = vec![0u64; n];
+        for e in &trace.events {
+            match e {
+                camp_shm::ShmEvent::Write { p, version, .. } => {
+                    prop_assert_eq!(*version, current[p.index()] + 1, "strictly increasing");
+                    current[p.index()] = *version;
+                }
+                camp_shm::ShmEvent::Read { owner, version, .. } => {
+                    // Atomic registers: a read returns exactly the current
+                    // value — never stale, never from the future.
+                    prop_assert_eq!(*version, current[owner.index()]);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// The double-collect scan is atomic under every random interleaving.
+    #[test]
+    fn double_collect_atomic_under_random_interleavings(
+        n in 2usize..=4,
+        writes in 1u64..=3,
+        choices in proptest::collection::vec(0usize..8, 0..80),
+    ) {
+        let sim = run_with_choices(
+            ShmSimulation::new(DoubleCollectScanner::new(writes), n),
+            &choices,
+        );
+        check_scan_atomicity(sim.trace()).unwrap();
+    }
+
+    /// Completion: every process finishes (writes done, scan returned)
+    /// regardless of the interleaving prefix.
+    #[test]
+    fn every_interleaving_completes(
+        n in 2usize..=4,
+        writes in 1u64..=3,
+        choices in proptest::collection::vec(0usize..8, 0..40),
+    ) {
+        let sim = run_with_choices(
+            ShmSimulation::new(DoubleCollectScanner::new(writes), n),
+            &choices,
+        );
+        prop_assert!(sim.is_done());
+        let scan_ends = sim
+            .trace()
+            .events
+            .iter()
+            .filter(|e| matches!(e, camp_shm::ShmEvent::ScanEnd { .. }))
+            .count();
+        prop_assert_eq!(scan_ends, n);
+    }
+}

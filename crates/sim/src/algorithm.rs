@@ -1,0 +1,237 @@
+//! The two algorithm roles of the paper's reduction, as deterministic step
+//! automata.
+
+use std::fmt;
+
+use camp_trace::{KsaId, MessageId, ProcessId, Value};
+
+/// A broadcast-level message as seen by algorithms: the unique identity, the
+/// application content, and the B-broadcaster.
+///
+/// `AppMessage` corresponds to the paper's `m` in `B.broadcast(m)`: unique as
+/// a message, carrying a content that distinct messages may share.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AppMessage {
+    /// Unique message identity.
+    pub id: MessageId,
+    /// Application content.
+    pub content: Value,
+    /// The process that B-broadcast the message.
+    pub sender: ProcessId,
+}
+
+/// A local step an implementation of a broadcast abstraction (`ℬ`) may take.
+///
+/// `M` is the algorithm's low-level wire-message (payload) type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BroadcastStep<M> {
+    /// `send payload to to` on the point-to-point network.
+    Send {
+        /// Destination (may be the sender itself).
+        to: ProcessId,
+        /// Protocol payload.
+        payload: M,
+    },
+    /// `obj.propose(value)` on a k-SA object of the `[k-SA]` enrichment.
+    /// The process then blocks until the environment responds with a
+    /// decision (the simulator enforces this).
+    Propose {
+        /// The k-SA object.
+        obj: KsaId,
+        /// The proposed value.
+        value: Value,
+    },
+    /// Trigger the local event `B.deliver msg.id from msg.sender`.
+    Deliver {
+        /// The broadcast-level message delivered.
+        msg: AppMessage,
+    },
+    /// Return from the pending `B.broadcast` invocation.
+    ReturnBroadcast,
+    /// An opaque local computation.
+    Internal {
+        /// Free-form tag recorded in the trace.
+        tag: u64,
+    },
+}
+
+/// An algorithm implementing a broadcast abstraction `B` in `CAMP_n[k-SA]` —
+/// the `ℬ` role of the paper's Theorem 1.
+///
+/// The algorithm is a **deterministic automaton** driven by the environment:
+///
+/// * input events are injected via [`on_invoke_broadcast`], [`on_receive`]
+///   and [`on_decide`];
+/// * output steps are pulled one at a time via [`next_step`]; the simulator
+///   executes each returned step (and records it in the trace) before asking
+///   for the next one.
+///
+/// Determinism is essential: the paper's Algorithm 1 replays "`p_i`'s next
+/// local step in `C(α)` according to `ℬ`", which only makes sense if the
+/// next step is a function of the local state.
+///
+/// # Contract
+///
+/// * [`next_step`] must not mutate observable behaviour when it returns
+///   `None` (a blocked process stays blocked until an input event arrives);
+/// * after a [`BroadcastStep::Propose`] the automaton must return `None`
+///   until [`on_decide`] is called for that object (the propose operation is
+///   blocking);
+/// * every `B.broadcast(m)` invocation must eventually be answered by a
+///   [`BroadcastStep::ReturnBroadcast`] when the process keeps being
+///   scheduled and its sends are received (BC-Local-Termination);
+/// * the automaton must deliver each message at most once per process.
+///
+/// [`next_step`]: BroadcastAlgorithm::next_step
+/// [`on_invoke_broadcast`]: BroadcastAlgorithm::on_invoke_broadcast
+/// [`on_receive`]: BroadcastAlgorithm::on_receive
+/// [`on_decide`]: BroadcastAlgorithm::on_decide
+pub trait BroadcastAlgorithm {
+    /// Per-process local state.
+    type State: Clone + fmt::Debug;
+    /// Low-level wire-message payload.
+    type Msg: Clone + fmt::Debug;
+
+    /// Display name of the algorithm (used in experiment tables).
+    fn name(&self) -> String;
+
+    /// Initial state of process `pid` in a system of `n` processes.
+    fn init(&self, pid: ProcessId, n: usize) -> Self::State;
+
+    /// The upper layer invokes `B.broadcast(msg)`.
+    fn on_invoke_broadcast(&self, st: &mut Self::State, msg: AppMessage);
+
+    /// The network delivers a low-level message from `from`.
+    fn on_receive(&self, st: &mut Self::State, from: ProcessId, payload: Self::Msg);
+
+    /// A k-SA object responds to this process's pending proposal.
+    fn on_decide(&self, st: &mut Self::State, obj: KsaId, value: Value);
+
+    /// The next local step the process takes, or `None` if it is blocked
+    /// waiting for an input event. Taking the step consumes it.
+    fn next_step(&self, st: &mut Self::State) -> Option<BroadcastStep<Self::Msg>>;
+}
+
+/// A local step an algorithm solving k-set agreement (`𝒜` role) may take.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AgreementStep {
+    /// Invoke `B.broadcast` with the given content on the underlying
+    /// broadcast abstraction.
+    Broadcast {
+        /// Content of the broadcast message.
+        content: Value,
+    },
+    /// Decide the given value (the response of the k-SA operation the
+    /// algorithm implements). At most one decision per run.
+    Decide {
+        /// The decided value.
+        value: Value,
+    },
+    /// An opaque local computation.
+    Internal {
+        /// Free-form tag recorded in the trace.
+        tag: u64,
+    },
+}
+
+/// An algorithm solving k-set agreement in `CAMP_n[B]` — the `𝒜` role of the
+/// paper's Theorem 1.
+///
+/// Lemma 9 first transforms any such algorithm into `𝒜'`, which uses **only**
+/// the broadcast abstraction (send/receive are emulated through `B`); the
+/// trait hard-codes that normal form: the only communication primitive
+/// available is `Broadcast`, the only input event a delivery.
+pub trait AgreementAlgorithm {
+    /// Per-process local state.
+    type State: Clone + fmt::Debug;
+
+    /// Display name of the algorithm.
+    fn name(&self) -> String;
+
+    /// Initial state of process `pid` among `n`, proposing `proposal`.
+    fn init(&self, pid: ProcessId, n: usize, proposal: Value) -> Self::State;
+
+    /// The broadcast abstraction B-delivers a message.
+    fn on_deliver(&self, st: &mut Self::State, msg: AppMessage);
+
+    /// The next local step, or `None` if blocked waiting for deliveries.
+    fn next_step(&self, st: &mut Self::State) -> Option<AgreementStep>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial ℬ used to exercise the trait object plumbing: broadcast =
+    /// deliver locally, then return. (No communication at all — satisfies
+    /// the base properties only when n = 1.)
+    #[derive(Debug, Clone, Copy)]
+    struct LoopbackBroadcast;
+
+    #[derive(Debug, Clone, Default)]
+    struct LoopbackState {
+        queue: Vec<BroadcastStep<()>>,
+    }
+
+    impl BroadcastAlgorithm for LoopbackBroadcast {
+        type State = LoopbackState;
+        type Msg = ();
+
+        fn name(&self) -> String {
+            "loopback".into()
+        }
+
+        fn init(&self, _pid: ProcessId, _n: usize) -> Self::State {
+            LoopbackState::default()
+        }
+
+        fn on_invoke_broadcast(&self, st: &mut Self::State, msg: AppMessage) {
+            st.queue.push(BroadcastStep::Deliver { msg });
+            st.queue.push(BroadcastStep::ReturnBroadcast);
+        }
+
+        fn on_receive(&self, _st: &mut Self::State, _from: ProcessId, _payload: ()) {}
+
+        fn on_decide(&self, _st: &mut Self::State, _obj: KsaId, _value: Value) {}
+
+        fn next_step(&self, st: &mut Self::State) -> Option<BroadcastStep<()>> {
+            if st.queue.is_empty() {
+                None
+            } else {
+                Some(st.queue.remove(0))
+            }
+        }
+    }
+
+    #[test]
+    fn loopback_delivers_then_returns() {
+        let algo = LoopbackBroadcast;
+        let p1 = ProcessId::new(1);
+        let mut st = algo.init(p1, 1);
+        assert!(algo.next_step(&mut st).is_none());
+        let m = AppMessage {
+            id: MessageId::new(0),
+            content: Value::new(7),
+            sender: p1,
+        };
+        algo.on_invoke_broadcast(&mut st, m);
+        assert_eq!(
+            algo.next_step(&mut st),
+            Some(BroadcastStep::Deliver { msg: m })
+        );
+        assert_eq!(
+            algo.next_step(&mut st),
+            Some(BroadcastStep::ReturnBroadcast)
+        );
+        assert!(algo.next_step(&mut st).is_none());
+    }
+
+    #[test]
+    fn blocked_next_step_is_stable() {
+        let algo = LoopbackBroadcast;
+        let mut st = algo.init(ProcessId::new(1), 1);
+        for _ in 0..3 {
+            assert!(algo.next_step(&mut st).is_none());
+        }
+    }
+}

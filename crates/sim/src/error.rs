@@ -1,0 +1,106 @@
+//! Error type for invalid simulator operations.
+
+use std::error::Error;
+use std::fmt;
+
+use camp_trace::{KsaId, ProcessId, TraceError};
+
+/// An error raised by an invalid interaction with the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The targeted process has crashed.
+    ProcessCrashed(ProcessId),
+    /// The targeted process does not exist.
+    UnknownProcess(ProcessId),
+    /// A `broadcast` was invoked while the previous invocation of the same
+    /// process is still pending (violates well-formedness, Definition 1).
+    BroadcastPending(ProcessId),
+    /// No in-flight message at the given network slot.
+    NoSuchInFlight(usize),
+    /// The process has no pending proposal on the object.
+    NoPendingProposal(ProcessId, KsaId),
+    /// A process proposed twice on the same (one-shot) k-SA object.
+    AlreadyProposed(ProcessId, KsaId),
+    /// The algorithm emitted `ReturnBroadcast` with no pending invocation.
+    UnexpectedReturn(ProcessId),
+    /// A decision rule produced a value violating a k-SA property.
+    RuleViolation {
+        /// The object on which the rule misbehaved.
+        obj: KsaId,
+        /// Explanation of the violated property.
+        reason: String,
+    },
+    /// The underlying trace rejected a step (internal invariant breach).
+    Trace(TraceError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ProcessCrashed(p) => write!(f, "{p} has crashed"),
+            SimError::UnknownProcess(p) => write!(f, "{p} does not exist in this system"),
+            SimError::BroadcastPending(p) => {
+                write!(f, "{p} already has a pending broadcast invocation")
+            }
+            SimError::NoSuchInFlight(i) => write!(f, "no in-flight message at slot {i}"),
+            SimError::NoPendingProposal(p, o) => {
+                write!(f, "{p} has no pending proposal on {o}")
+            }
+            SimError::AlreadyProposed(p, o) => {
+                write!(f, "{p} already proposed on one-shot object {o}")
+            }
+            SimError::UnexpectedReturn(p) => {
+                write!(
+                    f,
+                    "{p} returned from a broadcast invocation that is not pending"
+                )
+            }
+            SimError::RuleViolation { obj, reason } => {
+                write!(f, "decision rule violated k-SA on {obj}: {reason}")
+            }
+            SimError::Trace(e) => write!(f, "trace error: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Trace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TraceError> for SimError {
+    fn from(e: TraceError) -> Self {
+        SimError::Trace(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(SimError::ProcessCrashed(ProcessId::new(2))
+            .to_string()
+            .contains("p2"));
+        assert!(SimError::NoSuchInFlight(3).to_string().contains("slot 3"));
+        let e = SimError::RuleViolation {
+            obj: KsaId::new(1),
+            reason: "too many".into(),
+        };
+        assert!(e.to_string().contains("ksa1"));
+    }
+
+    #[test]
+    fn trace_error_wraps_with_source() {
+        let inner = TraceError::UnknownMessage(camp_trace::MessageId::new(0));
+        let e: SimError = inner.clone().into();
+        assert_eq!(e, SimError::Trace(inner));
+        assert!(Error::source(&e).is_some());
+    }
+}

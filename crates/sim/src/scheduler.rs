@@ -1,0 +1,331 @@
+//! Ready-made schedulers: the fair round-robin driver and a seeded random
+//! driver with crash injection.
+//!
+//! Schedulers own all the nondeterminism of the model. The paper's own
+//! adversarial scheduler (Algorithm 1) lives in `camp-impossibility` and
+//! drives [`Simulation`] through the same primitives these drivers use.
+
+use camp_trace::{ProcessId, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::algorithm::BroadcastAlgorithm;
+use crate::error::SimError;
+use crate::simulation::Simulation;
+
+/// A broadcast workload: for each process, the sequence of contents it
+/// B-broadcasts (each invocation issued once the previous one returned).
+#[derive(Debug, Clone, Default)]
+pub struct Workload {
+    per_process: Vec<Vec<Value>>,
+}
+
+impl Workload {
+    /// An empty workload for `n` processes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            per_process: vec![Vec::new(); n],
+        }
+    }
+
+    /// Every process broadcasts `count` messages; contents encode
+    /// `(process, sequence)` so they are pairwise distinct.
+    #[must_use]
+    pub fn uniform(n: usize, count: usize) -> Self {
+        let per_process = (1..=n)
+            .map(|p| {
+                (0..count)
+                    .map(|s| Value::new((p * 1000 + s) as u64))
+                    .collect()
+            })
+            .collect();
+        Self { per_process }
+    }
+
+    /// Appends a broadcast of `content` by `pid`.
+    pub fn push(&mut self, pid: ProcessId, content: Value) -> &mut Self {
+        self.per_process[pid.index()].push(content);
+        self
+    }
+
+    /// The `idx`-th broadcast content of `pid`, if any — drivers keep a
+    /// per-process cursor and call this to fetch the next invocation.
+    #[must_use]
+    pub fn get(&self, pid: ProcessId, idx: usize) -> Option<Value> {
+        self.per_process[pid.index()].get(idx).copied()
+    }
+
+    /// Remaining contents of `pid` starting at cursor `done`.
+    fn next_for(&self, pid: ProcessId, done: usize) -> Option<Value> {
+        self.get(pid, done)
+    }
+
+    /// Total number of broadcasts in the workload.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.per_process.iter().map(Vec::len).sum()
+    }
+}
+
+/// Outcome of a driver run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunReport {
+    /// Number of environment events executed (process steps, receptions,
+    /// oracle responses, invocations, crashes).
+    pub events: usize,
+    /// Did the run reach quiescence (all liveness obligations discharged)?
+    pub quiescent: bool,
+}
+
+/// Drives the simulation with a fair round-robin schedule until the workload
+/// completes and the system is quiescent, or `max_events` is exceeded.
+///
+/// Per turn of each live process: issue its next workload broadcast if idle,
+/// drain its local steps, respond its pending k-SA proposal, and deliver all
+/// in-flight messages addressed to it (in emission order — fairness, not
+/// FIFO, is the point). This schedule discharges every liveness hypothesis,
+/// so a correct algorithm's trace passes all `camp-specs` liveness checkers.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] raised by the simulation (e.g. a decision
+/// rule violating k-SA, or an algorithm misusing a one-shot object).
+pub fn run_fair<B: BroadcastAlgorithm>(
+    sim: &mut Simulation<B>,
+    workload: &Workload,
+    max_events: usize,
+) -> Result<RunReport, SimError> {
+    let n = sim.n();
+    let mut issued = vec![0usize; n];
+    let mut events = 0;
+
+    loop {
+        let mut progressed = false;
+        for pid in ProcessId::all(n) {
+            if sim.is_crashed(pid) {
+                continue;
+            }
+            // Issue the next workload broadcast once the previous returned.
+            if sim.pending_broadcast(pid).is_none() {
+                if let Some(content) = workload.next_for(pid, issued[pid.index()]) {
+                    sim.invoke_broadcast(pid, content)?;
+                    issued[pid.index()] += 1;
+                    events += 1;
+                    progressed = true;
+                }
+            }
+            // Drain local steps.
+            while events < max_events {
+                match sim.step_process(pid)? {
+                    Some(_) => {
+                        events += 1;
+                        progressed = true;
+                        // Respond immediately to a proposal so the process
+                        // does not stay blocked (fair oracle).
+                        if let Some(obj) = sim.oracle().pending_of(pid) {
+                            sim.respond_ksa(obj, pid)?;
+                            events += 1;
+                        }
+                    }
+                    None => break,
+                }
+            }
+            // Deliver everything addressed to this process.
+            while let Some(slot) = sim.network().first_slot_to(pid) {
+                if events >= max_events {
+                    break;
+                }
+                sim.receive(slot)?;
+                events += 1;
+                progressed = true;
+            }
+        }
+        let done = ProcessId::all(n)
+            .all(|p| sim.is_crashed(p) || workload.next_for(p, issued[p.index()]).is_none());
+        if done && sim.is_quiescent() {
+            return Ok(RunReport {
+                events,
+                quiescent: true,
+            });
+        }
+        if !progressed || events >= max_events {
+            return Ok(RunReport {
+                events,
+                quiescent: sim.is_quiescent(),
+            });
+        }
+    }
+}
+
+/// Crash-injection policy for [`run_random`].
+#[derive(Debug, Clone, Copy)]
+pub struct CrashPlan {
+    /// Maximum number of processes allowed to crash (`t`). The model itself
+    /// tolerates `t = n - 1`.
+    pub max_crashes: usize,
+    /// Probability that a given random event is a crash (while budget lasts).
+    pub crash_probability: f64,
+}
+
+impl CrashPlan {
+    /// No crashes at all.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            max_crashes: 0,
+            crash_probability: 0.0,
+        }
+    }
+
+    /// Up to `max_crashes` crashes with the given per-event probability.
+    #[must_use]
+    pub fn up_to(max_crashes: usize, crash_probability: f64) -> Self {
+        Self {
+            max_crashes,
+            crash_probability,
+        }
+    }
+}
+
+/// Drives the simulation with a seeded random schedule (uniform choice among
+/// enabled events, optional crash injection), then a fair drain phase so the
+/// returned execution is *completed* and liveness checkers apply.
+///
+/// Determinism: the run is a pure function of (algorithm, workload, seed,
+/// plan, budgets).
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] raised by the simulation.
+pub fn run_random<B: BroadcastAlgorithm>(
+    sim: &mut Simulation<B>,
+    workload: &Workload,
+    seed: u64,
+    random_events: usize,
+    plan: CrashPlan,
+) -> Result<RunReport, SimError> {
+    let n = sim.n();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut issued = vec![0usize; n];
+    let mut crashes = 0;
+    let mut events = 0;
+
+    #[derive(Clone, Copy)]
+    enum Choice {
+        Invoke(ProcessId),
+        Step(ProcessId),
+        Receive(usize),
+        Respond(ProcessId),
+    }
+
+    for _ in 0..random_events {
+        // Crash injection.
+        if crashes < plan.max_crashes && rng.gen_bool(plan.crash_probability) {
+            let live: Vec<ProcessId> = ProcessId::all(n).filter(|p| !sim.is_crashed(*p)).collect();
+            // Keep at least one process alive.
+            if live.len() > 1 {
+                let victim = live[rng.gen_range(0..live.len())];
+                sim.crash(victim)?;
+                crashes += 1;
+                events += 1;
+                continue;
+            }
+        }
+        // Enumerate enabled events.
+        let mut choices: Vec<Choice> = Vec::new();
+        for pid in ProcessId::all(n) {
+            if sim.is_crashed(pid) {
+                continue;
+            }
+            if sim.pending_broadcast(pid).is_none()
+                && workload.next_for(pid, issued[pid.index()]).is_some()
+            {
+                choices.push(Choice::Invoke(pid));
+            }
+            if sim.has_local_step(pid) {
+                choices.push(Choice::Step(pid));
+            }
+            if sim.oracle().pending_of(pid).is_some() {
+                choices.push(Choice::Respond(pid));
+            }
+        }
+        for (slot, m) in sim.network().in_flight().iter().enumerate() {
+            if !sim.is_crashed(m.to) {
+                choices.push(Choice::Receive(slot));
+            }
+        }
+        if choices.is_empty() {
+            break;
+        }
+        match choices[rng.gen_range(0..choices.len())] {
+            Choice::Invoke(pid) => {
+                let content = workload
+                    .next_for(pid, issued[pid.index()])
+                    .expect("enabled implies available");
+                sim.invoke_broadcast(pid, content)?;
+                issued[pid.index()] += 1;
+            }
+            Choice::Step(pid) => {
+                sim.step_process(pid)?;
+            }
+            Choice::Receive(slot) => {
+                sim.receive(slot)?;
+            }
+            Choice::Respond(pid) => {
+                let obj = sim
+                    .oracle()
+                    .pending_of(pid)
+                    .expect("enabled implies pending");
+                sim.respond_ksa(obj, pid)?;
+            }
+        }
+        events += 1;
+    }
+
+    // Fair drain: no more crashes; discharge all liveness obligations.
+    let remaining = Workload {
+        per_process: ProcessId::all(n)
+            .map(|p| {
+                workload.per_process[p.index()]
+                    .iter()
+                    .skip(issued[p.index()])
+                    .copied()
+                    .collect()
+            })
+            .collect(),
+    };
+    let drain = run_fair(sim, &remaining, random_events.saturating_mul(20) + 10_000)?;
+    Ok(RunReport {
+        events: events + drain.events,
+        quiescent: drain.quiescent,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_uniform_counts() {
+        let w = Workload::uniform(3, 2);
+        assert_eq!(w.total(), 6);
+        assert!(w.next_for(ProcessId::new(1), 0).is_some());
+        assert!(w.next_for(ProcessId::new(1), 2).is_none());
+    }
+
+    #[test]
+    fn workload_push_appends() {
+        let mut w = Workload::new(2);
+        w.push(ProcessId::new(2), Value::new(9));
+        assert_eq!(w.total(), 1);
+        assert_eq!(w.next_for(ProcessId::new(2), 0), Some(Value::new(9)));
+    }
+
+    #[test]
+    fn crash_plan_constructors() {
+        assert_eq!(CrashPlan::none().max_crashes, 0);
+        let p = CrashPlan::up_to(2, 0.1);
+        assert_eq!(p.max_crashes, 2);
+    }
+}

@@ -1,0 +1,416 @@
+//! The [`Simulation`] harness: one broadcast algorithm `ℬ`, `n` process
+//! states, the k-SA oracle, the network, and the recorded execution.
+
+use camp_trace::{
+    Action, Execution, KsaId, MessageId, MessageInfo, MessageKind, ProcessId, Step, Value,
+};
+
+use crate::algorithm::{AppMessage, BroadcastAlgorithm, BroadcastStep};
+use crate::error::SimError;
+use crate::network::{InFlight, Network};
+use crate::oracle::KsaOracle;
+
+/// What a call to [`Simulation::step_process`] executed — the scheduler
+/// inspects this to decide what the environment does next, exactly like the
+/// case analysis of Algorithm 1 (lines 10–25).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Executed {
+    /// The process sent a low-level message.
+    Sent {
+        /// Destination.
+        to: ProcessId,
+        /// Identity assigned to the sent message.
+        msg: MessageId,
+    },
+    /// The process proposed on a k-SA object (and is now blocked on it).
+    Proposed {
+        /// The object.
+        obj: KsaId,
+        /// The proposed value.
+        value: Value,
+    },
+    /// The process B-delivered a broadcast-level message.
+    Delivered {
+        /// The B-broadcaster of the message.
+        origin: ProcessId,
+        /// The message.
+        msg: MessageId,
+    },
+    /// The process returned from its pending `B.broadcast` invocation.
+    Returned {
+        /// The message of the completed invocation.
+        msg: MessageId,
+    },
+    /// An internal computation step.
+    Internal {
+        /// The step's tag.
+        tag: u64,
+    },
+}
+
+/// A running simulation of `n` processes executing a [`BroadcastAlgorithm`]
+/// in `CAMP_n[k-SA]`.
+///
+/// All nondeterminism is externalized: the caller (a scheduler) chooses
+/// which process steps, which in-flight message is received, when k-SA
+/// objects respond, and who crashes. The simulation records every step in a
+/// [`camp_trace::Execution`] that can be checked against `camp-specs`.
+///
+/// Complete runs are usually driven through [`crate::scheduler`] or the
+/// paper's adversarial scheduler in `camp-impossibility`; concrete broadcast
+/// algorithms live in `camp-broadcast`. When the algorithm (and thus its
+/// state and payload types) is `Clone`, the whole simulation is too — the
+/// bounded model checker branches by cloning.
+#[derive(Debug)]
+pub struct Simulation<B: BroadcastAlgorithm> {
+    algo: B,
+    n: usize,
+    states: Vec<B::State>,
+    oracle: KsaOracle,
+    network: Network<B::Msg>,
+    trace: Execution,
+    next_msg: u64,
+    pending_broadcast: Vec<Option<MessageId>>,
+    crashed: Vec<bool>,
+}
+
+impl<B> Clone for Simulation<B>
+where
+    B: BroadcastAlgorithm + Clone,
+    B::Msg: Clone,
+{
+    fn clone(&self) -> Self {
+        Self {
+            algo: self.algo.clone(),
+            n: self.n,
+            states: self.states.clone(),
+            oracle: self.oracle.clone(),
+            network: self.network.clone(),
+            trace: self.trace.clone(),
+            next_msg: self.next_msg,
+            pending_broadcast: self.pending_broadcast.clone(),
+            crashed: self.crashed.clone(),
+        }
+    }
+}
+
+impl<B: BroadcastAlgorithm> Simulation<B> {
+    /// Creates a simulation of `n` processes running `algo` with the given
+    /// k-SA oracle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn new(algo: B, n: usize, oracle: KsaOracle) -> Self {
+        assert!(n > 0, "a simulation needs at least one process");
+        let states = ProcessId::all(n).map(|p| algo.init(p, n)).collect();
+        Self {
+            algo,
+            n,
+            states,
+            oracle,
+            network: Network::new(),
+            trace: Execution::new(n),
+            next_msg: 0,
+            pending_broadcast: vec![None; n],
+            crashed: vec![false; n],
+        }
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The algorithm under simulation.
+    #[must_use]
+    pub fn algorithm(&self) -> &B {
+        &self.algo
+    }
+
+    /// The execution recorded so far.
+    #[must_use]
+    pub fn trace(&self) -> &Execution {
+        &self.trace
+    }
+
+    /// Consumes the simulation and returns the recorded execution.
+    #[must_use]
+    pub fn into_trace(self) -> Execution {
+        self.trace
+    }
+
+    /// The network (read access, for schedulers).
+    #[must_use]
+    pub fn network(&self) -> &Network<B::Msg> {
+        &self.network
+    }
+
+    /// The oracle (read access, for schedulers).
+    #[must_use]
+    pub fn oracle(&self) -> &KsaOracle {
+        &self.oracle
+    }
+
+    /// The local state of `pid` (read access, for assertions in tests).
+    #[must_use]
+    pub fn state(&self, pid: ProcessId) -> &B::State {
+        &self.states[pid.index()]
+    }
+
+    /// Has `pid` crashed?
+    #[must_use]
+    pub fn is_crashed(&self, pid: ProcessId) -> bool {
+        self.crashed[pid.index()]
+    }
+
+    /// The message of `pid`'s pending `B.broadcast` invocation, if any.
+    #[must_use]
+    pub fn pending_broadcast(&self, pid: ProcessId) -> Option<MessageId> {
+        self.pending_broadcast[pid.index()]
+    }
+
+    fn check_alive(&self, pid: ProcessId) -> Result<(), SimError> {
+        if pid.id() > self.n {
+            return Err(SimError::UnknownProcess(pid));
+        }
+        if self.crashed[pid.index()] {
+            return Err(SimError::ProcessCrashed(pid));
+        }
+        Ok(())
+    }
+
+    fn fresh_msg_id(&mut self) -> MessageId {
+        let id = MessageId::new(self.next_msg);
+        self.next_msg += 1;
+        id
+    }
+
+    /// The upper layer invokes `B.broadcast` at `pid` with `content`.
+    /// Records the invocation step and hands the message to the algorithm.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::ProcessCrashed`] / [`SimError::UnknownProcess`];
+    /// * [`SimError::BroadcastPending`] if the previous invocation has not
+    ///   returned (well-formedness, Definition 1).
+    pub fn invoke_broadcast(
+        &mut self,
+        pid: ProcessId,
+        content: Value,
+    ) -> Result<AppMessage, SimError> {
+        self.check_alive(pid)?;
+        if self.pending_broadcast[pid.index()].is_some() {
+            return Err(SimError::BroadcastPending(pid));
+        }
+        let id = self.fresh_msg_id();
+        self.trace.register_message(
+            id,
+            MessageInfo {
+                sender: pid,
+                kind: MessageKind::Broadcast,
+                content,
+                label: String::new(),
+            },
+        )?;
+        self.trace
+            .push(Step::new(pid, Action::Broadcast { msg: id }))?;
+        self.pending_broadcast[pid.index()] = Some(id);
+        let msg = AppMessage {
+            id,
+            content,
+            sender: pid,
+        };
+        self.algo
+            .on_invoke_broadcast(&mut self.states[pid.index()], msg);
+        Ok(msg)
+    }
+
+    /// Does `pid` currently have a local step available?
+    ///
+    /// Implemented by polling a clone of the state, so the observable state
+    /// is untouched; schedulers use this for quiescence detection.
+    #[must_use]
+    pub fn has_local_step(&self, pid: ProcessId) -> bool {
+        if self.crashed[pid.index()] {
+            return false;
+        }
+        let mut probe = self.states[pid.index()].clone();
+        self.algo.next_step(&mut probe).is_some()
+    }
+
+    /// Executes `pid`'s next local step, if any, applying its effects and
+    /// recording it in the trace.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::ProcessCrashed`] / [`SimError::UnknownProcess`];
+    /// * [`SimError::AlreadyProposed`] if the algorithm proposes twice on a
+    ///   one-shot object;
+    /// * trace errors on internal invariant breaches.
+    pub fn step_process(&mut self, pid: ProcessId) -> Result<Option<Executed>, SimError> {
+        self.check_alive(pid)?;
+        let Some(step) = self.algo.next_step(&mut self.states[pid.index()]) else {
+            return Ok(None);
+        };
+        let executed = match step {
+            BroadcastStep::Send { to, payload } => {
+                if to.id() > self.n {
+                    return Err(SimError::UnknownProcess(to));
+                }
+                let id = self.fresh_msg_id();
+                self.trace.register_message(
+                    id,
+                    MessageInfo {
+                        sender: pid,
+                        kind: MessageKind::PointToPoint,
+                        content: Value::default(),
+                        label: format!("{payload:?}"),
+                    },
+                )?;
+                self.trace
+                    .push(Step::new(pid, Action::Send { to, msg: id }))?;
+                self.network.send(InFlight {
+                    from: pid,
+                    to,
+                    id,
+                    payload,
+                });
+                Executed::Sent { to, msg: id }
+            }
+            BroadcastStep::Propose { obj, value } => {
+                self.oracle.propose(obj, pid, value)?;
+                self.trace
+                    .push(Step::new(pid, Action::Propose { obj, value }))?;
+                Executed::Proposed { obj, value }
+            }
+            BroadcastStep::Deliver { msg } => {
+                self.trace.push(Step::new(
+                    pid,
+                    Action::Deliver {
+                        from: msg.sender,
+                        msg: msg.id,
+                    },
+                ))?;
+                Executed::Delivered {
+                    origin: msg.sender,
+                    msg: msg.id,
+                }
+            }
+            BroadcastStep::ReturnBroadcast => {
+                let msg =
+                    self.pending_broadcast[pid.index()].ok_or(SimError::UnexpectedReturn(pid))?;
+                self.trace
+                    .push(Step::new(pid, Action::ReturnBroadcast { msg }))?;
+                self.pending_broadcast[pid.index()] = None;
+                Executed::Returned { msg }
+            }
+            BroadcastStep::Internal { tag } => {
+                self.trace.push(Step::new(pid, Action::Internal { tag }))?;
+                Executed::Internal { tag }
+            }
+        };
+        Ok(Some(executed))
+    }
+
+    /// Delivers the in-flight message at network `slot` to its destination:
+    /// records the `receive` step and hands the payload to the algorithm.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::NoSuchInFlight`] if the slot is empty;
+    /// * [`SimError::ProcessCrashed`] if the destination has crashed (a
+    ///   crashed process takes no further steps, receptions included).
+    pub fn receive(&mut self, slot: usize) -> Result<InFlight<B::Msg>, SimError>
+    where
+        B::Msg: Clone,
+    {
+        let Some(peek) = self.network.in_flight().get(slot) else {
+            return Err(SimError::NoSuchInFlight(slot));
+        };
+        self.check_alive(peek.to)?;
+        let msg = self.network.take(slot).expect("slot checked above");
+        self.trace.push(Step::new(
+            msg.to,
+            Action::Receive {
+                from: msg.from,
+                msg: msg.id,
+            },
+        ))?;
+        self.algo.on_receive(
+            &mut self.states[msg.to.index()],
+            msg.from,
+            msg.payload.clone(),
+        );
+        Ok(msg)
+    }
+
+    /// Makes the k-SA object `obj` respond to `pid`'s pending proposal:
+    /// records the `decide` step and hands the value to the algorithm.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::NoPendingProposal`] / [`SimError::RuleViolation`];
+    /// * [`SimError::ProcessCrashed`] if `pid` has crashed.
+    pub fn respond_ksa(&mut self, obj: KsaId, pid: ProcessId) -> Result<Value, SimError> {
+        self.check_alive(pid)?;
+        let value = self.oracle.respond(obj, pid)?;
+        self.trace
+            .push(Step::new(pid, Action::Decide { obj, value }))?;
+        self.algo
+            .on_decide(&mut self.states[pid.index()], obj, value);
+        Ok(value)
+    }
+
+    /// Crashes `pid`: records the crash step; the process takes no further
+    /// steps and receives nothing from now on.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::ProcessCrashed`] if already crashed.
+    pub fn crash(&mut self, pid: ProcessId) -> Result<(), SimError> {
+        self.check_alive(pid)?;
+        self.trace.push(Step::new(pid, Action::Crash))?;
+        self.crashed[pid.index()] = true;
+        Ok(())
+    }
+
+    /// Is the simulation quiescent — no local steps available, no in-flight
+    /// message addressed to a live process, no pending k-SA response for a
+    /// live process, and no pending broadcast invocation of a live process?
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        let live = |p: &ProcessId| !self.crashed[p.index()];
+        if ProcessId::all(self.n)
+            .filter(live)
+            .any(|p| self.has_local_step(p))
+        {
+            return false;
+        }
+        if self
+            .network
+            .in_flight()
+            .iter()
+            .any(|m| !self.crashed[m.to.index()])
+        {
+            return false;
+        }
+        if self
+            .oracle
+            .pending()
+            .iter()
+            .any(|(_, p)| !self.crashed[p.index()])
+        {
+            return false;
+        }
+        if ProcessId::all(self.n)
+            .filter(live)
+            .any(|p| self.pending_broadcast[p.index()].is_some())
+        {
+            return false;
+        }
+        true
+    }
+}

@@ -1,0 +1,346 @@
+//! The four properties shared by **all** broadcast abstractions
+//! (paper §3.1): BC-Validity, BC-No-Duplication, BC-Local-Termination,
+//! BC-Global-CS-Termination.
+
+use std::collections::HashSet;
+
+use camp_trace::{Action, Execution, MessageId, ProcessId};
+
+use crate::violation::{SpecResult, Violation};
+
+/// **BC-Validity.** If a process B-delivers a message `m` from `p_j`, then
+/// `p_j` has previously B-broadcast `m`.
+///
+/// # Errors
+///
+/// Returns a [`Violation`] naming the offending delivery.
+pub fn bc_validity(exec: &Execution) -> SpecResult {
+    let mut broadcast: HashSet<(ProcessId, MessageId)> = HashSet::new();
+    for (i, step) in exec.steps().iter().enumerate() {
+        match step.action {
+            Action::Broadcast { msg } => {
+                broadcast.insert((step.process, msg));
+            }
+            Action::Deliver { from, msg } if !broadcast.contains(&(from, msg)) => {
+                return Err(Violation::new(
+                    "BC-Validity",
+                    format!(
+                        "step {i}: {} B-delivers {msg} from {from}, but {from} never \
+                             B-broadcast {msg} beforehand",
+                        step.process
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// **BC-No-Duplication.** A process does not B-deliver the same message more
+/// than once.
+///
+/// # Errors
+///
+/// Returns a [`Violation`] naming the duplicated delivery.
+pub fn bc_no_duplication(exec: &Execution) -> SpecResult {
+    let mut delivered: HashSet<(ProcessId, MessageId)> = HashSet::new();
+    for (i, step) in exec.steps().iter().enumerate() {
+        if let Action::Deliver { msg, .. } = step.action {
+            if !delivered.insert((step.process, msg)) {
+                return Err(Violation::new(
+                    "BC-No-Duplication",
+                    format!("step {i}: {} B-delivers {msg} a second time", step.process),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// **BC-Local-Termination.** If a correct process invokes `B.broadcast(m)`,
+/// it eventually returns from the invocation.
+///
+/// Liveness: meaningful on **completed** executions.
+///
+/// # Errors
+///
+/// Returns a [`Violation`] naming the unreturned invocation.
+pub fn bc_local_termination(exec: &Execution) -> SpecResult {
+    let mut returned: HashSet<(ProcessId, MessageId)> = HashSet::new();
+    for step in exec.steps() {
+        if let Action::ReturnBroadcast { msg } = step.action {
+            returned.insert((step.process, msg));
+        }
+    }
+    for (i, step) in exec.steps().iter().enumerate() {
+        if let Action::Broadcast { msg } = step.action {
+            if !exec.is_faulty(step.process) && !returned.contains(&(step.process, msg)) {
+                return Err(Violation::new(
+                    "BC-Local-Termination",
+                    format!(
+                        "step {i}: correct process {} invoked B.broadcast({msg}) and never \
+                         returned from it",
+                        step.process
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// **BC-Global-CS-Termination.** If a *correct* process B-broadcasts `m`,
+/// then all correct processes eventually B-deliver `m`. ("CS" = correct
+/// sender; nothing is required of messages whose sender crashes.)
+///
+/// Liveness: meaningful on **completed** executions.
+///
+/// # Errors
+///
+/// Returns a [`Violation`] naming the missing delivery.
+pub fn bc_global_cs_termination(exec: &Execution) -> SpecResult {
+    let mut delivered: HashSet<(ProcessId, MessageId)> = HashSet::new();
+    for step in exec.steps() {
+        if let Action::Deliver { msg, .. } = step.action {
+            delivered.insert((step.process, msg));
+        }
+    }
+    for (i, step) in exec.steps().iter().enumerate() {
+        if let Action::Broadcast { msg } = step.action {
+            if exec.is_faulty(step.process) {
+                continue;
+            }
+            for q in exec.correct_processes() {
+                if !delivered.contains(&(q, msg)) {
+                    return Err(Violation::new(
+                        "BC-Global-CS-Termination",
+                        format!(
+                            "step {i}: correct process {} B-broadcast {msg}, but correct \
+                             process {q} never B-delivers it",
+                            step.process
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// **BC-Uniform-Agreement** (the *uniform reliable broadcast* guarantee of
+/// Hadzilacos & Toueg \[13\], beyond the four base properties): if **any**
+/// process B-delivers `m` — even one that crashes right after — then every
+/// correct process eventually B-delivers `m`.
+///
+/// Liveness: meaningful on **completed** executions. The base properties
+/// only promise this for *correct senders*; uniform agreement extends it to
+/// messages delivered anywhere. `camp_broadcast::EagerReliable::uniform`
+/// achieves it by forwarding before delivering; the non-uniform variant
+/// does not (see the crash tests there and in `camp-modelcheck`).
+///
+/// # Errors
+///
+/// Returns a [`Violation`] naming the non-uniform delivery.
+pub fn bc_uniform_agreement(exec: &Execution) -> SpecResult {
+    let mut delivered: HashSet<(ProcessId, MessageId)> = HashSet::new();
+    for step in exec.steps() {
+        if let Action::Deliver { msg, .. } = step.action {
+            delivered.insert((step.process, msg));
+        }
+    }
+    for (i, step) in exec.steps().iter().enumerate() {
+        if let Action::Deliver { msg, .. } = step.action {
+            for q in exec.correct_processes() {
+                if !delivered.contains(&(q, msg)) {
+                    return Err(Violation::new(
+                        "BC-Uniform-Agreement",
+                        format!(
+                            "step {i}: {} B-delivers {msg}, but correct process {q} never \
+                             B-delivers it",
+                            step.process
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks the two broadcast **safety** properties (BC-Validity,
+/// BC-No-Duplication) — applicable to any execution prefix.
+///
+/// # Errors
+///
+/// Propagates the first violation found.
+pub fn check_safety(exec: &Execution) -> SpecResult {
+    bc_validity(exec)?;
+    bc_no_duplication(exec)
+}
+
+/// Checks all four base broadcast properties — for completed executions.
+///
+/// # Errors
+///
+/// Propagates the first violation found.
+pub fn check_all(exec: &Execution) -> SpecResult {
+    check_safety(exec)?;
+    bc_local_termination(exec)?;
+    bc_global_cs_termination(exec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camp_trace::{ExecutionBuilder, Step, Value};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    /// p1 sync-broadcasts m, p2 delivers it: fully admissible.
+    fn good_execution() -> Execution {
+        let mut b = ExecutionBuilder::new(2);
+        let m = b.fresh_broadcast_message(p(1), Value::new(1));
+        b.sync_broadcast(p(1), m);
+        b.step(p(2), Action::Deliver { from: p(1), msg: m });
+        b.build()
+    }
+
+    #[test]
+    fn good_execution_passes_all() {
+        assert!(check_all(&good_execution()).is_ok());
+    }
+
+    #[test]
+    fn delivery_without_broadcast_fails_validity() {
+        let mut b = ExecutionBuilder::new(2);
+        let m = b.fresh_broadcast_message(p(1), Value::new(1));
+        b.step(p(2), Action::Deliver { from: p(1), msg: m });
+        let err = bc_validity(&b.build()).unwrap_err();
+        assert_eq!(err.property(), "BC-Validity");
+    }
+
+    #[test]
+    fn delivery_attributed_to_wrong_sender_fails_validity() {
+        let mut b = ExecutionBuilder::new(2);
+        let m = b.fresh_broadcast_message(p(1), Value::new(1));
+        b.step(p(1), Action::Broadcast { msg: m });
+        b.step(p(2), Action::Deliver { from: p(2), msg: m });
+        assert!(bc_validity(&b.build()).is_err());
+    }
+
+    #[test]
+    fn double_delivery_fails_no_duplication() {
+        let mut b = ExecutionBuilder::new(1);
+        let m = b.fresh_broadcast_message(p(1), Value::new(1));
+        b.step(p(1), Action::Broadcast { msg: m });
+        b.step(p(1), Action::Deliver { from: p(1), msg: m });
+        b.step(p(1), Action::Deliver { from: p(1), msg: m });
+        let err = bc_no_duplication(&b.build()).unwrap_err();
+        assert_eq!(err.property(), "BC-No-Duplication");
+    }
+
+    #[test]
+    fn unreturned_broadcast_of_correct_process_fails_local_termination() {
+        let mut b = ExecutionBuilder::new(1);
+        let m = b.fresh_broadcast_message(p(1), Value::new(1));
+        b.step(p(1), Action::Broadcast { msg: m });
+        let err = bc_local_termination(&b.build()).unwrap_err();
+        assert_eq!(err.property(), "BC-Local-Termination");
+    }
+
+    #[test]
+    fn unreturned_broadcast_of_faulty_process_is_allowed() {
+        let mut b = ExecutionBuilder::new(1);
+        let m = b.fresh_broadcast_message(p(1), Value::new(1));
+        b.step(p(1), Action::Broadcast { msg: m });
+        let mut e = b.build();
+        e.push(Step::new(p(1), Action::Crash)).unwrap();
+        assert!(bc_local_termination(&e).is_ok());
+    }
+
+    #[test]
+    fn missing_delivery_at_correct_peer_fails_cs_termination() {
+        let mut b = ExecutionBuilder::new(2);
+        let m = b.fresh_broadcast_message(p(1), Value::new(1));
+        b.sync_broadcast(p(1), m);
+        // p2 never delivers m.
+        let err = bc_global_cs_termination(&b.build()).unwrap_err();
+        assert_eq!(err.property(), "BC-Global-CS-Termination");
+    }
+
+    #[test]
+    fn faulty_sender_message_may_be_partially_delivered() {
+        // p1 broadcasts m then crashes; p2 delivers, p3 does not: allowed.
+        let mut b = ExecutionBuilder::new(3);
+        let m = b.fresh_broadcast_message(p(1), Value::new(1));
+        b.step(p(1), Action::Broadcast { msg: m });
+        b.step(p(2), Action::Deliver { from: p(1), msg: m });
+        let mut e = b.build();
+        e.push(Step::new(p(1), Action::Crash)).unwrap();
+        assert!(bc_global_cs_termination(&e).is_ok());
+    }
+
+    #[test]
+    fn sender_must_self_deliver_when_correct() {
+        // p1 broadcasts and returns but never delivers its own message:
+        // BC-Global-CS-Termination requires ALL correct processes (incl. p1).
+        let mut b = ExecutionBuilder::new(1);
+        let m = b.fresh_broadcast_message(p(1), Value::new(1));
+        b.step(p(1), Action::Broadcast { msg: m });
+        b.step(p(1), Action::ReturnBroadcast { msg: m });
+        assert!(bc_global_cs_termination(&b.build()).is_err());
+    }
+
+    #[test]
+    fn empty_execution_satisfies_everything() {
+        assert!(check_all(&Execution::new(2)).is_ok());
+    }
+
+    #[test]
+    fn uniform_agreement_catches_deliver_then_crash() {
+        // p1 broadcasts; p2 delivers m then crashes; p3 (correct) never
+        // delivers: the base properties allow it (sender p1 also crashed
+        // before finishing), uniform agreement does not.
+        let mut b = ExecutionBuilder::new(3);
+        let m = b.fresh_broadcast_message(p(1), Value::new(1));
+        b.step(p(1), Action::Broadcast { msg: m });
+        b.step(p(2), Action::Deliver { from: p(1), msg: m });
+        let mut e = b.build();
+        e.push(Step::new(p(1), Action::Crash)).unwrap();
+        e.push(Step::new(p(2), Action::Crash)).unwrap();
+        assert!(
+            bc_global_cs_termination(&e).is_ok(),
+            "faulty sender: base props fine"
+        );
+        let err = bc_uniform_agreement(&e).unwrap_err();
+        assert_eq!(err.property(), "BC-Uniform-Agreement");
+    }
+
+    #[test]
+    fn uniform_agreement_holds_when_all_correct_deliver() {
+        let mut b = ExecutionBuilder::new(2);
+        let m = b.fresh_broadcast_message(p(1), Value::new(1));
+        b.step(p(1), Action::Broadcast { msg: m });
+        b.step(p(1), Action::Deliver { from: p(1), msg: m });
+        b.step(p(2), Action::Deliver { from: p(1), msg: m });
+        b.step(p(1), Action::ReturnBroadcast { msg: m });
+        assert!(bc_uniform_agreement(&b.build()).is_ok());
+    }
+
+    #[test]
+    fn uniform_agreement_ignores_deliveries_at_faulty_only_if_propagated() {
+        // The deliverer itself crashing is fine as long as the correct
+        // processes delivered too.
+        let mut b = ExecutionBuilder::new(2);
+        let m = b.fresh_broadcast_message(p(1), Value::new(1));
+        b.step(p(1), Action::Broadcast { msg: m });
+        b.step(p(1), Action::Deliver { from: p(1), msg: m });
+        b.step(p(2), Action::Deliver { from: p(1), msg: m });
+        let mut e = b.build();
+        e.push(Step::new(p(1), Action::Crash)).unwrap();
+        assert!(bc_uniform_agreement(&e).is_ok());
+    }
+}

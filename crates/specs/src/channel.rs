@@ -1,0 +1,215 @@
+//! The three properties of the point-to-point communication channels
+//! (paper §2, "Communication Model").
+
+use std::collections::HashSet;
+
+use camp_trace::{Action, Execution, MessageId, ProcessId};
+
+use crate::violation::{SpecResult, Violation};
+
+/// **SR-Validity.** If a process `p_r` receives a message `m` from `p_s`,
+/// then `p_s` has indeed sent `m` to `p_r` (and did so earlier in the
+/// execution).
+///
+/// # Errors
+///
+/// Returns a [`Violation`] naming the offending reception.
+pub fn sr_validity(exec: &Execution) -> SpecResult {
+    let mut sent: HashSet<(ProcessId, ProcessId, MessageId)> = HashSet::new();
+    for (i, step) in exec.steps().iter().enumerate() {
+        match step.action {
+            Action::Send { to, msg } => {
+                sent.insert((step.process, to, msg));
+            }
+            Action::Receive { from, msg } if !sent.contains(&(from, step.process, msg)) => {
+                return Err(Violation::new(
+                    "SR-Validity",
+                    format!(
+                        "step {i}: {} receives {msg} from {from}, but {from} never \
+                             sent {msg} to {} beforehand",
+                        step.process, step.process
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// **SR-No-Duplication.** No process receives the same message more than once.
+///
+/// # Errors
+///
+/// Returns a [`Violation`] naming the duplicated reception.
+pub fn sr_no_duplication(exec: &Execution) -> SpecResult {
+    let mut received: HashSet<(ProcessId, MessageId)> = HashSet::new();
+    for (i, step) in exec.steps().iter().enumerate() {
+        if let Action::Receive { msg, .. } = step.action {
+            if !received.insert((step.process, msg)) {
+                return Err(Violation::new(
+                    "SR-No-Duplication",
+                    format!("step {i}: {} receives {msg} a second time", step.process),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// **SR-Termination.** If a process `p_s` sends a message `m` to a correct
+/// process `p_r`, then `p_r` eventually receives `m` from `p_s`.
+///
+/// This is a liveness property: it is meaningful on **completed** executions
+/// (runs the scheduler drove to quiescence). On such an execution,
+/// "eventually receives" means "receives within the trace".
+///
+/// # Errors
+///
+/// Returns a [`Violation`] naming an undelivered message.
+pub fn sr_termination(exec: &Execution) -> SpecResult {
+    let mut received: HashSet<(ProcessId, ProcessId, MessageId)> = HashSet::new();
+    for step in exec.steps() {
+        if let Action::Receive { from, msg } = step.action {
+            received.insert((from, step.process, msg));
+        }
+    }
+    for (i, step) in exec.steps().iter().enumerate() {
+        if let Action::Send { to, msg } = step.action {
+            if !exec.is_faulty(to) && !received.contains(&(step.process, to, msg)) {
+                return Err(Violation::new(
+                    "SR-Termination",
+                    format!(
+                        "step {i}: {} sent {msg} to correct process {to}, which never \
+                         receives it",
+                        step.process
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks the two channel **safety** properties (SR-Validity,
+/// SR-No-Duplication) — applicable to any execution prefix.
+///
+/// # Errors
+///
+/// Propagates the first violation found.
+pub fn check_safety(exec: &Execution) -> SpecResult {
+    sr_validity(exec)?;
+    sr_no_duplication(exec)
+}
+
+/// Checks all three channel properties — for completed executions.
+///
+/// # Errors
+///
+/// Propagates the first violation found.
+pub fn check_all(exec: &Execution) -> SpecResult {
+    check_safety(exec)?;
+    sr_termination(exec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camp_trace::{ExecutionBuilder, Step, Value};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn send_recv_pair() -> Execution {
+        let mut b = ExecutionBuilder::new(2);
+        let m = b.fresh_p2p_message(p(1), "hello");
+        b.step(p(1), Action::Send { to: p(2), msg: m });
+        b.step(p(2), Action::Receive { from: p(1), msg: m });
+        b.build()
+    }
+
+    #[test]
+    fn valid_exchange_passes_all() {
+        let e = send_recv_pair();
+        assert!(check_all(&e).is_ok());
+    }
+
+    #[test]
+    fn reception_without_send_fails_validity() {
+        let mut b = ExecutionBuilder::new(2);
+        let m = b.fresh_p2p_message(p(1), "ghost");
+        b.step(p(2), Action::Receive { from: p(1), msg: m });
+        let err = sr_validity(&b.build()).unwrap_err();
+        assert_eq!(err.property(), "SR-Validity");
+    }
+
+    #[test]
+    fn reception_before_send_fails_validity() {
+        let mut b = ExecutionBuilder::new(2);
+        let m = b.fresh_p2p_message(p(1), "early");
+        b.step(p(2), Action::Receive { from: p(1), msg: m });
+        b.step(p(1), Action::Send { to: p(2), msg: m });
+        assert!(sr_validity(&b.build()).is_err());
+    }
+
+    #[test]
+    fn reception_with_wrong_destination_fails_validity() {
+        // p1 sends m to p2, but p3 receives it.
+        let mut b = ExecutionBuilder::new(3);
+        let m = b.fresh_p2p_message(p(1), "misrouted");
+        b.step(p(1), Action::Send { to: p(2), msg: m });
+        b.step(p(3), Action::Receive { from: p(1), msg: m });
+        assert!(sr_validity(&b.build()).is_err());
+    }
+
+    #[test]
+    fn double_reception_fails_no_duplication() {
+        let mut b = ExecutionBuilder::new(2);
+        let m = b.fresh_p2p_message(p(1), "dup");
+        b.step(p(1), Action::Send { to: p(2), msg: m });
+        b.step(p(2), Action::Receive { from: p(1), msg: m });
+        b.step(p(2), Action::Receive { from: p(1), msg: m });
+        let err = sr_no_duplication(&b.build()).unwrap_err();
+        assert_eq!(err.property(), "SR-No-Duplication");
+    }
+
+    #[test]
+    fn unreceived_send_to_correct_fails_termination() {
+        let mut b = ExecutionBuilder::new(2);
+        let m = b.fresh_p2p_message(p(1), "lost");
+        b.step(p(1), Action::Send { to: p(2), msg: m });
+        let err = sr_termination(&b.build()).unwrap_err();
+        assert_eq!(err.property(), "SR-Termination");
+    }
+
+    #[test]
+    fn unreceived_send_to_faulty_is_allowed() {
+        let mut b = ExecutionBuilder::new(2);
+        let m = b.fresh_p2p_message(p(1), "to-crashed");
+        b.step(p(1), Action::Send { to: p(2), msg: m });
+        let mut e = b.build();
+        e.push(Step::new(p(2), Action::Crash)).unwrap();
+        assert!(sr_termination(&e).is_ok());
+    }
+
+    #[test]
+    fn self_send_requires_self_receive() {
+        let mut b = ExecutionBuilder::new(1);
+        let m = b.fresh_p2p_message(p(1), "self");
+        b.step(p(1), Action::Send { to: p(1), msg: m });
+        assert!(sr_termination(&b.build()).is_err());
+        let mut b = ExecutionBuilder::new(1);
+        let m = b.fresh_p2p_message(p(1), "self");
+        b.step(p(1), Action::Send { to: p(1), msg: m });
+        b.step(p(1), Action::Receive { from: p(1), msg: m });
+        assert!(check_all(&b.build()).is_ok());
+    }
+
+    #[test]
+    fn empty_execution_satisfies_everything() {
+        let e = Execution::new(3);
+        assert!(check_all(&e).is_ok());
+        let _ = Value::new(0); // silence unused import in cfg(test)
+    }
+}

@@ -1,0 +1,436 @@
+//! The three properties of k-set agreement (paper §4.1): k-SA-Validity,
+//! k-SA-Agreement, k-SA-Termination — plus the one-shot usage rule.
+
+use std::collections::{HashMap, HashSet};
+
+use camp_trace::{Action, Execution, KsaId, ProcessId, Value};
+
+use crate::violation::{SpecResult, Violation};
+
+/// **k-SA-Validity.** If a process decides a value `v` on an object `ksa`,
+/// then `v` was proposed by some process on `ksa`, and the proposal precedes
+/// the decision in the execution.
+///
+/// # Errors
+///
+/// Returns a [`Violation`] naming the invalid decision.
+pub fn ksa_validity(exec: &Execution) -> SpecResult {
+    let mut proposed: HashSet<(KsaId, Value)> = HashSet::new();
+    for (i, step) in exec.steps().iter().enumerate() {
+        match step.action {
+            Action::Propose { obj, value } => {
+                proposed.insert((obj, value));
+            }
+            Action::Decide { obj, value } if !proposed.contains(&(obj, value)) => {
+                return Err(Violation::new(
+                    "k-SA-Validity",
+                    format!(
+                        "step {i}: {} decides {value} on {obj}, but no process \
+                             proposed {value} to {obj} beforehand",
+                        step.process
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// **k-SA-Agreement.** No more than `k` distinct values are decided on any
+/// single k-SA object.
+///
+/// # Errors
+///
+/// Returns a [`Violation`] listing the `k+1`-th distinct decided value.
+pub fn ksa_agreement(exec: &Execution, k: usize) -> SpecResult {
+    let mut decided: HashMap<KsaId, Vec<Value>> = HashMap::new();
+    for (i, step) in exec.steps().iter().enumerate() {
+        if let Action::Decide { obj, value } = step.action {
+            let values = decided.entry(obj).or_default();
+            if !values.contains(&value) {
+                values.push(value);
+                if values.len() > k {
+                    return Err(Violation::new(
+                        "k-SA-Agreement",
+                        format!(
+                            "step {i}: {} decides {value} on {obj}, the {}-th distinct \
+                             value (k = {k}); decided so far: {values:?}",
+                            step.process,
+                            values.len()
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// **k-SA-Termination.** Every non-faulty process that invokes `propose()`
+/// eventually decides.
+///
+/// Liveness: meaningful on **completed** executions.
+///
+/// # Errors
+///
+/// Returns a [`Violation`] naming the undecided proposal.
+pub fn ksa_termination(exec: &Execution) -> SpecResult {
+    let mut decided: HashSet<(ProcessId, KsaId)> = HashSet::new();
+    for step in exec.steps() {
+        if let Action::Decide { obj, .. } = step.action {
+            decided.insert((step.process, obj));
+        }
+    }
+    for (i, step) in exec.steps().iter().enumerate() {
+        if let Action::Propose { obj, .. } = step.action {
+            if !exec.is_faulty(step.process) && !decided.contains(&(step.process, obj)) {
+                return Err(Violation::new(
+                    "k-SA-Termination",
+                    format!(
+                        "step {i}: correct process {} proposed on {obj} and never decides",
+                        step.process
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// **One-shot usage.** Each process invokes `propose()` at most once per k-SA
+/// object, and decides only after (and at most once per) its own proposal.
+/// This is the standard usage assumption the paper states in §4.1.
+///
+/// # Errors
+///
+/// Returns a [`Violation`] naming the misuse.
+pub fn ksa_one_shot(exec: &Execution) -> SpecResult {
+    let mut proposed: HashSet<(ProcessId, KsaId)> = HashSet::new();
+    let mut decided: HashSet<(ProcessId, KsaId)> = HashSet::new();
+    for (i, step) in exec.steps().iter().enumerate() {
+        match step.action {
+            Action::Propose { obj, .. } if !proposed.insert((step.process, obj)) => {
+                return Err(Violation::new(
+                    "k-SA-One-Shot",
+                    format!("step {i}: {} proposes twice on {obj}", step.process),
+                ));
+            }
+            Action::Decide { obj, .. } => {
+                if !proposed.contains(&(step.process, obj)) {
+                    return Err(Violation::new(
+                        "k-SA-One-Shot",
+                        format!(
+                            "step {i}: {} decides on {obj} without having proposed",
+                            step.process
+                        ),
+                    ));
+                }
+                if !decided.insert((step.process, obj)) {
+                    return Err(Violation::new(
+                        "k-SA-One-Shot",
+                        format!("step {i}: {} decides twice on {obj}", step.process),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+/// Checks the k-SA **safety** properties (validity, agreement, one-shot
+/// usage) — applicable to any execution prefix.
+///
+/// # Errors
+///
+/// Propagates the first violation found.
+pub fn check_safety(exec: &Execution, k: usize) -> SpecResult {
+    ksa_validity(exec)?;
+    ksa_agreement(exec, k)?;
+    ksa_one_shot(exec)
+}
+
+/// Checks all k-SA properties — for completed executions.
+///
+/// # Errors
+///
+/// Propagates the first violation found.
+pub fn check_all(exec: &Execution, k: usize) -> SpecResult {
+    check_safety(exec, k)?;
+    ksa_termination(exec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camp_trace::Step;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    fn obj(raw: u64) -> KsaId {
+        KsaId::new(raw)
+    }
+
+    fn v(raw: u64) -> Value {
+        Value::new(raw)
+    }
+
+    fn push(e: &mut Execution, proc_: usize, action: Action) {
+        e.push(Step::new(p(proc_), action)).unwrap();
+    }
+
+    /// Three processes propose distinct values on a 2-SA object; two decide
+    /// their own value and the third adopts: admissible for k = 2.
+    fn two_sa_execution() -> Execution {
+        let mut e = Execution::new(3);
+        push(
+            &mut e,
+            1,
+            Action::Propose {
+                obj: obj(0),
+                value: v(10),
+            },
+        );
+        push(
+            &mut e,
+            1,
+            Action::Decide {
+                obj: obj(0),
+                value: v(10),
+            },
+        );
+        push(
+            &mut e,
+            2,
+            Action::Propose {
+                obj: obj(0),
+                value: v(20),
+            },
+        );
+        push(
+            &mut e,
+            2,
+            Action::Decide {
+                obj: obj(0),
+                value: v(20),
+            },
+        );
+        push(
+            &mut e,
+            3,
+            Action::Propose {
+                obj: obj(0),
+                value: v(30),
+            },
+        );
+        push(
+            &mut e,
+            3,
+            Action::Decide {
+                obj: obj(0),
+                value: v(20),
+            },
+        );
+        e
+    }
+
+    #[test]
+    fn admissible_for_k2_not_k1() {
+        let e = two_sa_execution();
+        assert!(check_all(&e, 2).is_ok());
+        let err = ksa_agreement(&e, 1).unwrap_err();
+        assert_eq!(err.property(), "k-SA-Agreement");
+    }
+
+    #[test]
+    fn unproposed_decision_fails_validity() {
+        let mut e = Execution::new(1);
+        push(
+            &mut e,
+            1,
+            Action::Propose {
+                obj: obj(0),
+                value: v(1),
+            },
+        );
+        push(
+            &mut e,
+            1,
+            Action::Decide {
+                obj: obj(0),
+                value: v(99),
+            },
+        );
+        let err = ksa_validity(&e).unwrap_err();
+        assert_eq!(err.property(), "k-SA-Validity");
+    }
+
+    #[test]
+    fn decision_before_proposal_fails_validity() {
+        let mut e = Execution::new(2);
+        push(
+            &mut e,
+            1,
+            Action::Decide {
+                obj: obj(0),
+                value: v(1),
+            },
+        );
+        push(
+            &mut e,
+            2,
+            Action::Propose {
+                obj: obj(0),
+                value: v(1),
+            },
+        );
+        assert!(ksa_validity(&e).is_err());
+    }
+
+    #[test]
+    fn agreement_counts_per_object_not_globally() {
+        // Two values on ksa0, two on ksa1: fine for k = 2.
+        let mut e = Execution::new(2);
+        for (proc_, o, val) in [(1, 0, 1), (2, 0, 2), (1, 1, 3), (2, 1, 4)] {
+            push(
+                &mut e,
+                proc_,
+                Action::Propose {
+                    obj: obj(o),
+                    value: v(val),
+                },
+            );
+            push(
+                &mut e,
+                proc_,
+                Action::Decide {
+                    obj: obj(o),
+                    value: v(val),
+                },
+            );
+        }
+        assert!(ksa_agreement(&e, 2).is_ok());
+        assert!(ksa_agreement(&e, 1).is_err());
+    }
+
+    #[test]
+    fn undecided_correct_proposer_fails_termination() {
+        let mut e = Execution::new(1);
+        push(
+            &mut e,
+            1,
+            Action::Propose {
+                obj: obj(0),
+                value: v(1),
+            },
+        );
+        let err = ksa_termination(&e).unwrap_err();
+        assert_eq!(err.property(), "k-SA-Termination");
+    }
+
+    #[test]
+    fn undecided_faulty_proposer_is_allowed() {
+        let mut e = Execution::new(1);
+        push(
+            &mut e,
+            1,
+            Action::Propose {
+                obj: obj(0),
+                value: v(1),
+            },
+        );
+        push(&mut e, 1, Action::Crash);
+        assert!(ksa_termination(&e).is_ok());
+    }
+
+    #[test]
+    fn double_propose_fails_one_shot() {
+        let mut e = Execution::new(1);
+        push(
+            &mut e,
+            1,
+            Action::Propose {
+                obj: obj(0),
+                value: v(1),
+            },
+        );
+        push(
+            &mut e,
+            1,
+            Action::Decide {
+                obj: obj(0),
+                value: v(1),
+            },
+        );
+        push(
+            &mut e,
+            1,
+            Action::Propose {
+                obj: obj(0),
+                value: v(2),
+            },
+        );
+        let err = ksa_one_shot(&e).unwrap_err();
+        assert_eq!(err.property(), "k-SA-One-Shot");
+    }
+
+    #[test]
+    fn decide_without_propose_fails_one_shot() {
+        let mut e = Execution::new(2);
+        push(
+            &mut e,
+            1,
+            Action::Propose {
+                obj: obj(0),
+                value: v(1),
+            },
+        );
+        push(
+            &mut e,
+            2,
+            Action::Decide {
+                obj: obj(0),
+                value: v(1),
+            },
+        );
+        assert!(ksa_one_shot(&e).is_err());
+    }
+
+    #[test]
+    fn double_decide_fails_one_shot() {
+        let mut e = Execution::new(1);
+        push(
+            &mut e,
+            1,
+            Action::Propose {
+                obj: obj(0),
+                value: v(1),
+            },
+        );
+        push(
+            &mut e,
+            1,
+            Action::Decide {
+                obj: obj(0),
+                value: v(1),
+            },
+        );
+        push(
+            &mut e,
+            1,
+            Action::Decide {
+                obj: obj(0),
+                value: v(1),
+            },
+        );
+        assert!(ksa_one_shot(&e).is_err());
+    }
+
+    #[test]
+    fn empty_execution_satisfies_everything() {
+        assert!(check_all(&Execution::new(1), 1).is_ok());
+    }
+}

@@ -1,0 +1,252 @@
+//! Causal broadcast: delivery respects the happened-before relation on
+//! broadcast messages.
+
+use std::collections::{HashMap, HashSet};
+
+use camp_trace::{Action, Execution, MessageId, ProcessId};
+
+use crate::violation::{SpecResult, Violation};
+
+use super::BroadcastSpec;
+
+/// **Causal broadcast** \[Birman & Joseph 1987; Raynal, Schiper & Toueg
+/// 1991\]: if the broadcast of `m` *causally precedes* the broadcast of
+/// `m'`, then no process B-delivers `m'` before `m`.
+///
+/// The broadcast of `m` causally precedes that of `m'` when the sender of
+/// `m'` had already B-broadcast or B-delivered `m` at the moment it
+/// B-broadcast `m'` (and transitively). As usual, the checker only needs the
+/// *direct* precedence relation: requiring every direct causal predecessor
+/// to be delivered first enforces the transitive closure inductively.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CausalSpec;
+
+impl CausalSpec {
+    /// Creates the spec.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl BroadcastSpec for CausalSpec {
+    fn name(&self) -> String {
+        "Causal".into()
+    }
+
+    fn admits(&self, exec: &Execution) -> SpecResult {
+        // knowledge[p] = messages p has B-broadcast or B-delivered so far.
+        let mut knowledge: HashMap<ProcessId, Vec<MessageId>> = HashMap::new();
+        // preds[m] = knowledge of sender(m) at the moment it broadcast m.
+        let mut preds: HashMap<MessageId, Vec<MessageId>> = HashMap::new();
+        // delivered[p] = set of messages p has delivered so far.
+        let mut delivered: HashMap<ProcessId, HashSet<MessageId>> = HashMap::new();
+
+        for (i, step) in exec.steps().iter().enumerate() {
+            match step.action {
+                Action::Broadcast { msg } => {
+                    let know = knowledge.entry(step.process).or_default();
+                    preds.insert(msg, know.clone());
+                    know.push(msg);
+                }
+                Action::Deliver { msg, .. } => {
+                    let seen = delivered.entry(step.process).or_default();
+                    if let Some(direct) = preds.get(&msg) {
+                        for &m in direct {
+                            if !seen.contains(&m) {
+                                return Err(Violation::new(
+                                    "Causal",
+                                    format!(
+                                        "step {i}: {} B-delivers {msg} although its causal \
+                                         predecessor {m} has not been delivered yet",
+                                        step.process
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                    seen.insert(msg);
+                    knowledge.entry(step.process).or_default().push(msg);
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camp_trace::{ExecutionBuilder, Value};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn causal_chain_in_order_admitted() {
+        // p1 broadcasts m1; p2 delivers m1 then broadcasts m2 (m1 ≺ m2);
+        // p3 delivers m1 before m2: admissible.
+        let mut b = ExecutionBuilder::new(3);
+        let m1 = b.fresh_broadcast_message(p(1), Value::new(1));
+        b.step(p(1), Action::Broadcast { msg: m1 });
+        b.step(
+            p(2),
+            Action::Deliver {
+                from: p(1),
+                msg: m1,
+            },
+        );
+        let m2 = b.fresh_broadcast_message(p(2), Value::new(2));
+        b.step(p(2), Action::Broadcast { msg: m2 });
+        b.step(
+            p(3),
+            Action::Deliver {
+                from: p(1),
+                msg: m1,
+            },
+        );
+        b.step(
+            p(3),
+            Action::Deliver {
+                from: p(2),
+                msg: m2,
+            },
+        );
+        assert!(CausalSpec::new().admits(&b.build()).is_ok());
+    }
+
+    #[test]
+    fn causal_chain_out_of_order_rejected() {
+        let mut b = ExecutionBuilder::new(3);
+        let m1 = b.fresh_broadcast_message(p(1), Value::new(1));
+        b.step(p(1), Action::Broadcast { msg: m1 });
+        b.step(
+            p(2),
+            Action::Deliver {
+                from: p(1),
+                msg: m1,
+            },
+        );
+        let m2 = b.fresh_broadcast_message(p(2), Value::new(2));
+        b.step(p(2), Action::Broadcast { msg: m2 });
+        // p3 delivers m2 first: violation.
+        b.step(
+            p(3),
+            Action::Deliver {
+                from: p(2),
+                msg: m2,
+            },
+        );
+        let err = CausalSpec::new().admits(&b.build()).unwrap_err();
+        assert_eq!(err.property(), "Causal");
+        assert!(err.witness().contains("causal predecessor"));
+    }
+
+    #[test]
+    fn fifo_is_a_special_case() {
+        // Same-sender order is causal order: out-of-order self messages rejected.
+        let mut b = ExecutionBuilder::new(2);
+        let m1 = b.fresh_broadcast_message(p(1), Value::new(1));
+        let m2 = b.fresh_broadcast_message(p(1), Value::new(2));
+        b.step(p(1), Action::Broadcast { msg: m1 });
+        b.step(p(1), Action::Broadcast { msg: m2 });
+        b.step(
+            p(2),
+            Action::Deliver {
+                from: p(1),
+                msg: m2,
+            },
+        );
+        assert!(CausalSpec::new().admits(&b.build()).is_err());
+    }
+
+    #[test]
+    fn concurrent_messages_in_any_order_admitted() {
+        // m1 and m2 are concurrent: both delivery orders are fine.
+        let mut b = ExecutionBuilder::new(2);
+        let m1 = b.fresh_broadcast_message(p(1), Value::new(1));
+        let m2 = b.fresh_broadcast_message(p(2), Value::new(2));
+        b.step(p(1), Action::Broadcast { msg: m1 });
+        b.step(p(2), Action::Broadcast { msg: m2 });
+        b.step(
+            p(1),
+            Action::Deliver {
+                from: p(2),
+                msg: m2,
+            },
+        );
+        b.step(
+            p(1),
+            Action::Deliver {
+                from: p(1),
+                msg: m1,
+            },
+        );
+        b.step(
+            p(2),
+            Action::Deliver {
+                from: p(1),
+                msg: m1,
+            },
+        );
+        b.step(
+            p(2),
+            Action::Deliver {
+                from: p(2),
+                msg: m2,
+            },
+        );
+        assert!(CausalSpec::new().admits(&b.build()).is_ok());
+    }
+
+    #[test]
+    fn transitive_precedence_enforced() {
+        // m1 ≺ m2 ≺ m3 across three senders; p4... (here p3) must not get m3
+        // without m1: the direct-predecessor rule catches it because m2 is
+        // missing too, and inductively m1.
+        let mut b = ExecutionBuilder::new(3);
+        let m1 = b.fresh_broadcast_message(p(1), Value::new(1));
+        b.step(p(1), Action::Broadcast { msg: m1 });
+        b.step(
+            p(2),
+            Action::Deliver {
+                from: p(1),
+                msg: m1,
+            },
+        );
+        let m2 = b.fresh_broadcast_message(p(2), Value::new(2));
+        b.step(p(2), Action::Broadcast { msg: m2 });
+        b.step(
+            p(1),
+            Action::Deliver {
+                from: p(1),
+                msg: m1,
+            },
+        );
+        b.step(
+            p(1),
+            Action::Deliver {
+                from: p(2),
+                msg: m2,
+            },
+        );
+        let m3 = b.fresh_broadcast_message(p(1), Value::new(3));
+        b.step(p(1), Action::Broadcast { msg: m3 });
+        // p3 delivers m3 directly: rejected.
+        b.step(
+            p(3),
+            Action::Deliver {
+                from: p(1),
+                msg: m3,
+            },
+        );
+        assert!(CausalSpec::new().admits(&b.build()).is_err());
+    }
+
+    #[test]
+    fn empty_execution_admitted() {
+        assert!(CausalSpec::new().admits(&Execution::new(1)).is_ok());
+    }
+}

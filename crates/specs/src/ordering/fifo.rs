@@ -1,0 +1,189 @@
+//! FIFO broadcast: per-sender delivery order follows broadcast order.
+
+use camp_trace::{DeliveryView, Execution, ProcessId};
+
+use crate::violation::{SpecResult, Violation};
+
+use super::BroadcastSpec;
+
+/// **FIFO broadcast** \[Birman & Joseph 1987; Raynal, Schiper & Toueg 1991\]:
+/// if a process B-broadcasts `m` before B-broadcasting `m'`, then no process
+/// B-delivers `m'` before `m`.
+///
+/// This is the prefix-falsifiable safety reading: a process that delivered
+/// `m'` must have delivered `m` earlier. The spec is *compositional* (the
+/// predicate is per-pair, context-free) and *content-neutral* (contents are
+/// never read) — see `camp-specs::symmetry` for the executable closure tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FifoSpec;
+
+impl FifoSpec {
+    /// Creates the spec.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl BroadcastSpec for FifoSpec {
+    fn name(&self) -> String {
+        "FIFO".into()
+    }
+
+    fn admits(&self, exec: &Execution) -> SpecResult {
+        let view = DeliveryView::of(exec);
+        for sender in ProcessId::all(exec.process_count()) {
+            let order = exec.broadcasts_by(sender);
+            for (i, &m) in order.iter().enumerate() {
+                for &m2 in &order[i + 1..] {
+                    for q in ProcessId::all(exec.process_count()) {
+                        // q delivered m' (the later one)?
+                        if let Some(pos2) = view.position(q, m2) {
+                            match view.position(q, m) {
+                                Some(pos1) if pos1 < pos2 => {}
+                                _ => {
+                                    return Err(Violation::new(
+                                        "FIFO",
+                                        format!(
+                                            "{sender} B-broadcast {m} before {m2}, but {q} \
+                                             B-delivers {m2} without having first \
+                                             B-delivered {m}"
+                                        ),
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camp_trace::{Action, ExecutionBuilder, Value};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn in_order_delivery_admitted() {
+        let mut b = ExecutionBuilder::new(2);
+        let m1 = b.fresh_broadcast_message(p(1), Value::new(1));
+        let m2 = b.fresh_broadcast_message(p(1), Value::new(2));
+        b.step(p(1), Action::Broadcast { msg: m1 });
+        b.step(p(1), Action::Broadcast { msg: m2 });
+        b.step(
+            p(2),
+            Action::Deliver {
+                from: p(1),
+                msg: m1,
+            },
+        );
+        b.step(
+            p(2),
+            Action::Deliver {
+                from: p(1),
+                msg: m2,
+            },
+        );
+        assert!(FifoSpec::new().admits(&b.build()).is_ok());
+    }
+
+    #[test]
+    fn reordered_delivery_rejected() {
+        let mut b = ExecutionBuilder::new(2);
+        let m1 = b.fresh_broadcast_message(p(1), Value::new(1));
+        let m2 = b.fresh_broadcast_message(p(1), Value::new(2));
+        b.step(p(1), Action::Broadcast { msg: m1 });
+        b.step(p(1), Action::Broadcast { msg: m2 });
+        b.step(
+            p(2),
+            Action::Deliver {
+                from: p(1),
+                msg: m2,
+            },
+        );
+        b.step(
+            p(2),
+            Action::Deliver {
+                from: p(1),
+                msg: m1,
+            },
+        );
+        let err = FifoSpec::new().admits(&b.build()).unwrap_err();
+        assert_eq!(err.property(), "FIFO");
+    }
+
+    #[test]
+    fn skipped_earlier_message_rejected() {
+        // m2 delivered, m1 never delivered: a FIFO violation on any prefix
+        // extension, hence rejected.
+        let mut b = ExecutionBuilder::new(2);
+        let m1 = b.fresh_broadcast_message(p(1), Value::new(1));
+        let m2 = b.fresh_broadcast_message(p(1), Value::new(2));
+        b.step(p(1), Action::Broadcast { msg: m1 });
+        b.step(p(1), Action::Broadcast { msg: m2 });
+        b.step(
+            p(2),
+            Action::Deliver {
+                from: p(1),
+                msg: m2,
+            },
+        );
+        assert!(FifoSpec::new().admits(&b.build()).is_err());
+    }
+
+    #[test]
+    fn cross_sender_order_is_free() {
+        // FIFO constrains per-sender order only.
+        let mut b = ExecutionBuilder::new(2);
+        let m1 = b.fresh_broadcast_message(p(1), Value::new(1));
+        let m2 = b.fresh_broadcast_message(p(2), Value::new(2));
+        b.step(p(1), Action::Broadcast { msg: m1 });
+        b.step(p(2), Action::Broadcast { msg: m2 });
+        b.step(
+            p(1),
+            Action::Deliver {
+                from: p(1),
+                msg: m1,
+            },
+        );
+        b.step(
+            p(1),
+            Action::Deliver {
+                from: p(2),
+                msg: m2,
+            },
+        );
+        b.step(
+            p(2),
+            Action::Deliver {
+                from: p(2),
+                msg: m2,
+            },
+        );
+        b.step(
+            p(2),
+            Action::Deliver {
+                from: p(1),
+                msg: m1,
+            },
+        );
+        assert!(FifoSpec::new().admits(&b.build()).is_ok());
+    }
+
+    #[test]
+    fn empty_execution_admitted() {
+        assert!(FifoSpec::new().admits(&Execution::new(2)).is_ok());
+    }
+
+    #[test]
+    fn not_content_sensitive() {
+        assert!(!FifoSpec::new().is_content_sensitive());
+    }
+}

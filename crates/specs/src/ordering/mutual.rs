@@ -1,0 +1,199 @@
+//! Mutual broadcast: the abstraction that characterizes read/write registers
+//! (Déprés, Mostéfaoui, Perrin & Raynal, PODC 2023) — cited by the paper as
+//! a successful precedent of the program it pursues for k-SA.
+
+use camp_trace::{DeliveryView, Execution, ProcessId};
+
+use crate::violation::{SpecResult, Violation};
+
+use super::BroadcastSpec;
+
+/// **Mutual broadcast** \[9\]: for all pairs of messages `m` B-broadcast by
+/// `p` and `m'` B-broadcast by `q`, either `p` B-delivers `m'` before `m`,
+/// or `q` B-delivers `m` before `m'` (or both).
+///
+/// Intuition: of two concurrent broadcasts, at least one sender "hears" the
+/// other before hearing itself — the flush-like property that makes atomic
+/// registers implementable. A 1-solo execution with two processes (each
+/// delivering its own message first) violates it, which is why registers,
+/// like k-SA, do not tolerate solo-first executions.
+///
+/// Finite-prefix reading: a violation requires both sides to be beyond
+/// repair — `p` delivered `m` without `m'` before it, *and* `q` delivered
+/// `m'` without `m` before it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MutualSpec;
+
+impl MutualSpec {
+    /// Creates the spec.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl BroadcastSpec for MutualSpec {
+    fn name(&self) -> String {
+        "Mutual".into()
+    }
+
+    fn admits(&self, exec: &Execution) -> SpecResult {
+        let view = DeliveryView::of(exec);
+        let n = exec.process_count();
+        for p in ProcessId::all(n) {
+            for q in ProcessId::all(n) {
+                if q <= p {
+                    continue;
+                }
+                for &m in &exec.broadcasts_by(p) {
+                    for &m2 in &exec.broadcasts_by(q) {
+                        // p delivered m without m' before it?
+                        let p_bad = match (view.position(p, m), view.position(p, m2)) {
+                            (Some(pm), Some(pm2)) => pm < pm2,
+                            (Some(_), None) => true,
+                            _ => false,
+                        };
+                        let q_bad = match (view.position(q, m2), view.position(q, m)) {
+                            (Some(qm2), Some(qm)) => qm2 < qm,
+                            (Some(_), None) => true,
+                            _ => false,
+                        };
+                        if p_bad && q_bad {
+                            return Err(Violation::new(
+                                "Mutual",
+                                format!(
+                                    "{p} B-delivers its own {m} before {q}'s {m2}, and {q} \
+                                     B-delivers its own {m2} before {p}'s {m}: neither \
+                                     heard the other first"
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camp_trace::{Action, ExecutionBuilder, Value};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn one_side_hearing_first_is_admitted() {
+        // p1 delivers m2 before m1 — p1 heard p2 first: fine either way for p2.
+        let mut b = ExecutionBuilder::new(2);
+        let m1 = b.fresh_broadcast_message(p(1), Value::new(1));
+        let m2 = b.fresh_broadcast_message(p(2), Value::new(2));
+        b.step(p(1), Action::Broadcast { msg: m1 });
+        b.step(p(2), Action::Broadcast { msg: m2 });
+        b.step(
+            p(1),
+            Action::Deliver {
+                from: p(2),
+                msg: m2,
+            },
+        );
+        b.step(
+            p(1),
+            Action::Deliver {
+                from: p(1),
+                msg: m1,
+            },
+        );
+        b.step(
+            p(2),
+            Action::Deliver {
+                from: p(2),
+                msg: m2,
+            },
+        );
+        b.step(
+            p(2),
+            Action::Deliver {
+                from: p(1),
+                msg: m1,
+            },
+        );
+        assert!(MutualSpec::new().admits(&b.build()).is_ok());
+    }
+
+    #[test]
+    fn both_hearing_self_first_rejected() {
+        let mut b = ExecutionBuilder::new(2);
+        let m1 = b.fresh_broadcast_message(p(1), Value::new(1));
+        let m2 = b.fresh_broadcast_message(p(2), Value::new(2));
+        b.step(p(1), Action::Broadcast { msg: m1 });
+        b.step(p(2), Action::Broadcast { msg: m2 });
+        b.step(
+            p(1),
+            Action::Deliver {
+                from: p(1),
+                msg: m1,
+            },
+        );
+        b.step(
+            p(2),
+            Action::Deliver {
+                from: p(2),
+                msg: m2,
+            },
+        );
+        let err = MutualSpec::new().admits(&b.build()).unwrap_err();
+        assert_eq!(err.property(), "Mutual");
+    }
+
+    #[test]
+    fn undelivered_own_message_is_not_yet_a_violation() {
+        // p1 broadcast m1 but delivered nothing: the property can still be
+        // satisfied by a future delivery of m2 first.
+        let mut b = ExecutionBuilder::new(2);
+        let m1 = b.fresh_broadcast_message(p(1), Value::new(1));
+        let m2 = b.fresh_broadcast_message(p(2), Value::new(2));
+        b.step(p(1), Action::Broadcast { msg: m1 });
+        b.step(p(2), Action::Broadcast { msg: m2 });
+        b.step(
+            p(2),
+            Action::Deliver {
+                from: p(2),
+                msg: m2,
+            },
+        );
+        assert!(MutualSpec::new().admits(&b.build()).is_ok());
+    }
+
+    #[test]
+    fn same_sender_pairs_unconstrained() {
+        let mut b = ExecutionBuilder::new(2);
+        let m1 = b.fresh_broadcast_message(p(1), Value::new(1));
+        let m2 = b.fresh_broadcast_message(p(1), Value::new(2));
+        b.step(p(1), Action::Broadcast { msg: m1 });
+        b.step(p(1), Action::Broadcast { msg: m2 });
+        b.step(
+            p(1),
+            Action::Deliver {
+                from: p(1),
+                msg: m1,
+            },
+        );
+        b.step(
+            p(1),
+            Action::Deliver {
+                from: p(1),
+                msg: m2,
+            },
+        );
+        assert!(MutualSpec::new().admits(&b.build()).is_ok());
+    }
+
+    #[test]
+    fn empty_execution_admitted() {
+        assert!(MutualSpec::new().admits(&Execution::new(2)).is_ok());
+    }
+}

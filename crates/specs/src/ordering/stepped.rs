@@ -1,0 +1,204 @@
+//! The k-Stepped specification: the paper's canonical example of a
+//! **non-compositional** broadcast abstraction (§1.4 and §3.2).
+
+use camp_trace::{DeliveryView, Execution, MessageId, ProcessId};
+
+use crate::violation::{SpecResult, Violation};
+
+use super::BroadcastSpec;
+
+/// **k-Stepped broadcast** (paper §3.2): *"for each `a`, define `S_a` as the
+/// set containing the `a`-th message broadcast by each process; then there
+/// are at most `k` messages `m ∈ S_a` such that some process delivers `m`
+/// before any other message in `S_a`."*
+///
+/// The spec would characterize *iterated* k-SA, but the paper shows it is
+/// **not compositional**: the predicate depends on the broadcast sequence
+/// number `a`, "which is only contextually relevant within the full scope of
+/// the execution and varies when subsets of messages are considered". The
+/// executable counterexample from §3.2 is reproduced in
+/// `camp-specs::symmetry::tests` and in the E-SYM experiment table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KSteppedSpec {
+    k: usize,
+}
+
+impl KSteppedSpec {
+    /// Creates the spec for bound `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k-Stepped requires k ≥ 1");
+        Self { k }
+    }
+
+    /// The bound `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The rounds `S_1, S_2, …`: `rounds(exec)[a-1]` is the set of `a`-th
+    /// broadcast messages of each process (processes that broadcast fewer
+    /// than `a` messages contribute nothing).
+    #[must_use]
+    pub fn rounds(exec: &Execution) -> Vec<Vec<MessageId>> {
+        let per_process: Vec<Vec<MessageId>> = ProcessId::all(exec.process_count())
+            .map(|p| exec.broadcasts_by(p))
+            .collect();
+        let max_len = per_process.iter().map(Vec::len).max().unwrap_or(0);
+        (0..max_len)
+            .map(|a| {
+                per_process
+                    .iter()
+                    .filter_map(|seq| seq.get(a).copied())
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+impl BroadcastSpec for KSteppedSpec {
+    fn name(&self) -> String {
+        format!("k-Stepped({})", self.k)
+    }
+
+    fn admits(&self, exec: &Execution) -> SpecResult {
+        let view = DeliveryView::of(exec);
+        for (a, round) in Self::rounds(exec).iter().enumerate() {
+            // For each process, the message of S_a it delivers first.
+            let mut firsts: Vec<MessageId> = Vec::new();
+            for p in ProcessId::all(exec.process_count()) {
+                let first = round
+                    .iter()
+                    .filter_map(|&m| view.position(p, m).map(|pos| (pos, m)))
+                    .min();
+                if let Some((_, m)) = first {
+                    if !firsts.contains(&m) {
+                        firsts.push(m);
+                    }
+                }
+            }
+            if firsts.len() > self.k {
+                let listing: Vec<String> = firsts.iter().map(ToString::to_string).collect();
+                return Err(Violation::new(
+                    format!("k-Stepped({})", self.k),
+                    format!(
+                        "round S_{}: {} distinct messages ({}) are delivered first within \
+                         the round, exceeding k = {}",
+                        a + 1,
+                        firsts.len(),
+                        listing.join(", "),
+                        self.k
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camp_trace::{Action, ExecutionBuilder, Value};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    /// The §3.2 counterexample execution: p1 (paper's p0) and p2 (paper's p1)
+    /// each 1-Stepped-broadcast two messages m_i, m'_i; p1 delivers
+    /// [m1, m'1, m2, m'2] and p2 delivers [m1, m2, m'1, m'2].
+    pub(crate) fn paper_counterexample() -> (Execution, [MessageId; 4]) {
+        let mut b = ExecutionBuilder::new(2);
+        let m1 = b.fresh_broadcast_message(p(1), Value::new(10)); // m_0 in the paper
+        let m1p = b.fresh_broadcast_message(p(1), Value::new(11)); // m'_0
+        let m2 = b.fresh_broadcast_message(p(2), Value::new(20)); // m_1
+        let m2p = b.fresh_broadcast_message(p(2), Value::new(21)); // m'_1
+        b.step(p(1), Action::Broadcast { msg: m1 });
+        b.step(p(1), Action::Broadcast { msg: m1p });
+        b.step(p(2), Action::Broadcast { msg: m2 });
+        b.step(p(2), Action::Broadcast { msg: m2p });
+        for m in [m1, m1p, m2, m2p] {
+            let from = if m == m1 || m == m1p { p(1) } else { p(2) };
+            b.step(p(1), Action::Deliver { from, msg: m });
+        }
+        for m in [m1, m2, m1p, m2p] {
+            let from = if m == m1 || m == m1p { p(1) } else { p(2) };
+            b.step(p(2), Action::Deliver { from, msg: m });
+        }
+        (b.build(), [m1, m1p, m2, m2p])
+    }
+
+    #[test]
+    fn rounds_are_extracted_per_sequence_number() {
+        let (e, [m1, m1p, m2, m2p]) = paper_counterexample();
+        let rounds = KSteppedSpec::rounds(&e);
+        assert_eq!(rounds.len(), 2);
+        assert_eq!(rounds[0], vec![m1, m2]);
+        assert_eq!(rounds[1], vec![m1p, m2p]);
+    }
+
+    #[test]
+    fn paper_counterexample_satisfies_one_stepped() {
+        // Both processes deliver m1 before m2 (round 1) and m'1 before m'2
+        // (round 2): the 1-stepped predicate holds on the full execution.
+        let (e, _) = paper_counterexample();
+        assert!(KSteppedSpec::new(1).admits(&e).is_ok());
+    }
+
+    #[test]
+    fn restriction_of_paper_counterexample_fails_one_stepped() {
+        // §3.2: "the execution's restriction to the subset {m'_0, m_1} fails
+        // to maintain this order" — after restriction both messages are in
+        // round S_1, and the processes deliver them in opposite orders, so
+        // both are "first within S_1" somewhere: 2 > k = 1.
+        let (e, [_, m1p, m2, _]) = paper_counterexample();
+        let keep = [m1p, m2].into_iter().collect();
+        let restricted = e.restrict_to_messages(&keep);
+        let err = KSteppedSpec::new(1).admits(&restricted).unwrap_err();
+        assert!(err.witness().contains("S_1"), "witness: {}", err.witness());
+    }
+
+    #[test]
+    fn too_many_firsts_in_one_round_rejected() {
+        // Two processes, one round, opposite first deliveries.
+        let mut b = ExecutionBuilder::new(2);
+        let m1 = b.fresh_broadcast_message(p(1), Value::new(1));
+        let m2 = b.fresh_broadcast_message(p(2), Value::new(2));
+        b.step(p(1), Action::Broadcast { msg: m1 });
+        b.step(p(2), Action::Broadcast { msg: m2 });
+        b.step(
+            p(1),
+            Action::Deliver {
+                from: p(1),
+                msg: m1,
+            },
+        );
+        b.step(
+            p(2),
+            Action::Deliver {
+                from: p(2),
+                msg: m2,
+            },
+        );
+        let e = b.build();
+        assert!(KSteppedSpec::new(1).admits(&e).is_err());
+        assert!(KSteppedSpec::new(2).admits(&e).is_ok());
+    }
+
+    #[test]
+    fn empty_execution_admitted() {
+        assert!(KSteppedSpec::new(1).admits(&Execution::new(2)).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≥ 1")]
+    fn zero_k_rejected() {
+        let _ = KSteppedSpec::new(0);
+    }
+}

@@ -1,0 +1,367 @@
+//! Total-Order broadcast, k-Bounded-Order broadcast, and the one-shot
+//! "First-k" specification — the conflict-graph family.
+
+use camp_trace::{DeliveryView, Execution, MessageId};
+
+use crate::violation::{SpecResult, Violation};
+
+use super::BroadcastSpec;
+
+/// **Total Order broadcast** \[Powell 1996; Chandra & Toueg 1996\]: all
+/// processes B-deliver messages in a single common order. Computationally
+/// equivalent to consensus — the `k = 1` boundary of the paper's theorem.
+///
+/// Finite-prefix safety reading: no two processes observably disagree on the
+/// relative delivery order of any pair of messages (no *conflicted* pair in
+/// the sense of [`DeliveryView::conflicted`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TotalOrderSpec;
+
+impl TotalOrderSpec {
+    /// Creates the spec.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl BroadcastSpec for TotalOrderSpec {
+    fn name(&self) -> String {
+        "Total-Order".into()
+    }
+
+    fn admits(&self, exec: &Execution) -> SpecResult {
+        let view = DeliveryView::of(exec);
+        let delivered = delivered_messages(&view);
+        for (i, &a) in delivered.iter().enumerate() {
+            for &b in &delivered[i + 1..] {
+                if view.conflicted(a, b) {
+                    return Err(Violation::new(
+                        "Total-Order",
+                        format!(
+                            "messages {a} and {b} are delivered in opposite orders by \
+                             different processes"
+                        ),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// **k-Bounded Order broadcast (k-BO)** \[Imbs, Mostéfaoui, Perrin & Raynal,
+/// DISC 2017\]: every set of `k + 1` messages contains two messages delivered
+/// in the same order by all processes. For `k = 1` this is Total Order.
+///
+/// In shared memory, k-BO broadcast is computationally equivalent to k-SA;
+/// the paper proves that **no** compositional content-neutral broadcast —
+/// k-BO included — is equivalent to k-SA in message passing. A corollary
+/// (end of §1.3): k-BO broadcast cannot be implemented from k-SA objects in
+/// message-passing systems; `camp-impossibility` demonstrates this
+/// mechanically by exhibiting, for every candidate implementation, an
+/// execution this checker rejects.
+///
+/// Finite-prefix reading: a violation is a set of `k + 1` delivered messages
+/// that are pairwise *conflicted* (every pair is delivered in opposite
+/// orders by two processes) — a `k+1`-clique in the conflict graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KBoundedOrderSpec {
+    k: usize,
+}
+
+impl KBoundedOrderSpec {
+    /// Creates the spec for disagreement bound `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k-BO requires k ≥ 1");
+        Self { k }
+    }
+
+    /// The disagreement bound `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl BroadcastSpec for KBoundedOrderSpec {
+    fn name(&self) -> String {
+        format!("k-BO({})", self.k)
+    }
+
+    fn admits(&self, exec: &Execution) -> SpecResult {
+        let view = DeliveryView::of(exec);
+        let delivered = delivered_messages(&view);
+        // Search for a clique of size k+1 in the conflict graph.
+        let adj: Vec<Vec<bool>> = delivered
+            .iter()
+            .map(|&a| {
+                delivered
+                    .iter()
+                    .map(|&b| a != b && view.conflicted(a, b))
+                    .collect()
+            })
+            .collect();
+        let mut clique: Vec<usize> = Vec::new();
+        if find_clique(&adj, 0, self.k + 1, &mut clique) {
+            let witness: Vec<String> = clique.iter().map(|&i| delivered[i].to_string()).collect();
+            return Err(Violation::new(
+                format!("k-BO({})", self.k),
+                format!(
+                    "the {} messages {{{}}} are pairwise delivered in opposite orders: no \
+                     two of them are ordered the same way by all processes",
+                    self.k + 1,
+                    witness.join(", ")
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// **First-k**: the "simplistic" one-shot specification discussed in §1.4 —
+/// *"at most k distinct messages can be delivered as the first messages by
+/// the processes"*. Equivalent to a single k-SA object, but only once; the
+/// paper rejects it as unsatisfactory precisely because it is not
+/// compositional (restricting to later messages re-creates "first" messages
+/// that the original execution never constrained).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FirstKSpec {
+    k: usize,
+}
+
+impl FirstKSpec {
+    /// Creates the spec for bound `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "First-k requires k ≥ 1");
+        Self { k }
+    }
+
+    /// The bound `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl BroadcastSpec for FirstKSpec {
+    fn name(&self) -> String {
+        format!("First-k({})", self.k)
+    }
+
+    fn admits(&self, exec: &Execution) -> SpecResult {
+        let view = DeliveryView::of(exec);
+        let firsts = view.first_delivered_set();
+        if firsts.len() > self.k {
+            let listing: Vec<String> = firsts.iter().map(ToString::to_string).collect();
+            return Err(Violation::new(
+                format!("First-k({})", self.k),
+                format!(
+                    "{} distinct messages are delivered first ({}), exceeding k = {}",
+                    firsts.len(),
+                    listing.join(", "),
+                    self.k
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Messages delivered by at least one process, deduplicated.
+fn delivered_messages(view: &DeliveryView) -> Vec<MessageId> {
+    let mut all: Vec<MessageId> = (1..=view.process_count())
+        .flat_map(|i| view.order(camp_trace::ProcessId::new(i)).to_vec())
+        .collect();
+    all.sort_unstable();
+    all.dedup();
+    all
+}
+
+/// Simple branch-and-bound search for a clique of `target` vertices.
+/// `clique` holds the indices chosen so far; vertices are tried in order
+/// starting from `from`.
+fn find_clique(adj: &[Vec<bool>], from: usize, target: usize, clique: &mut Vec<usize>) -> bool {
+    if clique.len() == target {
+        return true;
+    }
+    // Prune: not enough vertices left.
+    if from + (target - clique.len()) > adj.len() {
+        return false;
+    }
+    for v in from..adj.len() {
+        if clique.iter().all(|&u| adj[u][v]) {
+            clique.push(v);
+            if find_clique(adj, v + 1, target, clique) {
+                return true;
+            }
+            clique.pop();
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camp_trace::{Action, ExecutionBuilder, ProcessId, Value};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    /// `n` processes, each broadcasting one message and delivering its own
+    /// first, then everyone else's in id order — the shape of a 1-solo
+    /// execution (Definition 5 with N = 1).
+    fn one_solo(n: usize) -> Execution {
+        let mut b = ExecutionBuilder::new(n);
+        let msgs: Vec<_> = ProcessId::all(n)
+            .map(|pi| {
+                let m = b.fresh_broadcast_message(pi, Value::new(pi.id() as u64));
+                b.step(pi, Action::Broadcast { msg: m });
+                m
+            })
+            .collect();
+        for pi in ProcessId::all(n) {
+            b.step(
+                pi,
+                Action::Deliver {
+                    from: pi,
+                    msg: msgs[pi.index()],
+                },
+            );
+            for qi in ProcessId::all(n) {
+                if qi != pi {
+                    b.step(
+                        pi,
+                        Action::Deliver {
+                            from: qi,
+                            msg: msgs[qi.index()],
+                        },
+                    );
+                }
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn agreed_order_is_total_order() {
+        let mut b = ExecutionBuilder::new(2);
+        let m1 = b.fresh_broadcast_message(p(1), Value::new(1));
+        let m2 = b.fresh_broadcast_message(p(2), Value::new(2));
+        b.step(p(1), Action::Broadcast { msg: m1 });
+        b.step(p(2), Action::Broadcast { msg: m2 });
+        for q in 1..=2 {
+            b.step(
+                p(q),
+                Action::Deliver {
+                    from: p(1),
+                    msg: m1,
+                },
+            );
+            b.step(
+                p(q),
+                Action::Deliver {
+                    from: p(2),
+                    msg: m2,
+                },
+            );
+        }
+        assert!(TotalOrderSpec::new().admits(&b.build()).is_ok());
+    }
+
+    #[test]
+    fn one_solo_violates_total_order() {
+        let err = TotalOrderSpec::new().admits(&one_solo(2)).unwrap_err();
+        assert_eq!(err.property(), "Total-Order");
+    }
+
+    #[test]
+    fn one_solo_with_k_processes_satisfies_kbo_k() {
+        // k processes, pairwise-conflicted messages: a clique of size k only,
+        // so k-BO(k) holds, while k-BO(k-1) fails.
+        for k in 2..=4 {
+            let e = one_solo(k);
+            assert!(KBoundedOrderSpec::new(k).admits(&e).is_ok(), "k = {k}");
+            assert!(KBoundedOrderSpec::new(k - 1).admits(&e).is_err(), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn one_solo_with_k_plus_1_processes_violates_kbo_k() {
+        // This is the pigeonhole at the heart of Lemma 9: k+1 processes each
+        // delivering their own message first form a (k+1)-clique.
+        for k in 1..=4 {
+            let e = one_solo(k + 1);
+            let err = KBoundedOrderSpec::new(k).admits(&e).unwrap_err();
+            assert!(err.witness().contains("pairwise"), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn kbo_one_equals_total_order() {
+        let e = one_solo(2);
+        assert_eq!(
+            TotalOrderSpec::new().admits(&e).is_ok(),
+            KBoundedOrderSpec::new(1).admits(&e).is_ok()
+        );
+    }
+
+    #[test]
+    fn first_k_counts_global_firsts() {
+        let e = one_solo(3);
+        assert!(FirstKSpec::new(3).admits(&e).is_ok());
+        assert!(FirstKSpec::new(2).admits(&e).is_err());
+    }
+
+    #[test]
+    fn undelivered_messages_do_not_count() {
+        let mut b = ExecutionBuilder::new(2);
+        let m1 = b.fresh_broadcast_message(p(1), Value::new(1));
+        let _m2 = b.fresh_broadcast_message(p(2), Value::new(2));
+        b.step(p(1), Action::Broadcast { msg: m1 });
+        b.step(
+            p(1),
+            Action::Deliver {
+                from: p(1),
+                msg: m1,
+            },
+        );
+        let e = b.build();
+        assert!(FirstKSpec::new(1).admits(&e).is_ok());
+        assert!(TotalOrderSpec::new().admits(&e).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≥ 1")]
+    fn kbo_zero_rejected() {
+        let _ = KBoundedOrderSpec::new(0);
+    }
+
+    #[test]
+    fn clique_search_finds_triangles() {
+        // 0-1-2 triangle plus isolated 3.
+        let adj = vec![
+            vec![false, true, true, false],
+            vec![true, false, true, false],
+            vec![true, true, false, false],
+            vec![false, false, false, false],
+        ];
+        let mut c = Vec::new();
+        assert!(find_clique(&adj, 0, 3, &mut c));
+        assert_eq!(c, vec![0, 1, 2]);
+        let mut c = Vec::new();
+        assert!(!find_clique(&adj, 0, 4, &mut c));
+    }
+}

@@ -1,0 +1,251 @@
+//! The Typed-SA specification: the paper's example (§3.2) of a broadcast
+//! abstraction equivalent to k-SA that is **not content-neutral**.
+
+use std::collections::BTreeMap;
+
+use camp_trace::{DeliveryView, Execution, KsaId, MessageId, ProcessId, Value};
+
+use crate::violation::{SpecResult, Violation};
+
+use super::BroadcastSpec;
+
+/// Tag bit marking a [`Value`] as an encoded `SA(ksa, v)` message content.
+const TYPED_TAG: u64 = 1 << 63;
+
+/// **Typed-SA broadcast** (paper §3.2): an ordering property that *"only
+/// applies to messages of a special type `SA(ksa, v)`, where `ksa` uniquely
+/// identifies a k-SA object and `v` is a value proposed to `ksa`. … for each
+/// `ksa`, at most `k` distinct messages of the form `SA(ksa, _)` are
+/// delivered first by any process."*
+///
+/// The paper presents this spec to show why content-neutrality must be
+/// required: Typed-SA *is* trivially equivalent to (iterated) k-SA, but only
+/// because its defining predicate decodes message contents — substituting
+/// messages (Definition 3) destroys admissibility. It honestly reports
+/// `is_content_sensitive() == true`, and the empirical closure test in
+/// [`crate::symmetry`] finds renaming counterexamples for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TypedSaSpec {
+    k: usize,
+}
+
+impl TypedSaSpec {
+    /// Creates the spec for bound `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "Typed-SA requires k ≥ 1");
+        Self { k }
+    }
+
+    /// The bound `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Encodes the typed content `SA(obj, v)` into a [`Value`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obj` or `v` exceed 31 bits — typed contents pack both into
+    /// one tagged 64-bit word.
+    #[must_use]
+    pub fn encode(obj: KsaId, v: Value) -> Value {
+        assert!(obj.raw() < (1 << 31), "ksa id too large to encode");
+        assert!(v.raw() < (1 << 31), "value too large to encode");
+        Value::new(TYPED_TAG | (obj.raw() << 31) | v.raw())
+    }
+
+    /// Decodes a typed content, if `content` carries the `SA` tag.
+    #[must_use]
+    pub fn decode(content: Value) -> Option<(KsaId, Value)> {
+        let raw = content.raw();
+        if raw & TYPED_TAG == 0 {
+            return None;
+        }
+        let rest = raw & !TYPED_TAG;
+        Some((KsaId::new(rest >> 31), Value::new(rest & ((1 << 31) - 1))))
+    }
+}
+
+impl BroadcastSpec for TypedSaSpec {
+    fn name(&self) -> String {
+        format!("Typed-SA({})", self.k)
+    }
+
+    fn is_content_sensitive(&self) -> bool {
+        true
+    }
+
+    fn admits(&self, exec: &Execution) -> SpecResult {
+        // Group the SA-typed broadcast messages per k-SA object.
+        let mut groups: BTreeMap<KsaId, Vec<MessageId>> = BTreeMap::new();
+        for (id, info) in exec.messages() {
+            if let Some((obj, _)) = Self::decode(info.content) {
+                groups.entry(obj).or_default().push(id);
+            }
+        }
+        let view = DeliveryView::of(exec);
+        for (obj, members) in &groups {
+            // For each process, the group member it delivers first.
+            let mut firsts: Vec<MessageId> = Vec::new();
+            for p in ProcessId::all(exec.process_count()) {
+                let first = members
+                    .iter()
+                    .filter_map(|&m| view.position(p, m).map(|pos| (pos, m)))
+                    .min();
+                if let Some((_, m)) = first {
+                    if !firsts.contains(&m) {
+                        firsts.push(m);
+                    }
+                }
+            }
+            if firsts.len() > self.k {
+                let listing: Vec<String> = firsts.iter().map(ToString::to_string).collect();
+                return Err(Violation::new(
+                    format!("Typed-SA({})", self.k),
+                    format!(
+                        "{} distinct SA({obj}, _) messages ({}) are delivered first, \
+                         exceeding k = {}",
+                        firsts.len(),
+                        listing.join(", "),
+                        self.k
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camp_trace::{Action, ExecutionBuilder};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let obj = KsaId::new(12);
+        let v = Value::new(345);
+        let enc = TypedSaSpec::encode(obj, v);
+        assert_eq!(TypedSaSpec::decode(enc), Some((obj, v)));
+        assert_eq!(TypedSaSpec::decode(Value::new(42)), None);
+    }
+
+    /// Two processes each broadcast an SA(obj, _) message and deliver their
+    /// own first: 2 distinct firsts within the obj group.
+    fn two_firsts(obj_a: u64, obj_b: u64) -> Execution {
+        let mut b = ExecutionBuilder::new(2);
+        let m1 =
+            b.fresh_broadcast_message(p(1), TypedSaSpec::encode(KsaId::new(obj_a), Value::new(1)));
+        let m2 =
+            b.fresh_broadcast_message(p(2), TypedSaSpec::encode(KsaId::new(obj_b), Value::new(2)));
+        b.step(p(1), Action::Broadcast { msg: m1 });
+        b.step(p(2), Action::Broadcast { msg: m2 });
+        b.step(
+            p(1),
+            Action::Deliver {
+                from: p(1),
+                msg: m1,
+            },
+        );
+        b.step(
+            p(2),
+            Action::Deliver {
+                from: p(2),
+                msg: m2,
+            },
+        );
+        b.build()
+    }
+
+    #[test]
+    fn same_object_group_bounded() {
+        let e = two_firsts(7, 7);
+        assert!(TypedSaSpec::new(1).admits(&e).is_err());
+        assert!(TypedSaSpec::new(2).admits(&e).is_ok());
+    }
+
+    #[test]
+    fn distinct_object_groups_independent() {
+        let e = two_firsts(7, 8);
+        assert!(TypedSaSpec::new(1).admits(&e).is_ok());
+    }
+
+    #[test]
+    fn untyped_messages_are_unconstrained() {
+        let mut b = ExecutionBuilder::new(2);
+        let m1 = b.fresh_broadcast_message(p(1), Value::new(1));
+        let m2 = b.fresh_broadcast_message(p(2), Value::new(2));
+        b.step(p(1), Action::Broadcast { msg: m1 });
+        b.step(p(2), Action::Broadcast { msg: m2 });
+        b.step(
+            p(1),
+            Action::Deliver {
+                from: p(1),
+                msg: m1,
+            },
+        );
+        b.step(
+            p(2),
+            Action::Deliver {
+                from: p(2),
+                msg: m2,
+            },
+        );
+        assert!(TypedSaSpec::new(1).admits(&b.build()).is_ok());
+    }
+
+    #[test]
+    fn declares_content_sensitivity() {
+        assert!(TypedSaSpec::new(1).is_content_sensitive());
+    }
+
+    #[test]
+    fn renaming_contents_flips_admissibility() {
+        // The crux of §3.2: replace untyped contents by typed ones and an
+        // admitted execution becomes rejected — content-neutrality fails.
+        let mut b = ExecutionBuilder::new(2);
+        let m1 = b.fresh_broadcast_message(p(1), Value::new(1));
+        let m2 = b.fresh_broadcast_message(p(2), Value::new(2));
+        b.step(p(1), Action::Broadcast { msg: m1 });
+        b.step(p(2), Action::Broadcast { msg: m2 });
+        b.step(
+            p(1),
+            Action::Deliver {
+                from: p(1),
+                msg: m1,
+            },
+        );
+        b.step(
+            p(2),
+            Action::Deliver {
+                from: p(2),
+                msg: m2,
+            },
+        );
+        let e = b.build();
+        let spec = TypedSaSpec::new(1);
+        assert!(spec.admits(&e).is_ok());
+
+        let mut r = camp_trace::Renaming::new();
+        r.replace_content(m1, TypedSaSpec::encode(KsaId::new(3), Value::new(1)));
+        r.replace_content(m2, TypedSaSpec::encode(KsaId::new(3), Value::new(2)));
+        let renamed = e.rename_messages(&r).unwrap();
+        assert!(spec.admits(&renamed).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn oversized_value_rejected() {
+        let _ = TypedSaSpec::encode(KsaId::new(0), Value::new(1 << 40));
+    }
+}

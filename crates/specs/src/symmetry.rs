@@ -1,0 +1,556 @@
+//! The paper's two novel symmetry properties — **compositionality**
+//! (Definition 2) and **content-neutrality** (Definition 3) — as executable
+//! *closure tests*.
+//!
+//! A broadcast abstraction `B` is:
+//!
+//! * **compositional** if for every execution `α` admitted by `B` and every
+//!   set of messages `M`, the restriction of `α` onto `M` is also admitted;
+//! * **content-neutral** if for every admitted `α` and every injective
+//!   message renaming `r`, the execution obtained by replacing every `m`
+//!   with `r(m)` is also admitted.
+//!
+//! Both definitions quantify over all executions; a program can only probe
+//! the quantifier. Given a specification and a *corpus* execution, the
+//! functions here enumerate (exhaustively, for small message counts) or
+//! sample message subsets and renamings, and report either closure over all
+//! cases tried or a concrete counterexample — exactly the evidence the
+//! paper's own §3.2 counterexamples provide for k-Stepped (non-compositional)
+//! and Typed-SA (non-content-neutral).
+
+use camp_trace::{Execution, KsaId, MessageId, Renaming, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::ordering::{BroadcastSpec, TypedSaSpec};
+use crate::violation::Violation;
+
+/// Tuning of the closure tests.
+#[derive(Debug, Clone)]
+pub struct SymmetryConfig {
+    /// Enumerate all `2^m` message subsets when the execution has at most
+    /// this many broadcast messages; sample otherwise.
+    pub max_exhaustive_messages: usize,
+    /// Number of random subsets sampled above the exhaustive limit.
+    pub sampled_subsets: usize,
+    /// Number of random renamings sampled.
+    pub sampled_renamings: usize,
+}
+
+impl Default for SymmetryConfig {
+    fn default() -> Self {
+        Self {
+            max_exhaustive_messages: 10,
+            sampled_subsets: 64,
+            sampled_renamings: 32,
+        }
+    }
+}
+
+/// The outcome of a closure test.
+#[derive(Debug, Clone)]
+pub enum Closure {
+    /// Every transformed execution tried was still admitted.
+    Closed {
+        /// Number of transformed executions checked.
+        cases_checked: usize,
+    },
+    /// The base execution itself is not admitted by the spec; the closure
+    /// property is vacuous on it.
+    Vacuous(Violation),
+    /// A transformation broke admissibility: the symmetry property fails.
+    Counterexample(Box<ClosureCounterexample>),
+}
+
+impl Closure {
+    /// Did the test observe closure (including vacuously)?
+    #[must_use]
+    pub fn holds(&self) -> bool {
+        !matches!(self, Closure::Counterexample(_))
+    }
+}
+
+/// A concrete witness that a symmetry property fails.
+#[derive(Debug, Clone)]
+pub struct ClosureCounterexample {
+    /// What transformation was applied (human-readable).
+    pub transformation: String,
+    /// Why the transformed execution is rejected.
+    pub violation: Violation,
+    /// The transformed execution itself.
+    pub transformed: Execution,
+}
+
+/// Tests **compositionality** (Definition 2) of `spec` on the corpus
+/// execution `exec`: every restriction of an admitted execution onto a
+/// message subset must remain admitted.
+///
+/// Subsets range over the *broadcast-level* messages of `exec` (the ordering
+/// predicates of broadcast specifications are stated on those). All `2^m`
+/// subsets are tried when `m ≤ cfg.max_exhaustive_messages`; otherwise
+/// `cfg.sampled_subsets` random subsets plus the structured family
+/// (singletons, complements of singletons, all pairs) are tried.
+#[must_use]
+pub fn check_compositional(
+    spec: &dyn BroadcastSpec,
+    exec: &Execution,
+    cfg: &SymmetryConfig,
+    seed: u64,
+) -> Closure {
+    if let Err(v) = spec.admits(exec) {
+        return Closure::Vacuous(v);
+    }
+    let msgs: Vec<MessageId> = exec.broadcast_messages().collect();
+    let mut cases = 0;
+
+    let try_subset = |subset: &[MessageId]| -> Option<Closure> {
+        let keep = subset.iter().copied().collect();
+        let restricted = exec.restrict_to_messages(&keep);
+        match spec.admits(&restricted) {
+            Ok(()) => None,
+            Err(violation) => {
+                let listing: Vec<String> = subset.iter().map(ToString::to_string).collect();
+                Some(Closure::Counterexample(Box::new(ClosureCounterexample {
+                    transformation: format!("restriction to {{{}}}", listing.join(", ")),
+                    violation,
+                    transformed: restricted,
+                })))
+            }
+        }
+    };
+
+    if msgs.len() <= cfg.max_exhaustive_messages {
+        for mask in 0..(1u64 << msgs.len()) {
+            let subset: Vec<MessageId> = msgs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, m)| *m)
+                .collect();
+            cases += 1;
+            if let Some(cex) = try_subset(&subset) {
+                return cex;
+            }
+        }
+    } else {
+        // Structured family first: singletons, complements, pairs.
+        for i in 0..msgs.len() {
+            cases += 2;
+            if let Some(cex) = try_subset(&[msgs[i]]) {
+                return cex;
+            }
+            let complement: Vec<MessageId> = msgs
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, m)| *m)
+                .collect();
+            if let Some(cex) = try_subset(&complement) {
+                return cex;
+            }
+            for j in i + 1..msgs.len() {
+                cases += 1;
+                if let Some(cex) = try_subset(&[msgs[i], msgs[j]]) {
+                    return cex;
+                }
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..cfg.sampled_subsets {
+            let subset: Vec<MessageId> =
+                msgs.iter().copied().filter(|_| rng.gen_bool(0.5)).collect();
+            cases += 1;
+            if let Some(cex) = try_subset(&subset) {
+                return cex;
+            }
+        }
+    }
+    Closure::Closed {
+        cases_checked: cases,
+    }
+}
+
+/// Tests **content-neutrality** (Definition 3) of `spec` on the corpus
+/// execution `exec`: every injective renaming of an admitted execution must
+/// remain admitted.
+///
+/// Three renaming families are tried:
+///
+/// 1. fresh identities with uniformly random contents;
+/// 2. content permutations (identities fixed, contents shuffled);
+/// 3. the *typing* family: all contents mapped into a single `SA(ksa, _)`
+///    group (the renaming that §3.2's Typed-SA counterexample cannot
+///    survive).
+#[must_use]
+pub fn check_content_neutral(
+    spec: &dyn BroadcastSpec,
+    exec: &Execution,
+    cfg: &SymmetryConfig,
+    seed: u64,
+) -> Closure {
+    if let Err(v) = spec.admits(exec) {
+        return Closure::Vacuous(v);
+    }
+    let msgs: Vec<MessageId> = exec.broadcast_messages().collect();
+    let fresh_base: u64 = exec
+        .messages()
+        .map(|(id, _)| id.raw())
+        .max()
+        .map_or(0, |m| m + 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cases = 0;
+
+    let try_renaming = |r: &Renaming, what: &str| -> Option<Closure> {
+        let renamed = exec
+            .rename_messages(r)
+            .expect("generated renamings are injective");
+        match spec.admits(&renamed) {
+            Ok(()) => None,
+            Err(violation) => Some(Closure::Counterexample(Box::new(ClosureCounterexample {
+                transformation: what.to_string(),
+                violation,
+                transformed: renamed,
+            }))),
+        }
+    };
+
+    // Family 3 (deterministic): map every content into one typed group.
+    let mut typing = Renaming::new();
+    for (i, &m) in msgs.iter().enumerate() {
+        typing.replace_content(m, TypedSaSpec::encode(KsaId::new(1), Value::new(i as u64)));
+    }
+    cases += 1;
+    if let Some(cex) = try_renaming(&typing, "typing renaming: contents ↦ SA(ksa1, i)") {
+        return cex;
+    }
+
+    for round in 0..cfg.sampled_renamings {
+        // Family 1: fresh ids, random contents.
+        let mut fresh = Renaming::new();
+        for (i, &m) in msgs.iter().enumerate() {
+            let id = MessageId::new(fresh_base + (round as u64) * msgs.len() as u64 + i as u64);
+            fresh.rename(m, id, Value::new(rng.gen()));
+        }
+        cases += 1;
+        if let Some(cex) = try_renaming(&fresh, "fresh identities with random contents") {
+            return cex;
+        }
+
+        // Family 2: permute contents among the messages.
+        let mut contents: Vec<Value> = msgs
+            .iter()
+            .map(|&m| exec.message(m).expect("registered").content)
+            .collect();
+        contents.shuffle(&mut rng);
+        let mut perm = Renaming::new();
+        for (&m, &c) in msgs.iter().zip(&contents) {
+            perm.replace_content(m, c);
+        }
+        cases += 1;
+        if let Some(cex) = try_renaming(&perm, "content permutation") {
+            return cex;
+        }
+    }
+    Closure::Closed {
+        cases_checked: cases,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ordering::{
+        CausalSpec, FifoSpec, FirstKSpec, KBoundedOrderSpec, KSteppedSpec, SendToAllSpec,
+        TotalOrderSpec,
+    };
+    use camp_trace::{Action, ExecutionBuilder, ProcessId};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    /// The §3.2 counterexample: two processes, two messages each,
+    /// deliveries [m1, m1', m2, m2'] at p1 and [m1, m2, m1', m2'] at p2.
+    fn stepped_counterexample() -> Execution {
+        let mut b = ExecutionBuilder::new(2);
+        let m1 = b.fresh_broadcast_message(p(1), Value::new(10));
+        let m1p = b.fresh_broadcast_message(p(1), Value::new(11));
+        let m2 = b.fresh_broadcast_message(p(2), Value::new(20));
+        let m2p = b.fresh_broadcast_message(p(2), Value::new(21));
+        b.step(p(1), Action::Broadcast { msg: m1 });
+        b.step(p(1), Action::Broadcast { msg: m1p });
+        b.step(p(2), Action::Broadcast { msg: m2 });
+        b.step(p(2), Action::Broadcast { msg: m2p });
+        b.step(
+            p(1),
+            Action::Deliver {
+                from: p(1),
+                msg: m1,
+            },
+        );
+        b.step(
+            p(1),
+            Action::Deliver {
+                from: p(1),
+                msg: m1p,
+            },
+        );
+        b.step(
+            p(1),
+            Action::Deliver {
+                from: p(2),
+                msg: m2,
+            },
+        );
+        b.step(
+            p(1),
+            Action::Deliver {
+                from: p(2),
+                msg: m2p,
+            },
+        );
+        b.step(
+            p(2),
+            Action::Deliver {
+                from: p(1),
+                msg: m1,
+            },
+        );
+        b.step(
+            p(2),
+            Action::Deliver {
+                from: p(2),
+                msg: m2,
+            },
+        );
+        b.step(
+            p(2),
+            Action::Deliver {
+                from: p(1),
+                msg: m1p,
+            },
+        );
+        b.step(
+            p(2),
+            Action::Deliver {
+                from: p(2),
+                msg: m2p,
+            },
+        );
+        b.build()
+    }
+
+    /// An execution where all processes deliver all messages in one common
+    /// order — admitted by every spec in the crate.
+    fn totally_ordered(n: usize, per_process: usize) -> Execution {
+        let mut b = ExecutionBuilder::new(n);
+        let mut msgs = Vec::new();
+        for round in 0..per_process {
+            for pi in ProcessId::all(n) {
+                let m = b.fresh_broadcast_message(pi, Value::new((round * n + pi.id()) as u64));
+                b.step(pi, Action::Broadcast { msg: m });
+                msgs.push((pi, m));
+            }
+        }
+        for pi in ProcessId::all(n) {
+            for &(from, m) in &msgs {
+                b.step(pi, Action::Deliver { from, msg: m });
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn compositional_specs_pass_exhaustively() {
+        let e = totally_ordered(2, 2);
+        let cfg = SymmetryConfig::default();
+        for spec in [
+            &SendToAllSpec::new() as &dyn BroadcastSpec,
+            &FifoSpec::new(),
+            &CausalSpec::new(),
+            &TotalOrderSpec::new(),
+            &KBoundedOrderSpec::new(2),
+        ] {
+            let outcome = check_compositional(spec, &e, &cfg, 7);
+            assert!(
+                matches!(outcome, Closure::Closed { cases_checked } if cases_checked == 16),
+                "{} should be compositional on this corpus: {outcome:?}",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn k_stepped_fails_compositionality_on_paper_counterexample() {
+        let e = stepped_counterexample();
+        let spec = KSteppedSpec::new(1);
+        assert!(
+            spec.admits(&e).is_ok(),
+            "the full execution is 1-stepped-admissible"
+        );
+        let outcome = check_compositional(&spec, &e, &SymmetryConfig::default(), 7);
+        match outcome {
+            Closure::Counterexample(cex) => {
+                assert!(cex.transformation.contains("restriction"));
+                assert_eq!(cex.violation.property(), "k-Stepped(1)");
+            }
+            other => panic!("expected a counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn first_k_fails_compositionality() {
+        // First-k(1) admits a totally-ordered execution, but restricting to
+        // the *second* message makes that message "first" at every process —
+        // still one message, fine. The failing restriction needs two
+        // messages whose first-deliverers differ once earlier messages are
+        // removed. Build: common order m1 m2 m3 at p1; p2 delivers m1 m3 m2.
+        let mut b = ExecutionBuilder::new(2);
+        let m1 = b.fresh_broadcast_message(p(1), Value::new(1));
+        let m2 = b.fresh_broadcast_message(p(1), Value::new(2));
+        let m3 = b.fresh_broadcast_message(p(2), Value::new(3));
+        b.step(p(1), Action::Broadcast { msg: m1 });
+        b.step(p(1), Action::Broadcast { msg: m2 });
+        b.step(p(2), Action::Broadcast { msg: m3 });
+        b.step(
+            p(1),
+            Action::Deliver {
+                from: p(1),
+                msg: m1,
+            },
+        );
+        b.step(
+            p(1),
+            Action::Deliver {
+                from: p(1),
+                msg: m2,
+            },
+        );
+        b.step(
+            p(1),
+            Action::Deliver {
+                from: p(2),
+                msg: m3,
+            },
+        );
+        b.step(
+            p(2),
+            Action::Deliver {
+                from: p(1),
+                msg: m1,
+            },
+        );
+        b.step(
+            p(2),
+            Action::Deliver {
+                from: p(2),
+                msg: m3,
+            },
+        );
+        b.step(
+            p(2),
+            Action::Deliver {
+                from: p(1),
+                msg: m2,
+            },
+        );
+        let e = b.build();
+        let spec = FirstKSpec::new(1);
+        assert!(spec.admits(&e).is_ok());
+        let outcome = check_compositional(&spec, &e, &SymmetryConfig::default(), 7);
+        assert!(
+            !outcome.holds(),
+            "First-k(1) must not be compositional: {outcome:?}"
+        );
+    }
+
+    #[test]
+    fn content_neutral_specs_pass() {
+        let e = totally_ordered(2, 2);
+        let cfg = SymmetryConfig::default();
+        for spec in [
+            &SendToAllSpec::new() as &dyn BroadcastSpec,
+            &FifoSpec::new(),
+            &CausalSpec::new(),
+            &TotalOrderSpec::new(),
+            &KBoundedOrderSpec::new(2),
+            &KSteppedSpec::new(2),
+            &FirstKSpec::new(4),
+        ] {
+            let outcome = check_content_neutral(spec, &e, &cfg, 11);
+            assert!(
+                outcome.holds(),
+                "{} should be content-neutral: {outcome:?}",
+                spec.name()
+            );
+            assert!(!spec.is_content_sensitive(), "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn typed_sa_fails_content_neutrality() {
+        // Corpus: two processes deliver their own (untyped) message first —
+        // admitted by Typed-SA (no typed contents at all). The typing
+        // renaming maps both contents into one SA group and breaks it.
+        let mut b = ExecutionBuilder::new(2);
+        let m1 = b.fresh_broadcast_message(p(1), Value::new(1));
+        let m2 = b.fresh_broadcast_message(p(2), Value::new(2));
+        b.step(p(1), Action::Broadcast { msg: m1 });
+        b.step(p(2), Action::Broadcast { msg: m2 });
+        b.step(
+            p(1),
+            Action::Deliver {
+                from: p(1),
+                msg: m1,
+            },
+        );
+        b.step(
+            p(2),
+            Action::Deliver {
+                from: p(2),
+                msg: m2,
+            },
+        );
+        let e = b.build();
+        let spec = TypedSaSpec::new(1);
+        assert!(spec.admits(&e).is_ok());
+        let outcome = check_content_neutral(&spec, &e, &SymmetryConfig::default(), 13);
+        match outcome {
+            Closure::Counterexample(cex) => {
+                assert!(
+                    cex.transformation.contains("typing"),
+                    "{}",
+                    cex.transformation
+                );
+            }
+            other => panic!("expected counterexample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn vacuous_when_corpus_not_admitted() {
+        let e = stepped_counterexample(); // violates Total-Order
+        let outcome =
+            check_compositional(&TotalOrderSpec::new(), &e, &SymmetryConfig::default(), 7);
+        assert!(matches!(outcome, Closure::Vacuous(_)));
+        assert!(outcome.holds());
+        let outcome =
+            check_content_neutral(&TotalOrderSpec::new(), &e, &SymmetryConfig::default(), 7);
+        assert!(matches!(outcome, Closure::Vacuous(_)));
+    }
+
+    #[test]
+    fn sampling_path_taken_for_large_corpora() {
+        let e = totally_ordered(3, 4); // 12 messages > default limit of 10
+        let cfg = SymmetryConfig {
+            max_exhaustive_messages: 4,
+            ..Default::default()
+        };
+        let outcome = check_compositional(&TotalOrderSpec::new(), &e, &cfg, 3);
+        match outcome {
+            Closure::Closed { cases_checked } => assert!(cases_checked > 12),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Violations: property failures with human-readable witnesses.
+
+use std::error::Error;
+use std::fmt;
+
+/// The result of checking a property against an execution.
+pub type SpecResult = Result<(), Violation>;
+
+/// A property violation, carrying the property name and a witness
+/// description precise enough to locate the offending steps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    property: String,
+    witness: String,
+}
+
+impl Violation {
+    /// Creates a violation of `property` with a `witness` description.
+    #[must_use]
+    pub fn new(property: impl Into<String>, witness: impl Into<String>) -> Self {
+        Self {
+            property: property.into(),
+            witness: witness.into(),
+        }
+    }
+
+    /// The violated property's name (e.g. `"SR-Validity"`).
+    #[must_use]
+    pub fn property(&self) -> &str {
+        &self.property
+    }
+
+    /// The witness description.
+    #[must_use]
+    pub fn witness(&self) -> &str {
+        &self.witness
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} violated: {}", self.property, self.witness)
+    }
+}
+
+impl Error for Violation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_property_and_witness() {
+        let v = Violation::new("SR-Validity", "p2 received m3 never sent to it");
+        assert_eq!(v.property(), "SR-Validity");
+        assert!(v.to_string().contains("SR-Validity violated"));
+        assert!(v.to_string().contains("m3"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes<E: std::error::Error>(_: E) {}
+        takes(Violation::new("x", "y"));
+    }
+}

@@ -1,0 +1,190 @@
+//! The structural half of well-formedness (paper Definition 1).
+//!
+//! Definition 1 has three clauses. The first two are purely structural and
+//! checked here: (1) only processes `p_1 … p_n` take actions — guaranteed by
+//! [`camp_trace::Execution`]'s validated construction and re-checked here for
+//! traces built from parts; (2) a process only invokes an operation after
+//! returning from its previous invocation. The third clause — the actions
+//! between an invocation and its response align with the algorithm `𝒜` —
+//! quantifies over an algorithm and is discharged *by construction* in
+//! `camp-sim` (the simulator only ever executes steps the algorithm chose);
+//! the replay checker in `camp-impossibility` re-verifies it for the
+//! adversarial executions.
+
+use std::collections::HashMap;
+
+use camp_trace::{Action, Execution, ProcessId};
+
+use crate::violation::{SpecResult, Violation};
+
+/// Checks the structural well-formedness conditions:
+///
+/// * no process takes a step after crashing;
+/// * broadcast invocations and responses alternate per process, and each
+///   response matches the message of the pending invocation;
+/// * k-SA `propose` invocations are not nested with pending broadcast
+///   invocations of the same process are *allowed* (an algorithm `ℬ` may
+///   propose while implementing a broadcast), but `decide` responses must
+///   match a pending `propose` on the same object (checked in
+///   [`crate::ksa::ksa_one_shot`]).
+///
+/// # Errors
+///
+/// Returns a [`Violation`] naming the structural defect.
+pub fn check_structure(exec: &Execution) -> SpecResult {
+    let mut crashed: HashMap<ProcessId, usize> = HashMap::new();
+    // The message of the currently pending B.broadcast invocation, per process.
+    let mut pending_broadcast: HashMap<ProcessId, camp_trace::MessageId> = HashMap::new();
+
+    for (i, step) in exec.steps().iter().enumerate() {
+        if let Some(at) = crashed.get(&step.process) {
+            return Err(Violation::new(
+                "Well-Formedness",
+                format!(
+                    "step {i}: {} takes a step after crashing at step {at}",
+                    step.process
+                ),
+            ));
+        }
+        match step.action {
+            Action::Crash => {
+                crashed.insert(step.process, i);
+            }
+            Action::Broadcast { msg } => {
+                if let Some(pending) = pending_broadcast.get(&step.process) {
+                    return Err(Violation::new(
+                        "Well-Formedness",
+                        format!(
+                            "step {i}: {} invokes B.broadcast({msg}) while its \
+                             B.broadcast({pending}) is still pending",
+                            step.process
+                        ),
+                    ));
+                }
+                pending_broadcast.insert(step.process, msg);
+            }
+            Action::ReturnBroadcast { msg } => match pending_broadcast.get(&step.process) {
+                Some(pending) if *pending == msg => {
+                    pending_broadcast.remove(&step.process);
+                }
+                Some(pending) => {
+                    return Err(Violation::new(
+                        "Well-Formedness",
+                        format!(
+                            "step {i}: {} returns from B.broadcast({msg}) but its pending \
+                             invocation is B.broadcast({pending})",
+                            step.process
+                        ),
+                    ));
+                }
+                None => {
+                    return Err(Violation::new(
+                        "Well-Formedness",
+                        format!(
+                            "step {i}: {} returns from B.broadcast({msg}) without a \
+                             pending invocation",
+                            step.process
+                        ),
+                    ));
+                }
+            },
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camp_trace::{ExecutionBuilder, Step, Value};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn sync_broadcast_is_well_formed() {
+        let mut b = ExecutionBuilder::new(1);
+        let m = b.fresh_broadcast_message(p(1), Value::new(1));
+        b.sync_broadcast(p(1), m);
+        assert!(check_structure(&b.build()).is_ok());
+    }
+
+    #[test]
+    fn step_after_crash_rejected() {
+        let mut e = Execution::new(1);
+        e.push(Step::new(p(1), Action::Crash)).unwrap();
+        e.push(Step::new(p(1), Action::Internal { tag: 0 }))
+            .unwrap();
+        let err = check_structure(&e).unwrap_err();
+        assert!(err.witness().contains("after crashing"));
+    }
+
+    #[test]
+    fn nested_broadcast_invocations_rejected() {
+        let mut b = ExecutionBuilder::new(1);
+        let m1 = b.fresh_broadcast_message(p(1), Value::new(1));
+        let m2 = b.fresh_broadcast_message(p(1), Value::new(2));
+        b.step(p(1), Action::Broadcast { msg: m1 });
+        b.step(p(1), Action::Broadcast { msg: m2 });
+        assert!(check_structure(&b.build()).is_err());
+    }
+
+    #[test]
+    fn return_without_invocation_rejected() {
+        let mut b = ExecutionBuilder::new(1);
+        let m = b.fresh_broadcast_message(p(1), Value::new(1));
+        b.step(p(1), Action::ReturnBroadcast { msg: m });
+        assert!(check_structure(&b.build()).is_err());
+    }
+
+    #[test]
+    fn mismatched_return_rejected() {
+        let mut b = ExecutionBuilder::new(1);
+        let m1 = b.fresh_broadcast_message(p(1), Value::new(1));
+        let m2 = b.fresh_broadcast_message(p(1), Value::new(2));
+        b.step(p(1), Action::Broadcast { msg: m1 });
+        b.step(p(1), Action::ReturnBroadcast { msg: m2 });
+        assert!(check_structure(&b.build()).is_err());
+    }
+
+    #[test]
+    fn interleaved_processes_are_independent() {
+        let mut b = ExecutionBuilder::new(2);
+        let m1 = b.fresh_broadcast_message(p(1), Value::new(1));
+        let m2 = b.fresh_broadcast_message(p(2), Value::new(2));
+        b.step(p(1), Action::Broadcast { msg: m1 });
+        b.step(p(2), Action::Broadcast { msg: m2 });
+        b.step(p(2), Action::ReturnBroadcast { msg: m2 });
+        b.step(p(1), Action::ReturnBroadcast { msg: m1 });
+        assert!(check_structure(&b.build()).is_ok());
+    }
+
+    #[test]
+    fn proposing_during_pending_broadcast_is_allowed() {
+        // An algorithm ℬ implementing B in CAMP[k-SA] proposes while the
+        // upper-layer broadcast invocation is pending: that is the normal
+        // shape of the paper's reduction and must be accepted.
+        let mut b = ExecutionBuilder::new(1);
+        let m = b.fresh_broadcast_message(p(1), Value::new(1));
+        b.step(p(1), Action::Broadcast { msg: m });
+        b.step(
+            p(1),
+            Action::Propose {
+                obj: camp_trace::KsaId::new(0),
+                value: Value::new(5),
+            },
+        );
+        b.step(
+            p(1),
+            Action::Decide {
+                obj: camp_trace::KsaId::new(0),
+                value: Value::new(5),
+            },
+        );
+        b.step(p(1), Action::Deliver { from: p(1), msg: m });
+        b.step(p(1), Action::ReturnBroadcast { msg: m });
+        assert!(check_structure(&b.build()).is_ok());
+    }
+}

@@ -1,0 +1,183 @@
+//! Property-based tests on the specification layer: the spec hierarchy,
+//! and — most importantly — the paper's two symmetry properties tested as
+//! *universal* properties over arbitrary corpora: for every compositional
+//! spec, admissibility survives arbitrary restrictions; for every
+//! content-neutral spec, admissibility survives arbitrary injective
+//! renamings.
+
+use std::collections::BTreeSet;
+
+use camp_specs::{
+    base, BroadcastSpec, CausalSpec, FifoSpec, KBoundedOrderSpec, KSteppedSpec, MutualSpec,
+    SendToAllSpec, TotalOrderSpec, TypedSaSpec,
+};
+use camp_trace::{Action, Execution, ExecutionBuilder, MessageId, ProcessId, Renaming, Value};
+use proptest::prelude::*;
+
+/// A random broadcast-level execution: n processes, up to `m` messages
+/// each (broadcast in per-process order), each process delivering a random
+/// sub-multiset-free subsequence of all messages in random order.
+fn arb_broadcast_execution() -> impl Strategy<Value = Execution> {
+    (2usize..=3, 1usize..=2)
+        .prop_flat_map(|(n, m)| {
+            let total = n * m;
+            let orders =
+                proptest::collection::vec(proptest::collection::vec(0usize..total, 0..=total), n);
+            (Just(n), Just(m), orders)
+        })
+        .prop_map(|(n, m, orders)| {
+            let mut b = ExecutionBuilder::new(n);
+            let mut msgs = Vec::new();
+            for p in ProcessId::all(n) {
+                for s in 0..m {
+                    let msg = b.fresh_broadcast_message(p, Value::new((p.id() * 10 + s) as u64));
+                    b.step(p, Action::Broadcast { msg });
+                    b.step(p, Action::ReturnBroadcast { msg });
+                    msgs.push((p, msg));
+                }
+            }
+            for (pi, order) in orders.iter().enumerate() {
+                let p = ProcessId::new(pi + 1);
+                let mut seen = BTreeSet::new();
+                for &idx in order {
+                    if seen.insert(idx) {
+                        let (from, msg) = msgs[idx];
+                        b.step(p, Action::Deliver { from, msg });
+                    }
+                }
+            }
+            b.build()
+        })
+}
+
+/// The compositional content-neutral specs shipped with the crate.
+fn classical_specs() -> Vec<Box<dyn BroadcastSpec>> {
+    vec![
+        Box::new(SendToAllSpec::new()),
+        Box::new(FifoSpec::new()),
+        Box::new(CausalSpec::new()),
+        Box::new(TotalOrderSpec::new()),
+        Box::new(KBoundedOrderSpec::new(2)),
+        Box::new(KBoundedOrderSpec::new(3)),
+        Box::new(MutualSpec::new()),
+    ]
+}
+
+proptest! {
+    /// Base-property checkers agree with hand-rolled counting: validity
+    /// violations appear exactly when a delivery lacks a prior broadcast.
+    #[test]
+    fn bc_validity_matches_manual_account(exec in arb_broadcast_execution()) {
+        // arb_broadcast_execution always broadcasts before delivering, so
+        // validity must hold.
+        prop_assert!(base::bc_validity(&exec).is_ok());
+        prop_assert!(base::bc_no_duplication(&exec).is_ok());
+    }
+
+    /// Causal implies FIFO on every execution.
+    #[test]
+    fn causal_implies_fifo(exec in arb_broadcast_execution()) {
+        if CausalSpec::new().admits(&exec).is_ok() {
+            prop_assert!(FifoSpec::new().admits(&exec).is_ok());
+        }
+    }
+
+    /// Total order implies k-BO for every k.
+    #[test]
+    fn total_order_implies_kbo(exec in arb_broadcast_execution(), k in 1usize..5) {
+        if TotalOrderSpec::new().admits(&exec).is_ok() {
+            prop_assert!(KBoundedOrderSpec::new(k).admits(&exec).is_ok());
+        }
+    }
+
+    /// **Compositionality as a universal property** (paper Definition 2):
+    /// for each classical spec and ANY message subset, restriction
+    /// preserves admissibility.
+    #[test]
+    fn classical_specs_are_compositional(
+        exec in arb_broadcast_execution(),
+        mask in any::<u32>(),
+    ) {
+        let subset: BTreeSet<MessageId> = exec
+            .messages()
+            .enumerate()
+            .filter(|(i, _)| mask >> (i % 32) & 1 == 1)
+            .map(|(_, (id, _))| id)
+            .collect();
+        let restricted = exec.restrict_to_messages(&subset);
+        for spec in classical_specs() {
+            if spec.admits(&exec).is_ok() {
+                prop_assert!(
+                    spec.admits(&restricted).is_ok(),
+                    "{} broke under restriction",
+                    spec.name()
+                );
+            }
+        }
+    }
+
+    /// **Content-neutrality as a universal property** (paper Definition 3):
+    /// for each classical spec and ANY injective renaming, admissibility is
+    /// preserved in BOTH directions (the renaming is invertible).
+    #[test]
+    fn classical_specs_are_content_neutral(
+        exec in arb_broadcast_execution(),
+        salt in any::<u64>(),
+    ) {
+        let ids: Vec<MessageId> = exec.messages().map(|(id, _)| id).collect();
+        let mut r = Renaming::new();
+        for (i, &id) in ids.iter().enumerate() {
+            r.rename(
+                id,
+                MessageId::new(1_000_000 + i as u64),
+                Value::new(salt.wrapping_add(i as u64)),
+            );
+        }
+        let renamed = exec.rename_messages(&r).unwrap();
+        for spec in classical_specs() {
+            prop_assert_eq!(
+                spec.admits(&exec).is_ok(),
+                spec.admits(&renamed).is_ok(),
+                "{} distinguishes renamed executions", spec.name()
+            );
+        }
+    }
+
+    /// Typed-SA is invariant under renamings that keep contents untyped —
+    /// its content-sensitivity is *only* about the SA(ksa, v) encoding.
+    #[test]
+    fn typed_sa_ignores_untyped_contents(
+        exec in arb_broadcast_execution(),
+        salt in 0u64..1_000_000,
+    ) {
+        let spec = TypedSaSpec::new(2);
+        let ids: Vec<MessageId> = exec.messages().map(|(id, _)| id).collect();
+        let mut r = Renaming::new();
+        for (i, &id) in ids.iter().enumerate() {
+            // Low raw values never carry the SA tag bit.
+            r.replace_content(id, Value::new(salt + i as u64));
+        }
+        let renamed = exec.rename_messages(&r).unwrap();
+        prop_assert_eq!(spec.admits(&exec).is_ok(), spec.admits(&renamed).is_ok());
+    }
+
+    /// k-Stepped is content-neutral even though it is not compositional.
+    #[test]
+    fn k_stepped_is_content_neutral(
+        exec in arb_broadcast_execution(),
+        salt in any::<u64>(),
+    ) {
+        let spec = KSteppedSpec::new(2);
+        let ids: Vec<MessageId> = exec.messages().map(|(id, _)| id).collect();
+        let mut r = Renaming::new();
+        for (i, &id) in ids.iter().enumerate() {
+            r.rename(
+                id,
+                MessageId::new(2_000_000 + i as u64),
+                Value::new(salt.wrapping_add(i as u64)),
+            );
+        }
+        let renamed = exec.rename_messages(&r).unwrap();
+        prop_assert_eq!(spec.admits(&exec).is_ok(), spec.admits(&renamed).is_ok());
+    }
+}

@@ -1,0 +1,254 @@
+//! Steps and actions: the alphabet of executions.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{KsaId, MessageId, ProcessId, Value};
+
+/// An action occurring at a process — the `a` of a step `⟨p_i : a⟩`.
+///
+/// The vocabulary follows the paper's strict terminology split:
+///
+/// * **send / receive** are the low-level point-to-point primitives applied
+///   to individual messages ([`Action::Send`], [`Action::Receive`]);
+/// * **broadcast / deliver** are the operations and events of a broadcast
+///   abstraction ([`Action::Broadcast`], [`Action::ReturnBroadcast`],
+///   [`Action::Deliver`]); *receive* and *deliver* are **not** synonyms;
+/// * **propose / decide** are the operation and response of a
+///   k-set-agreement object ([`Action::Propose`], [`Action::Decide`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Action {
+    /// `send m to p_r`: point-to-point emission of message `msg` to `to`.
+    Send {
+        /// Destination process `p_r` (may equal the sender).
+        to: ProcessId,
+        /// The unique message being sent.
+        msg: MessageId,
+    },
+    /// `receive m from p_s`: point-to-point reception of `msg` from `from`.
+    Receive {
+        /// Source process `p_s`.
+        from: ProcessId,
+        /// The unique message being received.
+        msg: MessageId,
+    },
+    /// Invocation of `B.broadcast(m)` on the broadcast abstraction.
+    Broadcast {
+        /// The broadcast-level message `m`.
+        msg: MessageId,
+    },
+    /// Response (return) from a previous `B.broadcast(m)` invocation.
+    ReturnBroadcast {
+        /// The broadcast-level message whose invocation returns.
+        msg: MessageId,
+    },
+    /// `B.deliver m from p_j`: the broadcast abstraction delivers `msg`.
+    Deliver {
+        /// The process that B-broadcast the message.
+        from: ProcessId,
+        /// The broadcast-level message being delivered.
+        msg: MessageId,
+    },
+    /// `ksa.propose(v)`: invocation on a k-set-agreement object.
+    Propose {
+        /// The k-set-agreement object instance.
+        obj: KsaId,
+        /// The proposed value.
+        value: Value,
+    },
+    /// `ksa.decide(w)`: the response of a k-set-agreement object
+    /// (synonymous, in the paper, with `return w from ksa.propose(v)`).
+    Decide {
+        /// The k-set-agreement object instance.
+        obj: KsaId,
+        /// The decided value.
+        value: Value,
+    },
+    /// An opaque local computation step.
+    Internal {
+        /// Free-form tag, useful to distinguish internal transitions when
+        /// comparing traces for (in)distinguishability.
+        tag: u64,
+    },
+    /// The process halts prematurely; no further step of this process may
+    /// follow in a well-formed execution.
+    Crash,
+}
+
+impl Action {
+    /// The message this action references, if any.
+    #[must_use]
+    pub fn message(&self) -> Option<MessageId> {
+        match *self {
+            Action::Send { msg, .. }
+            | Action::Receive { msg, .. }
+            | Action::Broadcast { msg }
+            | Action::ReturnBroadcast { msg }
+            | Action::Deliver { msg, .. } => Some(msg),
+            Action::Propose { .. }
+            | Action::Decide { .. }
+            | Action::Internal { .. }
+            | Action::Crash => None,
+        }
+    }
+
+    /// Is this one of the three broadcast-abstraction events
+    /// (`Broadcast`, `ReturnBroadcast`, `Deliver`)?
+    ///
+    /// These are exactly the steps retained by the `β` projection of
+    /// Definition 4 in the paper.
+    #[must_use]
+    pub fn is_broadcast_event(&self) -> bool {
+        matches!(
+            self,
+            Action::Broadcast { .. } | Action::ReturnBroadcast { .. } | Action::Deliver { .. }
+        )
+    }
+
+    /// Is this a point-to-point (send/receive) event?
+    #[must_use]
+    pub fn is_point_to_point(&self) -> bool {
+        matches!(self, Action::Send { .. } | Action::Receive { .. })
+    }
+
+    /// Is this a k-set-agreement object event (propose/decide)?
+    #[must_use]
+    pub fn is_ksa_event(&self) -> bool {
+        matches!(self, Action::Propose { .. } | Action::Decide { .. })
+    }
+
+    /// Is this a *local event* in the sense of Definition 1 (well-formed
+    /// executions)? Local events — message receptions and deliveries — are
+    /// excluded when comparing a process's actions against its algorithm,
+    /// because they are triggered by the environment rather than chosen by
+    /// the process. Decisions are likewise responses produced by the
+    /// environment (the k-SA object).
+    #[must_use]
+    pub fn is_environment_event(&self) -> bool {
+        matches!(
+            self,
+            Action::Receive { .. } | Action::Deliver { .. } | Action::Decide { .. }
+        )
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Action::Send { to, msg } => write!(f, "send {msg} to {to}"),
+            Action::Receive { from, msg } => write!(f, "receive {msg} from {from}"),
+            Action::Broadcast { msg } => write!(f, "B.broadcast({msg})"),
+            Action::ReturnBroadcast { msg } => write!(f, "return from B.broadcast({msg})"),
+            Action::Deliver { from, msg } => write!(f, "B.deliver {msg} from {from}"),
+            Action::Propose { obj, value } => write!(f, "{obj}.propose({value})"),
+            Action::Decide { obj, value } => write!(f, "{obj}.decide({value})"),
+            Action::Internal { tag } => write!(f, "internal#{tag}"),
+            Action::Crash => write!(f, "crash"),
+        }
+    }
+}
+
+/// A step `⟨p_i : a⟩`: action `a` occurring at process `p_i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Step {
+    /// The process taking (or undergoing) the action.
+    pub process: ProcessId,
+    /// The action.
+    pub action: Action,
+}
+
+impl Step {
+    /// Creates the step `⟨process : action⟩`.
+    #[must_use]
+    pub fn new(process: ProcessId, action: Action) -> Self {
+        Self { process, action }
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{} : {}⟩", self.process, self.action)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn message_extraction() {
+        let m = MessageId::new(1);
+        assert_eq!(Action::Send { to: p(1), msg: m }.message(), Some(m));
+        assert_eq!(Action::Receive { from: p(1), msg: m }.message(), Some(m));
+        assert_eq!(Action::Broadcast { msg: m }.message(), Some(m));
+        assert_eq!(Action::ReturnBroadcast { msg: m }.message(), Some(m));
+        assert_eq!(Action::Deliver { from: p(1), msg: m }.message(), Some(m));
+        assert_eq!(Action::Crash.message(), None);
+        assert_eq!(Action::Internal { tag: 0 }.message(), None);
+        let propose = Action::Propose {
+            obj: KsaId::new(0),
+            value: Value::new(1),
+        };
+        assert_eq!(propose.message(), None);
+    }
+
+    #[test]
+    fn classification_is_disjoint_and_total_for_message_events() {
+        let m = MessageId::new(1);
+        let bcast = Action::Broadcast { msg: m };
+        assert!(bcast.is_broadcast_event());
+        assert!(!bcast.is_point_to_point());
+        assert!(!bcast.is_ksa_event());
+
+        let send = Action::Send { to: p(2), msg: m };
+        assert!(send.is_point_to_point());
+        assert!(!send.is_broadcast_event());
+
+        let dec = Action::Decide {
+            obj: KsaId::new(1),
+            value: Value::new(7),
+        };
+        assert!(dec.is_ksa_event());
+        assert!(!dec.is_broadcast_event());
+    }
+
+    #[test]
+    fn environment_events() {
+        let m = MessageId::new(1);
+        assert!(Action::Receive { from: p(1), msg: m }.is_environment_event());
+        assert!(Action::Deliver { from: p(1), msg: m }.is_environment_event());
+        assert!(Action::Decide {
+            obj: KsaId::new(0),
+            value: Value::new(0)
+        }
+        .is_environment_event());
+        assert!(!Action::Send { to: p(1), msg: m }.is_environment_event());
+        assert!(!Action::Broadcast { msg: m }.is_environment_event());
+        assert!(!Action::Crash.is_environment_event());
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let s = Step::new(
+            p(2),
+            Action::Deliver {
+                from: p(1),
+                msg: MessageId::new(4),
+            },
+        );
+        assert_eq!(s.to_string(), "⟨p2 : B.deliver m4 from p1⟩");
+        let s = Step::new(
+            p(1),
+            Action::Propose {
+                obj: KsaId::new(0),
+                value: Value::new(3),
+            },
+        );
+        assert_eq!(s.to_string(), "⟨p1 : ksa0.propose(3)⟩");
+    }
+}

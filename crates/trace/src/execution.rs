@@ -1,0 +1,476 @@
+//! The [`Execution`] type: a sequence of steps plus a message table.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::action::{Action, Step};
+use crate::error::TraceError;
+use crate::ids::{MessageId, ProcessId, Value};
+
+/// Whether a message lives at the broadcast-abstraction level or at the
+/// point-to-point level.
+///
+/// The paper keeps the two strictly apart: an algorithm `ℬ` implementing a
+/// broadcast abstraction *B-broadcasts* high-level messages by exchanging
+/// low-level point-to-point messages. Both kinds coexist in one execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MessageKind {
+    /// A message passed to `B.broadcast(m)` (and later B-delivered).
+    Broadcast,
+    /// A protocol message exchanged via `send`/`receive`.
+    PointToPoint,
+}
+
+/// Static information about one (unique) message of an execution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageInfo {
+    /// The process that created (B-broadcast or sent) the message.
+    pub sender: ProcessId,
+    /// Level at which the message lives.
+    pub kind: MessageKind,
+    /// The message content. Unique messages may share contents.
+    pub content: Value,
+    /// Free-form human-readable label used when rendering executions
+    /// (e.g. `"SYNCH"` or `"echo(m3)"`). Never inspected by checkers.
+    pub label: String,
+}
+
+/// An execution `α`: a finite sequence of steps `⟨p_i : a⟩` over a system of
+/// `n` processes, together with the table of (unique) messages appearing in it.
+///
+/// `Execution` is an append-only log with validated construction: every step
+/// referencing a message requires that message to be registered first, and
+/// process identifiers must be within `1..=n`. Use [`ExecutionBuilder`] for
+/// ergonomic hand construction in tests and docs.
+///
+/// [`ExecutionBuilder`]: crate::ExecutionBuilder
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Execution {
+    n: usize,
+    steps: Vec<Step>,
+    messages: BTreeMap<MessageId, MessageInfo>,
+}
+
+impl Execution {
+    /// Creates the empty execution `ε` over `n` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`: the model has at least one process.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "an execution needs at least one process");
+        Self {
+            n,
+            steps: Vec::new(),
+            messages: BTreeMap::new(),
+        }
+    }
+
+    /// Number of processes `n` of the system.
+    #[must_use]
+    pub fn process_count(&self) -> usize {
+        self.n
+    }
+
+    /// Registers a message so that steps may reference it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::DuplicateMessage`] if `id` is already registered,
+    /// or [`TraceError::UnknownProcess`] if the sender is out of range.
+    pub fn register_message(&mut self, id: MessageId, info: MessageInfo) -> Result<(), TraceError> {
+        self.check_process(info.sender)?;
+        if self.messages.contains_key(&id) {
+            return Err(TraceError::DuplicateMessage(id));
+        }
+        self.messages.insert(id, info);
+        Ok(())
+    }
+
+    /// Appends a step (`α ← α ⊕ step` in the paper's notation).
+    ///
+    /// # Errors
+    ///
+    /// * [`TraceError::UnknownProcess`] if the acting process (or a peer
+    ///   referenced by the action) is out of range;
+    /// * [`TraceError::UnknownMessage`] if the action references an
+    ///   unregistered message.
+    pub fn push(&mut self, step: Step) -> Result<(), TraceError> {
+        self.check_process(step.process)?;
+        match step.action {
+            Action::Send { to, .. } => self.check_process(to)?,
+            Action::Receive { from, .. } | Action::Deliver { from, .. } => {
+                self.check_process(from)?;
+            }
+            _ => {}
+        }
+        if let Some(msg) = step.action.message() {
+            if !self.messages.contains_key(&msg) {
+                return Err(TraceError::UnknownMessage(msg));
+            }
+        }
+        self.steps.push(step);
+        Ok(())
+    }
+
+    fn check_process(&self, p: ProcessId) -> Result<(), TraceError> {
+        if p.id() > self.n {
+            return Err(TraceError::UnknownProcess {
+                process: p,
+                n: self.n,
+            });
+        }
+        Ok(())
+    }
+
+    /// The steps of the execution, in order.
+    #[must_use]
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Is this the empty execution `ε`?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Looks up the information of a registered message.
+    #[must_use]
+    pub fn message(&self, id: MessageId) -> Option<&MessageInfo> {
+        self.messages.get(&id)
+    }
+
+    /// Iterates over `(id, info)` for every registered message, in id order.
+    pub fn messages(&self) -> impl Iterator<Item = (MessageId, &MessageInfo)> {
+        self.messages.iter().map(|(id, info)| (*id, info))
+    }
+
+    /// Identifiers of all broadcast-level messages, in id order.
+    pub fn broadcast_messages(&self) -> impl Iterator<Item = MessageId> + '_ {
+        self.messages
+            .iter()
+            .filter(|(_, info)| info.kind == MessageKind::Broadcast)
+            .map(|(id, _)| *id)
+    }
+
+    /// The steps taken by one process, in order.
+    pub fn steps_of(&self, p: ProcessId) -> impl Iterator<Item = &Step> {
+        self.steps.iter().filter(move |s| s.process == p)
+    }
+
+    /// Is `p` faulty in this execution (does it take a [`Action::Crash`] step)?
+    ///
+    /// The paper calls a process *faulty* if it crashes in a run and
+    /// *correct* otherwise. For finite prefixes this is the standard
+    /// convention: correctness is judged from the crash steps present.
+    #[must_use]
+    pub fn is_faulty(&self, p: ProcessId) -> bool {
+        self.steps_of(p).any(|s| s.action == Action::Crash)
+    }
+
+    /// Iterates over the correct (non-crashed) processes.
+    pub fn correct_processes(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        ProcessId::all(self.n).filter(move |p| !self.is_faulty(*p))
+    }
+
+    /// Iterates over the faulty (crashed) processes.
+    pub fn faulty_processes(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        ProcessId::all(self.n).filter(move |p| self.is_faulty(*p))
+    }
+
+    /// The sequence of messages B-delivered by process `p`, in delivery order.
+    ///
+    /// ```
+    /// use camp_trace::{Action, ExecutionBuilder, ProcessId, Value};
+    /// let p1 = ProcessId::new(1);
+    /// let mut b = ExecutionBuilder::new(1);
+    /// let m1 = b.fresh_broadcast_message(p1, Value::new(1));
+    /// let m2 = b.fresh_broadcast_message(p1, Value::new(2));
+    /// b.step(p1, Action::Deliver { from: p1, msg: m2 });
+    /// b.step(p1, Action::Deliver { from: p1, msg: m1 });
+    /// assert_eq!(b.build().delivery_order(p1), vec![m2, m1]);
+    /// ```
+    #[must_use]
+    pub fn delivery_order(&self, p: ProcessId) -> Vec<MessageId> {
+        self.steps_of(p)
+            .filter_map(|s| match s.action {
+                Action::Deliver { msg, .. } => Some(msg),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The first message B-delivered by `p`, if any.
+    #[must_use]
+    pub fn first_delivered(&self, p: ProcessId) -> Option<MessageId> {
+        self.steps_of(p).find_map(|s| match s.action {
+            Action::Deliver { msg, .. } => Some(msg),
+            _ => None,
+        })
+    }
+
+    /// The messages B-broadcast by `p` (invocation steps), in order.
+    #[must_use]
+    pub fn broadcasts_by(&self, p: ProcessId) -> Vec<MessageId> {
+        self.steps_of(p)
+            .filter_map(|s| match s.action {
+                Action::Broadcast { msg } => Some(msg),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All values decided on a given k-SA object across all processes,
+    /// de-duplicated, in first-decision order.
+    #[must_use]
+    pub fn decided_values(&self, obj: crate::KsaId) -> Vec<Value> {
+        let mut seen = Vec::new();
+        for s in &self.steps {
+            if let Action::Decide { obj: o, value } = s.action {
+                if o == obj && !seen.contains(&value) {
+                    seen.push(value);
+                }
+            }
+        }
+        seen
+    }
+
+    /// All k-SA object identifiers appearing in the execution, in id order.
+    #[must_use]
+    pub fn ksa_objects(&self) -> Vec<crate::KsaId> {
+        let mut objs: Vec<_> = self
+            .steps
+            .iter()
+            .filter_map(|s| match s.action {
+                Action::Propose { obj, .. } | Action::Decide { obj, .. } => Some(obj),
+                _ => None,
+            })
+            .collect();
+        objs.sort_unstable();
+        objs.dedup();
+        objs
+    }
+
+    /// Concatenates another execution's steps onto this one.
+    ///
+    /// Message tables are merged; shared message ids must agree on their info.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::DuplicateMessage`] if a message id is registered
+    /// in both executions with conflicting info, or any error of [`Self::push`].
+    pub fn concat(&mut self, other: &Execution) -> Result<(), TraceError> {
+        for (id, info) in other.messages() {
+            match self.messages.get(&id) {
+                None => self.register_message(id, info.clone())?,
+                Some(existing) if existing == info => {}
+                Some(_) => return Err(TraceError::DuplicateMessage(id)),
+            }
+        }
+        for step in other.steps() {
+            self.push(*step)?;
+        }
+        Ok(())
+    }
+
+    /// Rebuilds an execution from parts, re-validating every step.
+    ///
+    /// # Errors
+    ///
+    /// Any error of [`Self::register_message`] or [`Self::push`].
+    pub fn from_parts(
+        n: usize,
+        messages: impl IntoIterator<Item = (MessageId, MessageInfo)>,
+        steps: impl IntoIterator<Item = Step>,
+    ) -> Result<Self, TraceError> {
+        let mut exec = Execution::new(n);
+        for (id, info) in messages {
+            exec.register_message(id, info)?;
+        }
+        for step in steps {
+            exec.push(step)?;
+        }
+        Ok(exec)
+    }
+}
+
+impl fmt::Display for Execution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "execution over {} processes, {} steps:",
+            self.n,
+            self.len()
+        )?;
+        for (i, step) in self.steps.iter().enumerate() {
+            writeln!(f, "  {i:>4}: {step}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExecutionBuilder;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn empty_execution() {
+        let e = Execution::new(3);
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.process_count(), 3);
+        assert_eq!(e.correct_processes().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one process")]
+    fn zero_processes_rejected() {
+        let _ = Execution::new(0);
+    }
+
+    #[test]
+    fn push_rejects_unknown_message() {
+        let mut e = Execution::new(2);
+        let err = e
+            .push(Step::new(
+                p(1),
+                Action::Broadcast {
+                    msg: MessageId::new(7),
+                },
+            ))
+            .unwrap_err();
+        assert!(matches!(err, TraceError::UnknownMessage(m) if m == MessageId::new(7)));
+    }
+
+    #[test]
+    fn push_rejects_out_of_range_process() {
+        let mut e = Execution::new(2);
+        let err = e.push(Step::new(p(3), Action::Crash)).unwrap_err();
+        assert!(matches!(err, TraceError::UnknownProcess { .. }));
+    }
+
+    #[test]
+    fn push_rejects_out_of_range_peer() {
+        let mut b = ExecutionBuilder::new(2);
+        let m = b.fresh_broadcast_message(p(1), Value::new(0));
+        let mut e = b.build();
+        let err = e
+            .push(Step::new(p(1), Action::Send { to: p(5), msg: m }))
+            .unwrap_err();
+        assert!(matches!(err, TraceError::UnknownProcess { .. }));
+    }
+
+    #[test]
+    fn duplicate_message_rejected() {
+        let mut e = Execution::new(1);
+        let info = MessageInfo {
+            sender: p(1),
+            kind: MessageKind::Broadcast,
+            content: Value::new(0),
+            label: String::new(),
+        };
+        e.register_message(MessageId::new(1), info.clone()).unwrap();
+        let err = e.register_message(MessageId::new(1), info).unwrap_err();
+        assert!(matches!(err, TraceError::DuplicateMessage(_)));
+    }
+
+    #[test]
+    fn faulty_and_correct_classification() {
+        let mut e = Execution::new(3);
+        e.push(Step::new(p(2), Action::Crash)).unwrap();
+        assert!(e.is_faulty(p(2)));
+        assert!(!e.is_faulty(p(1)));
+        let correct: Vec<_> = e.correct_processes().collect();
+        assert_eq!(correct, vec![p(1), p(3)]);
+        let faulty: Vec<_> = e.faulty_processes().collect();
+        assert_eq!(faulty, vec![p(2)]);
+    }
+
+    #[test]
+    fn decided_values_deduplicates_in_order() {
+        let mut e = Execution::new(2);
+        let obj = crate::KsaId::new(0);
+        for (proc, v) in [(1, 5), (2, 3), (1, 5)] {
+            e.push(Step::new(
+                p(proc),
+                Action::Decide {
+                    obj,
+                    value: Value::new(v),
+                },
+            ))
+            .unwrap();
+        }
+        assert_eq!(e.decided_values(obj), vec![Value::new(5), Value::new(3)]);
+    }
+
+    #[test]
+    fn ksa_objects_sorted_dedup() {
+        let mut e = Execution::new(1);
+        for raw in [3u64, 1, 3, 2] {
+            e.push(Step::new(
+                p(1),
+                Action::Propose {
+                    obj: crate::KsaId::new(raw),
+                    value: Value::new(0),
+                },
+            ))
+            .unwrap();
+        }
+        let objs: Vec<u64> = e.ksa_objects().iter().map(|o| o.raw()).collect();
+        assert_eq!(objs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn concat_merges() {
+        let mut b1 = ExecutionBuilder::new(2);
+        let m1 = b1.fresh_broadcast_message(p(1), Value::new(1));
+        b1.step(p(1), Action::Broadcast { msg: m1 });
+        let mut e1 = b1.build();
+
+        let mut b2 = ExecutionBuilder::new(2);
+        b2.set_next_message_raw(100);
+        let m2 = b2.fresh_broadcast_message(p(2), Value::new(2));
+        b2.step(p(2), Action::Broadcast { msg: m2 });
+        let e2 = b2.build();
+
+        e1.concat(&e2).unwrap();
+        assert_eq!(e1.len(), 2);
+        assert_eq!(e1.messages().count(), 2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut b = ExecutionBuilder::new(2);
+        let m = b.fresh_broadcast_message(p(1), Value::new(9));
+        b.step(p(1), Action::Broadcast { msg: m });
+        b.step(p(2), Action::Deliver { from: p(1), msg: m });
+        let e = b.build();
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Execution = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn display_contains_steps() {
+        let mut b = ExecutionBuilder::new(1);
+        let m = b.fresh_broadcast_message(p(1), Value::new(0));
+        b.step(p(1), Action::Broadcast { msg: m });
+        let text = b.build().to_string();
+        assert!(text.contains("B.broadcast(m0)"), "got: {text}");
+    }
+}

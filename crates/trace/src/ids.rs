@@ -1,0 +1,214 @@
+//! Identifier newtypes shared by every layer of the model.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a sequential process, written `p_1 … p_n` in the paper.
+///
+/// Process identifiers are **1-based** to mirror the paper's notation: the
+/// adversarial scheduler of Algorithm 1 gives special roles to `p_k` and
+/// `p_{k+1}`, and keeping the paper's indexing makes that code auditable
+/// against the paper line by line.
+///
+/// # Example
+///
+/// ```
+/// use camp_trace::ProcessId;
+/// let p3 = ProcessId::new(3);
+/// assert_eq!(p3.id(), 3);
+/// assert_eq!(p3.index(), 2); // 0-based index for array storage
+/// assert_eq!(p3.to_string(), "p3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcessId(usize);
+
+impl ProcessId {
+    /// Creates the identifier of process `p_id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id == 0`; the paper numbers processes from 1.
+    #[must_use]
+    pub fn new(id: usize) -> Self {
+        assert!(id > 0, "process identifiers are 1-based (got 0)");
+        Self(id)
+    }
+
+    /// The 1-based identifier (`3` for `p3`).
+    #[must_use]
+    pub fn id(self) -> usize {
+        self.0
+    }
+
+    /// The 0-based index, convenient for vector storage (`2` for `p3`).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 - 1
+    }
+
+    /// Iterates over all process identifiers of a system of `n` processes.
+    ///
+    /// ```
+    /// use camp_trace::ProcessId;
+    /// let all: Vec<_> = ProcessId::all(3).collect();
+    /// assert_eq!(all, vec![ProcessId::new(1), ProcessId::new(2), ProcessId::new(3)]);
+    /// ```
+    pub fn all(n: usize) -> impl DoubleEndedIterator<Item = ProcessId> + Clone {
+        (1..=n).map(ProcessId)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Unique identifier of a message within an execution.
+///
+/// Following the paper ("although messages may share content, each sent
+/// message is unique"), identity is distinct from content: two messages may
+/// carry equal [`Value`]s yet remain different messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MessageId(u64);
+
+impl MessageId {
+    /// Wraps a raw message identifier.
+    #[must_use]
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The raw identifier.
+    #[must_use]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Identifier of a k-set-agreement object instance (the `ksa` of the paper).
+///
+/// In `CAMP_n[k-SA]` processes have access to *as many instances of the
+/// k-set-agreement object as needed*; instances are distinguished by this id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct KsaId(u64);
+
+impl KsaId {
+    /// Wraps a raw object identifier.
+    #[must_use]
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The raw identifier.
+    #[must_use]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for KsaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ksa{}", self.0)
+    }
+}
+
+/// An opaque application-level value: a message content, or a value proposed
+/// to / decided on a k-set-agreement object.
+///
+/// Contents are deliberately opaque `u64`s: the paper's *content-neutrality*
+/// property (Definition 3) states that admissibility of an execution must not
+/// depend on contents, and keeping them opaque makes content-dependence an
+/// explicit, visible act (see `TypedSaSpec` in `camp-specs` for the paper's
+/// non-content-neutral counterexample, which deliberately decodes a `Value`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Value(u64);
+
+impl Value {
+    /// Wraps a raw value.
+    #[must_use]
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The raw value.
+    #[must_use]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(raw: u64) -> Self {
+        Self(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_ids_are_one_based() {
+        let p = ProcessId::new(1);
+        assert_eq!(p.id(), 1);
+        assert_eq!(p.index(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn process_id_zero_rejected() {
+        let _ = ProcessId::new(0);
+    }
+
+    #[test]
+    fn process_all_enumerates_in_order() {
+        assert_eq!(ProcessId::all(0).count(), 0);
+        let ids: Vec<_> = ProcessId::all(4).map(ProcessId::id).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ProcessId::new(7).to_string(), "p7");
+        assert_eq!(MessageId::new(12).to_string(), "m12");
+        assert_eq!(KsaId::new(3).to_string(), "ksa3");
+        assert_eq!(Value::new(9).to_string(), "9");
+    }
+
+    #[test]
+    fn ordering_follows_raw_ids() {
+        assert!(ProcessId::new(2) < ProcessId::new(10));
+        assert!(MessageId::new(2) < MessageId::new(10));
+        assert!(Value::new(2) < Value::new(10));
+    }
+
+    #[test]
+    fn value_from_u64() {
+        let v: Value = 5u64.into();
+        assert_eq!(v, Value::new(5));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = ProcessId::new(3);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: ProcessId = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

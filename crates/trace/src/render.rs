@@ -1,0 +1,124 @@
+//! Human-readable rendering of executions as per-process timelines,
+//! in the style of the paper's Figure 1.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::action::Action;
+use crate::execution::Execution;
+use crate::ids::{MessageId, ProcessId};
+
+/// Renders an execution as one timeline per process.
+///
+/// Each line lists a process's steps in global order; `highlight` marks a set
+/// of messages (rendered with `*m*` around their events) — the paper's
+/// Figure 1 uses grey boxes for "the final N messages of each process,
+/// incompatible with an implementation of k-set agreement"; we use the
+/// asterisk marking for the same purpose in plain text.
+///
+/// # Example
+///
+/// ```
+/// use camp_trace::{render_timeline, Action, ExecutionBuilder, ProcessId, Value};
+/// let p1 = ProcessId::new(1);
+/// let mut b = ExecutionBuilder::new(1);
+/// let m = b.fresh_broadcast_message(p1, Value::new(0));
+/// b.sync_broadcast(p1, m);
+/// let text = render_timeline(&b.build(), &[m].into_iter().collect());
+/// assert!(text.contains("p1"));
+/// assert!(text.contains("*"));
+/// ```
+#[must_use]
+pub fn render_timeline(exec: &Execution, highlight: &BTreeSet<MessageId>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "execution: {} processes, {} steps, {} messages",
+        exec.process_count(),
+        exec.len(),
+        exec.messages().count()
+    );
+    for p in ProcessId::all(exec.process_count()) {
+        let _ = write!(out, "{p:>4}: ", p = p.to_string());
+        let mut first = true;
+        for step in exec.steps_of(p) {
+            if !first {
+                let _ = write!(out, " ; ");
+            }
+            first = false;
+            let hl = step
+                .action
+                .message()
+                .is_some_and(|m| highlight.contains(&m));
+            if hl {
+                let _ = write!(out, "*{}*", compact(&step.action));
+            } else {
+                let _ = write!(out, "{}", compact(&step.action));
+            }
+        }
+        if first {
+            let _ = write!(out, "(no steps)");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Compact single-token rendering of an action for timelines.
+fn compact(action: &Action) -> String {
+    match *action {
+        Action::Send { to, msg } => format!("snd({msg}→{to})"),
+        Action::Receive { from, msg } => format!("rcv({msg}←{from})"),
+        Action::Broadcast { msg } => format!("bc({msg})"),
+        Action::ReturnBroadcast { msg } => format!("ret({msg})"),
+        Action::Deliver { from, msg } => format!("dlv({msg}←{from})"),
+        Action::Propose { obj, value } => format!("prop({obj},{value})"),
+        Action::Decide { obj, value } => format!("dec({obj},{value})"),
+        Action::Internal { tag } => format!("τ{tag}"),
+        Action::Crash => "✗".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExecutionBuilder, Value};
+
+    #[test]
+    fn renders_every_process_line() {
+        let p1 = ProcessId::new(1);
+        let p2 = ProcessId::new(2);
+        let mut b = ExecutionBuilder::new(2);
+        let m = b.fresh_broadcast_message(p1, Value::new(0));
+        b.step(p1, Action::Broadcast { msg: m });
+        b.step(p2, Action::Deliver { from: p1, msg: m });
+        let text = render_timeline(&b.build(), &BTreeSet::new());
+        assert!(text.contains("p1: bc(m0)"), "got: {text}");
+        assert!(text.contains("p2: dlv(m0←p1)"), "got: {text}");
+    }
+
+    #[test]
+    fn highlights_marked_messages() {
+        let p1 = ProcessId::new(1);
+        let mut b = ExecutionBuilder::new(1);
+        let m = b.fresh_broadcast_message(p1, Value::new(0));
+        b.step(p1, Action::Broadcast { msg: m });
+        let text = render_timeline(&b.build(), &[m].into_iter().collect());
+        assert!(text.contains("*bc(m0)*"), "got: {text}");
+    }
+
+    #[test]
+    fn empty_process_rendered_explicitly() {
+        let text = render_timeline(&Execution::new(2), &BTreeSet::new());
+        assert!(text.contains("(no steps)"));
+    }
+
+    #[test]
+    fn crash_rendered() {
+        let p1 = ProcessId::new(1);
+        let mut e = Execution::new(1);
+        e.push(crate::Step::new(p1, Action::Crash)).unwrap();
+        let text = render_timeline(&e, &BTreeSet::new());
+        assert!(text.contains('✗'));
+    }
+}

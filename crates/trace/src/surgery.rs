@@ -1,0 +1,350 @@
+//! Trace surgery: the projection, restriction, and renaming operators the
+//! paper's proof is built on.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::action::Action;
+use crate::error::TraceError;
+use crate::execution::{Execution, MessageKind};
+use crate::ids::{MessageId, Value};
+
+/// An injective message renaming `r`, used by the *content-neutrality*
+/// property (Definition 3): an admissible execution must remain admissible
+/// when every message `m` is replaced by `r(m)`.
+///
+/// A renaming maps a message id to a (fresh id, new content) pair. Messages
+/// not mentioned are left untouched. Injectivity — and absence of collisions
+/// with untouched messages — is validated when the renaming is applied.
+///
+/// # Example
+///
+/// ```
+/// use camp_trace::{MessageId, Renaming, Value};
+/// let mut r = Renaming::new();
+/// r.rename(MessageId::new(0), MessageId::new(10), Value::new(99));
+/// assert_eq!(r.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Renaming {
+    map: BTreeMap<MessageId, (MessageId, Value)>,
+}
+
+impl Renaming {
+    /// Creates the identity renaming.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Maps `from` to the message `to` carrying `content`.
+    pub fn rename(&mut self, from: MessageId, to: MessageId, content: Value) -> &mut Self {
+        self.map.insert(from, (to, content));
+        self
+    }
+
+    /// Keeps the message identity but replaces its content. Because messages
+    /// are unique, replacing only the content is already a valid instance of
+    /// the paper's substitution (the "new" message has the same id).
+    pub fn replace_content(&mut self, msg: MessageId, content: Value) -> &mut Self {
+        self.map.insert(msg, (msg, content));
+        self
+    }
+
+    /// Number of messages renamed.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is this the identity renaming?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The image of `msg` (id only), or `msg` itself if untouched.
+    #[must_use]
+    pub fn image(&self, msg: MessageId) -> MessageId {
+        self.map.get(&msg).map_or(msg, |(to, _)| *to)
+    }
+
+    fn entries(&self) -> impl Iterator<Item = (MessageId, MessageId, Value)> + '_ {
+        self.map
+            .iter()
+            .map(|(from, (to, content))| (*from, *to, *content))
+    }
+}
+
+impl Execution {
+    /// The `β` projection of Definition 4: the sub-execution containing only
+    /// the steps that involve events of the broadcast abstraction — the
+    /// invocations of (and responses from) `B.broadcast`, and B-delivery
+    /// events. Point-to-point, k-SA, internal, and crash steps are dropped,
+    /// and the message table is narrowed to broadcast-level messages.
+    ///
+    /// Crash steps are intentionally **not** part of the projection: `β` is
+    /// an execution *of the broadcast abstraction*, whose admissibility
+    /// predicates are stated on broadcast/deliver events. Callers that need
+    /// crash information for liveness judgments should consult the original
+    /// execution (see `camp-specs`).
+    #[must_use]
+    pub fn project_broadcast_events(&self) -> Execution {
+        let messages = self
+            .messages()
+            .filter(|(_, info)| info.kind == MessageKind::Broadcast)
+            .map(|(id, info)| (id, info.clone()));
+        let steps = self
+            .steps()
+            .iter()
+            .filter(|s| s.action.is_broadcast_event())
+            .copied();
+        Execution::from_parts(self.process_count(), messages, steps)
+            .expect("projection of a valid execution is valid")
+    }
+
+    /// The *compositionality* restriction of Definition 2: the restriction of
+    /// `α` onto the messages of `keep`.
+    ///
+    /// Steps referencing a message **not** in `keep` are dropped; steps
+    /// referencing a message in `keep` are retained; steps referencing no
+    /// message at all (propose/decide/internal/crash) are retained, since the
+    /// restriction is about which *messages* a higher-level component uses,
+    /// not about erasing the rest of the process's life. The message table is
+    /// narrowed accordingly.
+    ///
+    /// Messages in `keep` that are not registered are ignored (restricting to
+    /// a superset is harmless).
+    #[must_use]
+    pub fn restrict_to_messages(&self, keep: &BTreeSet<MessageId>) -> Execution {
+        let messages = self
+            .messages()
+            .filter(|(id, _)| keep.contains(id))
+            .map(|(id, info)| (id, info.clone()));
+        let steps = self
+            .steps()
+            .iter()
+            .filter(|s| s.action.message().is_none_or(|m| keep.contains(&m)))
+            .copied();
+        Execution::from_parts(self.process_count(), messages, steps)
+            .expect("restriction of a valid execution is valid")
+    }
+
+    /// The *content-neutrality* substitution of Definition 3: replaces every
+    /// message `m` in the execution by `r(m)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::InvalidRenaming`] if the renaming is not
+    /// injective on this execution's messages (two sources mapping to one
+    /// target, or a target colliding with an untouched message).
+    pub fn rename_messages(&self, r: &Renaming) -> Result<Execution, TraceError> {
+        // Validate injectivity over this execution's message table.
+        let mut targets: BTreeSet<MessageId> = BTreeSet::new();
+        for (from, to, _) in r.entries() {
+            if !targets.insert(to) {
+                return Err(TraceError::InvalidRenaming(from));
+            }
+        }
+        for (id, _) in self.messages() {
+            // Untouched message colliding with a renamed target?
+            if r.map.contains_key(&id) {
+                continue;
+            }
+            if targets.contains(&id) {
+                return Err(TraceError::InvalidRenaming(id));
+            }
+        }
+
+        let messages = self.messages().map(|(id, info)| {
+            let mut info = info.clone();
+            let new_id = match r.map.get(&id) {
+                Some((to, content)) => {
+                    info.content = *content;
+                    *to
+                }
+                None => id,
+            };
+            (new_id, info)
+        });
+        let steps = self.steps().iter().map(|s| {
+            let mut step = *s;
+            step.action = match step.action {
+                Action::Send { to, msg } => Action::Send {
+                    to,
+                    msg: r.image(msg),
+                },
+                Action::Receive { from, msg } => Action::Receive {
+                    from,
+                    msg: r.image(msg),
+                },
+                Action::Broadcast { msg } => Action::Broadcast { msg: r.image(msg) },
+                Action::ReturnBroadcast { msg } => Action::ReturnBroadcast { msg: r.image(msg) },
+                Action::Deliver { from, msg } => Action::Deliver {
+                    from,
+                    msg: r.image(msg),
+                },
+                other => other,
+            };
+            step
+        });
+        Execution::from_parts(self.process_count(), messages, steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExecutionBuilder, KsaId, ProcessId};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    /// A small mixed execution: p1 B-broadcasts m0 via a protocol message,
+    /// p2 delivers it; p1 proposes on a k-SA object.
+    fn mixed_execution() -> (Execution, MessageId, MessageId) {
+        let mut b = ExecutionBuilder::new(2);
+        let m0 = b.fresh_broadcast_message(p(1), Value::new(42));
+        let w0 = b.fresh_p2p_message(p(1), "wire(m0)");
+        b.step(p(1), Action::Broadcast { msg: m0 });
+        b.step(p(1), Action::Send { to: p(2), msg: w0 });
+        b.step(
+            p(1),
+            Action::Deliver {
+                from: p(1),
+                msg: m0,
+            },
+        );
+        b.step(p(1), Action::ReturnBroadcast { msg: m0 });
+        b.step(
+            p(1),
+            Action::Propose {
+                obj: KsaId::new(0),
+                value: Value::new(1),
+            },
+        );
+        b.step(
+            p(1),
+            Action::Decide {
+                obj: KsaId::new(0),
+                value: Value::new(1),
+            },
+        );
+        b.step(
+            p(2),
+            Action::Receive {
+                from: p(1),
+                msg: w0,
+            },
+        );
+        b.step(
+            p(2),
+            Action::Deliver {
+                from: p(1),
+                msg: m0,
+            },
+        );
+        (b.build(), m0, w0)
+    }
+
+    #[test]
+    fn beta_projection_keeps_only_broadcast_events() {
+        let (e, m0, _) = mixed_execution();
+        let beta = e.project_broadcast_events();
+        assert_eq!(beta.len(), 4); // broadcast, p1's deliver, return, p2's deliver
+        assert!(beta.steps().iter().all(|s| s.action.is_broadcast_event()));
+        assert_eq!(beta.messages().count(), 1);
+        assert!(beta.message(m0).is_some());
+    }
+
+    #[test]
+    fn restriction_drops_steps_of_excluded_messages() {
+        let (e, m0, w0) = mixed_execution();
+        let keep: BTreeSet<_> = [m0].into_iter().collect();
+        let r = e.restrict_to_messages(&keep);
+        // Send/receive of w0 dropped; propose/decide/… kept.
+        assert!(r.steps().iter().all(|s| s.action.message() != Some(w0)));
+        assert!(r.message(w0).is_none());
+        assert!(r.message(m0).is_some());
+        assert_eq!(r.len(), e.len() - 2);
+    }
+
+    #[test]
+    fn restriction_to_empty_set_keeps_messageless_steps() {
+        let (e, _, _) = mixed_execution();
+        let r = e.restrict_to_messages(&BTreeSet::new());
+        assert_eq!(r.len(), 2); // propose + decide
+        assert!(r.steps().iter().all(|s| s.action.message().is_none()));
+    }
+
+    #[test]
+    fn restriction_is_idempotent() {
+        let (e, m0, _) = mixed_execution();
+        let keep: BTreeSet<_> = [m0].into_iter().collect();
+        let once = e.restrict_to_messages(&keep);
+        let twice = once.restrict_to_messages(&keep);
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn renaming_replaces_ids_and_contents() {
+        let (e, m0, _) = mixed_execution();
+        let mut r = Renaming::new();
+        let fresh = MessageId::new(1000);
+        r.rename(m0, fresh, Value::new(7));
+        let renamed = e.rename_messages(&r).unwrap();
+        assert!(renamed.message(m0).is_none());
+        let info = renamed.message(fresh).unwrap();
+        assert_eq!(info.content, Value::new(7));
+        // Step structure preserved: same length, same processes.
+        assert_eq!(renamed.len(), e.len());
+        for (a, b) in e.steps().iter().zip(renamed.steps()) {
+            assert_eq!(a.process, b.process);
+        }
+        // Delivery order rewritten consistently.
+        assert_eq!(renamed.delivery_order(p(2)), vec![fresh]);
+    }
+
+    #[test]
+    fn renaming_rejects_non_injective() {
+        let (e, m0, w0) = mixed_execution();
+        let mut r = Renaming::new();
+        let tgt = MessageId::new(1000);
+        r.rename(m0, tgt, Value::new(1));
+        r.rename(w0, tgt, Value::new(2));
+        assert!(matches!(
+            e.rename_messages(&r),
+            Err(TraceError::InvalidRenaming(_))
+        ));
+    }
+
+    #[test]
+    fn renaming_rejects_collision_with_untouched() {
+        let (e, m0, w0) = mixed_execution();
+        let mut r = Renaming::new();
+        r.rename(m0, w0, Value::new(1)); // w0 still present, untouched
+        assert!(matches!(
+            e.rename_messages(&r),
+            Err(TraceError::InvalidRenaming(_))
+        ));
+    }
+
+    #[test]
+    fn content_only_replacement_keeps_ids() {
+        let (e, m0, _) = mixed_execution();
+        let mut r = Renaming::new();
+        r.replace_content(m0, Value::new(555));
+        let renamed = e.rename_messages(&r).unwrap();
+        assert_eq!(renamed.message(m0).unwrap().content, Value::new(555));
+        assert_eq!(renamed.len(), e.len());
+    }
+
+    #[test]
+    fn identity_renaming_is_noop() {
+        let (e, _, _) = mixed_execution();
+        let renamed = e.rename_messages(&Renaming::new()).unwrap();
+        assert_eq!(e, renamed);
+    }
+}

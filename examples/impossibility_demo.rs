@@ -1,0 +1,88 @@
+//! The full Theorem 1 *reductio ad absurdum*, narrated step by step on a
+//! concrete candidate pair:
+//!
+//! * `𝒜` = first-delivered (solves k-SA over any k-BO-like broadcast);
+//! * `ℬ` = agreed-rounds (the natural broadcast built from k-SA objects).
+//!
+//! If a content-neutral compositional broadcast abstraction `B` equivalent
+//! to k-SA existed, such a pair would witness the equivalence. The pipeline
+//! mechanically derives the contradiction the paper predicts.
+//!
+//! ```sh
+//! cargo run --example impossibility_demo
+//! ```
+
+use campkit::agreement::FirstDelivered;
+use campkit::broadcast::AgreedBroadcast;
+use campkit::impossibility::{refute_spec, theorem1};
+use campkit::specs::{BroadcastSpec, KBoundedOrderSpec};
+use campkit::trace::ProcessId;
+
+fn main() {
+    let k = 3;
+    println!(
+        "Theorem 1 pipeline, k = {k} (system of n = k + 1 = {} processes)\n",
+        k + 1
+    );
+
+    let c = theorem1(
+        k,
+        &FirstDelivered::new(),
+        AgreedBroadcast::new(),
+        50_000_000,
+    )
+    .expect("the pipeline must reach the contradiction");
+
+    println!("step 1 — solo executions α_i of 𝒜' (Lemma 9):");
+    for solo in &c.solo_runs {
+        println!(
+            "  {}: proposes {}, B-delivers {} own message(s), decides {} (its own value)",
+            solo.process, solo.proposal, solo.n_i, solo.decision
+        );
+    }
+    println!("  ⇒ N = max(1, N_1, …, N_{}) = {}\n", k + 1, c.n_used);
+
+    println!(
+        "step 2 — Algorithm 1 builds α_{{k,N,B,ℬ}} against ℬ: {} steps, admitted by \
+         CAMP_{{k+1}}[k-SA] (lemmas re-checked: {}), whose β projection is an N-solo \
+         execution of B (Lemma 10).\n",
+        c.run.execution.len(),
+        if c.lemma_report.all_passed() {
+            "all PASS"
+        } else {
+            "FAILURES!"
+        },
+    );
+
+    println!(
+        "step 3 — surgery: compositionality restricts β to each process's N_i designated \
+         messages ({} steps remain); content-neutrality renames them onto the α_i \
+         messages, giving δ ({} steps).\n",
+        c.gamma.len(),
+        c.delta.len()
+    );
+
+    println!("step 4 — indistinguishability: running 𝒜' on δ, each process sees exactly its");
+    println!("solo view and decides its own value:");
+    for p in ProcessId::all(k + 1) {
+        println!("  {p} decides {}", c.decisions[p.index()]);
+    }
+    println!(
+        "\n⇒ {} distinct decisions > k = {k}: k-SA-Agreement is violated.",
+        c.distinct_decisions()
+    );
+    println!("{}\n", c.summary());
+
+    // The §1.3 corollary, on the same candidate: ℬ cannot implement k-BO
+    // broadcast — the fair completion of the N-solo execution violates it.
+    let spec = KBoundedOrderSpec::new(k);
+    let r = refute_spec(&spec, k, 1, AgreedBroadcast::new(), 10_000_000)
+        .expect("ℬ is a correct broadcast algorithm");
+    match r.violation {
+        Some(v) => println!(
+            "corollary (§1.3): ℬ does not implement {} — {v}",
+            spec.name()
+        ),
+        None => unreachable!("k-BO must reject the N-solo execution"),
+    }
+}

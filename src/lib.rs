@@ -1,0 +1,43 @@
+//! # campkit
+//!
+//! An executable reproduction of Gay, Mostéfaoui & Perrin,
+//! *"No Broadcast Abstraction Characterizes k-Set-Agreement in
+//! Message-Passing Systems"* (PODC 2024, extended version hal-04571653).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`trace`] — executions, steps, trace surgery (`β` projection,
+//!   restriction, renaming);
+//! * [`specs`] — channel / broadcast / k-SA properties as executable
+//!   predicates, plus the paper's symmetry properties (compositionality,
+//!   content-neutrality) as closure tests;
+//! * [`sim`] — the `CAMP_n[H]` discrete-event simulator;
+//! * [`broadcast`] — broadcast algorithms (Send-To-All, Reliable, FIFO,
+//!   Causal, Total-Order, k-SA-driven candidates);
+//! * [`agreement`] — k-set-agreement oracles, decision rules, and the
+//!   positive algorithms surrounding the impossibility result;
+//! * [`modelcheck`] — bounded exhaustive exploration of scheduler choices;
+//! * [`impossibility`] — the paper's Algorithm 1 adversarial scheduler,
+//!   N-solo machinery, per-lemma verifiers, and the Theorem 1 contradiction
+//!   pipeline;
+//! * [`runtime`] — a threaded (crossbeam) message-passing runtime hosting
+//!   the same algorithms outside the simulator;
+//! * [`shm`] — the shared-memory contrast model (SWMR atomic registers),
+//!   with the exhaustively-verified write/collect immediacy theorem that
+//!   explains why solo-first executions — the paper's Lemma 10 weapon —
+//!   cannot exist in shared memory.
+//!
+//! See `README.md` for a guided tour, `DESIGN.md` for the system inventory,
+//! and `EXPERIMENTS.md` for the paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+
+pub use camp_agreement as agreement;
+pub use camp_broadcast as broadcast;
+pub use camp_impossibility as impossibility;
+pub use camp_modelcheck as modelcheck;
+pub use camp_runtime as runtime;
+pub use camp_shm as shm;
+pub use camp_sim as sim;
+pub use camp_specs as specs;
+pub use camp_trace as trace;

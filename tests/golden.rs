@@ -1,0 +1,57 @@
+//! Determinism and serialization goldens: the adversarial construction is a
+//! pure function of its inputs, and executions round-trip through serde.
+//!
+//! The committed golden file pins the Figure 1 execution byte for byte; if
+//! an intentional change to the scheduler or an algorithm alters it,
+//! regenerate with:
+//!
+//! ```sh
+//! cargo test -p campkit --test golden -- --ignored regenerate
+//! ```
+
+use campkit::broadcast::AgreedBroadcast;
+use campkit::impossibility::adversarial_scheduler;
+use campkit::trace::Execution;
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/figure1.json");
+
+fn figure1_execution() -> Execution {
+    adversarial_scheduler(3, 2, AgreedBroadcast::new(), 10_000_000)
+        .expect("correct candidate")
+        .execution
+}
+
+#[test]
+fn adversarial_construction_is_deterministic() {
+    let a = figure1_execution();
+    let b = figure1_execution();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn executions_round_trip_through_serde() {
+    let e = figure1_execution();
+    let json = serde_json::to_string_pretty(&e).unwrap();
+    let back: Execution = serde_json::from_str(&json).unwrap();
+    assert_eq!(e, back);
+}
+
+#[test]
+fn figure1_matches_the_committed_golden() {
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing — run the regenerate test");
+    let expected: Execution = serde_json::from_str(&golden).unwrap();
+    assert_eq!(
+        figure1_execution(),
+        expected,
+        "the Figure 1 execution changed; if intentional, regenerate the golden file"
+    );
+}
+
+/// Not a test: rewrites the golden file. Run explicitly with `--ignored`.
+#[test]
+#[ignore = "regenerates the golden file"]
+fn regenerate() {
+    let json = serde_json::to_string_pretty(&figure1_execution()).unwrap();
+    std::fs::write(GOLDEN_PATH, json).unwrap();
+}
