@@ -185,15 +185,12 @@ mod tests {
             s.step_process(ProcessId::new(2)).unwrap();
         }
         // Drain the network toward live processes.
-        loop {
-            let Some(slot) = s
-                .network()
-                .in_flight()
-                .iter()
-                .position(|m| !s.is_crashed(m.to))
-            else {
-                break;
-            };
+        while let Some(slot) = s
+            .network()
+            .in_flight()
+            .iter()
+            .position(|m| !s.is_crashed(m.to))
+        {
             s.receive(slot).unwrap();
             for p in [ProcessId::new(2), ProcessId::new(3)] {
                 while s.has_local_step(p) {
@@ -237,15 +234,12 @@ mod tests {
             }
             s.crash(p2).unwrap();
             // Drain whatever can still reach live processes.
-            loop {
-                let Some(slot) = s
-                    .network()
-                    .in_flight()
-                    .iter()
-                    .position(|m| !s.is_crashed(m.to))
-                else {
-                    break;
-                };
+            while let Some(slot) = s
+                .network()
+                .in_flight()
+                .iter()
+                .position(|m| !s.is_crashed(m.to))
+            {
                 s.receive(slot).unwrap();
                 let p3 = ProcessId::new(3);
                 while s.has_local_step(p3) {

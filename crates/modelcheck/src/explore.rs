@@ -227,7 +227,10 @@ where
     if let Err(e) = drain(&mut root) {
         return ExploreOutcome::Error(e);
     }
-    match dfs(root, vec![0; workload.total().max(1)].clone(), 0, &mut ctx) {
+    // `issued` is indexed by process, so it must have `n` entries even when
+    // the workload holds fewer invocations than there are processes.
+    let issued = vec![0; workload.total().max(root.n())];
+    match dfs(root, issued, 0, &mut ctx) {
         ControlFlow::Break(outcome) => outcome,
         ControlFlow::Continue(()) => ExploreOutcome::Verified {
             completed: ctx.completed,
@@ -235,6 +238,34 @@ where
             truncated: ctx.truncated,
         },
     }
+}
+
+/// Runs [`explore`] while invoking `visit` on every *completed* execution —
+/// one where no environment choice remains enabled — in depth-first order.
+///
+/// This is the observation hook static analyses are built on: a visitor can
+/// accumulate handler-branch coverage, collect exemplar schedules, or flag
+/// non-quiescent terminal states, none of which fit the shape of a safety
+/// property. The property handed to [`explore`] always succeeds, so the
+/// outcome is [`ExploreOutcome::Verified`] (reporting how many executions
+/// were visited) unless the simulation itself raises an error.
+pub fn explore_collect<B, F>(
+    sim: Simulation<B>,
+    workload: &Workload,
+    cfg: ExploreConfig,
+    mut visit: F,
+) -> ExploreOutcome
+where
+    B: BroadcastAlgorithm + Clone,
+    B::Msg: Clone,
+    F: FnMut(&Execution),
+{
+    let visitor = std::cell::RefCell::new(&mut visit);
+    let property = move |exec: &Execution| -> SpecResult {
+        (*visitor.borrow_mut())(exec);
+        Ok(())
+    };
+    explore(sim, workload, &property, cfg)
 }
 
 #[cfg(test)]

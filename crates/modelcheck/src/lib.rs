@@ -32,5 +32,5 @@ pub mod explore;
 pub mod schedules;
 
 pub use crashsweep::{crash_point_sweep, SweepOutcome};
-pub use explore::{explore, ExploreConfig, ExploreOutcome};
+pub use explore::{explore, explore_collect, ExploreConfig, ExploreOutcome};
 pub use schedules::{for_each_complete_schedule, ScheduleQuery, ScheduleStats};

@@ -102,53 +102,50 @@ pub fn for_each_complete_schedule(
     };
     let indices: Vec<usize> = (0..msgs.len()).collect();
 
-    fn recurse(
-        level: usize,
+    // The immutable scope plus the two mutable accumulators, bundled so the
+    // recursion's signature stays readable.
+    struct Ctx<'a, F: FnMut(&Execution) -> ControlFlow<()>> {
         n: usize,
-        indices: &[usize],
+        indices: &'a [usize],
+        prefix: &'a Execution,
+        msgs: &'a [MessageId],
+        sender_of: &'a [ProcessId],
+        stats: &'a mut ScheduleStats,
+        f: &'a mut F,
+    }
+
+    fn recurse<F: FnMut(&Execution) -> ControlFlow<()>>(
+        level: usize,
         chosen: &mut Vec<Vec<usize>>,
-        prefix: &Execution,
-        msgs: &[MessageId],
-        sender_of: &[ProcessId],
-        stats: &mut ScheduleStats,
-        f: &mut impl FnMut(&Execution) -> ControlFlow<()>,
+        ctx: &mut Ctx<'_, F>,
     ) -> bool {
-        if level == n {
-            let mut exec = prefix.clone();
+        if level == ctx.n {
+            let mut exec = ctx.prefix.clone();
             for (pi, order) in chosen.iter().enumerate() {
                 let p = ProcessId::new(pi + 1);
                 for &idx in order {
                     exec.push(camp_trace::Step::new(
                         p,
                         Action::Deliver {
-                            from: sender_of[idx],
-                            msg: msgs[idx],
+                            from: ctx.sender_of[idx],
+                            msg: ctx.msgs[idx],
                         },
                     ))
                     .expect("valid delivery");
                 }
             }
-            stats.visited += 1;
-            if matches!(f(&exec), ControlFlow::Break(())) {
-                stats.stopped_early = true;
+            ctx.stats.visited += 1;
+            if matches!((ctx.f)(&exec), ControlFlow::Break(())) {
+                ctx.stats.stopped_early = true;
                 return false;
             }
             return true;
         }
         let mut keep_going = true;
+        let indices = ctx.indices;
         for_each_permutation(indices, &mut |perm: &[usize]| {
             chosen.push(perm.to_vec());
-            let cont = recurse(
-                level + 1,
-                n,
-                indices,
-                chosen,
-                prefix,
-                msgs,
-                sender_of,
-                stats,
-                f,
-            );
+            let cont = recurse(level + 1, chosen, ctx);
             chosen.pop();
             if cont {
                 ControlFlow::Continue(())
@@ -156,24 +153,23 @@ pub fn for_each_complete_schedule(
                 ControlFlow::Break(())
             }
         });
-        if stats.stopped_early {
+        if ctx.stats.stopped_early {
             keep_going = false;
         }
         keep_going
     }
 
     let mut chosen = Vec::new();
-    recurse(
-        0,
+    let mut ctx = Ctx {
         n,
-        &indices,
-        &mut chosen,
-        &prefix,
-        &msgs,
-        &sender_of,
-        &mut stats,
-        &mut f,
-    );
+        indices: &indices,
+        prefix: &prefix,
+        msgs: &msgs,
+        sender_of: &sender_of,
+        stats: &mut stats,
+        f: &mut f,
+    };
+    recurse(0, &mut chosen, &mut ctx);
     stats
 }
 

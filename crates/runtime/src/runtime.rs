@@ -101,8 +101,8 @@ impl ThreadedRuntime {
         let (deliv_tx, deliv_rx) = unbounded::<Delivery>();
 
         // Node channels (typed), plus erased front-end channels.
-        let typed: Vec<(Sender<NodeMsg<B::Msg>>, Receiver<NodeMsg<B::Msg>>)> =
-            (0..n).map(|_| unbounded()).collect();
+        type Endpoints<M> = Vec<(Sender<NodeMsg<M>>, Receiver<NodeMsg<M>>)>;
+        let typed: Endpoints<B::Msg> = (0..n).map(|_| unbounded()).collect();
         let peers: Vec<Sender<NodeMsg<B::Msg>>> = typed.iter().map(|(tx, _)| tx.clone()).collect();
 
         let mut inboxes = Vec::with_capacity(n);

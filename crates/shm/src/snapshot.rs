@@ -210,9 +210,10 @@ impl Error for ScanAtomicityError {}
 ///
 /// A [`ScanAtomicityError`] naming the scan that cannot be placed.
 pub fn check_scan_atomicity(trace: &ShmTrace) -> Result<(), ScanAtomicityError> {
-    let states = trace.states();
     // (scanner, start-write-count, end-write-count, view)
-    let mut scans: Vec<(ProcessId, usize, usize, &Vec<(u64, Value)>)> = Vec::new();
+    type Scan<'a> = (ProcessId, usize, usize, &'a Vec<(u64, Value)>);
+    let states = trace.states();
+    let mut scans: Vec<Scan<'_>> = Vec::new();
     let mut open: Vec<(ProcessId, usize)> = Vec::new();
     let mut writes_so_far = 0usize;
     for e in &trace.events {

@@ -5,7 +5,7 @@
 //! adversarial scheduler (Algorithm 1) lives in `camp-impossibility` and
 //! drives [`Simulation`] through the same primitives these drivers use.
 
-use camp_trace::{ProcessId, Value};
+use camp_trace::{Execution, ProcessId, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -300,6 +300,35 @@ pub fn run_random<B: BroadcastAlgorithm>(
         events: events + drain.events,
         quiescent: drain.quiescent,
     })
+}
+
+/// Builds a fresh simulation from `factory`, drives it with [`run_random`]
+/// under `seed`, and returns the final execution together with the report.
+///
+/// This is the entry point determinism audits replay twice per seed: since
+/// [`run_random`] is a pure function of (algorithm, workload, seed, plan,
+/// budgets), two invocations with identical arguments must return
+/// structurally identical executions. Any divergence pinpoints hidden
+/// nondeterminism — hash-order iteration, ambient randomness, interior
+/// mutability — in the algorithm or the toolkit itself.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] raised by the simulation.
+pub fn seeded_run<B, F>(
+    factory: F,
+    workload: &Workload,
+    seed: u64,
+    random_events: usize,
+    plan: CrashPlan,
+) -> Result<(Execution, RunReport), SimError>
+where
+    B: BroadcastAlgorithm,
+    F: FnOnce() -> Simulation<B>,
+{
+    let mut sim = factory();
+    let report = run_random(&mut sim, workload, seed, random_events, plan)?;
+    Ok((sim.into_trace(), report))
 }
 
 #[cfg(test)]

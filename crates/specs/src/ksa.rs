@@ -1,7 +1,7 @@
 //! The three properties of k-set agreement (paper §4.1): k-SA-Validity,
 //! k-SA-Agreement, k-SA-Termination — plus the one-shot usage rule.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use camp_trace::{Action, Execution, KsaId, ProcessId, Value};
 
@@ -15,7 +15,7 @@ use crate::violation::{SpecResult, Violation};
 ///
 /// Returns a [`Violation`] naming the invalid decision.
 pub fn ksa_validity(exec: &Execution) -> SpecResult {
-    let mut proposed: HashSet<(KsaId, Value)> = HashSet::new();
+    let mut proposed: BTreeSet<(KsaId, Value)> = BTreeSet::new();
     for (i, step) in exec.steps().iter().enumerate() {
         match step.action {
             Action::Propose { obj, value } => {
@@ -44,7 +44,7 @@ pub fn ksa_validity(exec: &Execution) -> SpecResult {
 ///
 /// Returns a [`Violation`] listing the `k+1`-th distinct decided value.
 pub fn ksa_agreement(exec: &Execution, k: usize) -> SpecResult {
-    let mut decided: HashMap<KsaId, Vec<Value>> = HashMap::new();
+    let mut decided: BTreeMap<KsaId, Vec<Value>> = BTreeMap::new();
     for (i, step) in exec.steps().iter().enumerate() {
         if let Action::Decide { obj, value } = step.action {
             let values = decided.entry(obj).or_default();
@@ -76,7 +76,7 @@ pub fn ksa_agreement(exec: &Execution, k: usize) -> SpecResult {
 ///
 /// Returns a [`Violation`] naming the undecided proposal.
 pub fn ksa_termination(exec: &Execution) -> SpecResult {
-    let mut decided: HashSet<(ProcessId, KsaId)> = HashSet::new();
+    let mut decided: BTreeSet<(ProcessId, KsaId)> = BTreeSet::new();
     for step in exec.steps() {
         if let Action::Decide { obj, .. } = step.action {
             decided.insert((step.process, obj));
@@ -106,8 +106,8 @@ pub fn ksa_termination(exec: &Execution) -> SpecResult {
 ///
 /// Returns a [`Violation`] naming the misuse.
 pub fn ksa_one_shot(exec: &Execution) -> SpecResult {
-    let mut proposed: HashSet<(ProcessId, KsaId)> = HashSet::new();
-    let mut decided: HashSet<(ProcessId, KsaId)> = HashSet::new();
+    let mut proposed: BTreeSet<(ProcessId, KsaId)> = BTreeSet::new();
+    let mut decided: BTreeSet<(ProcessId, KsaId)> = BTreeSet::new();
     for (i, step) in exec.steps().iter().enumerate() {
         match step.action {
             Action::Propose { obj, .. } if !proposed.insert((step.process, obj)) => {

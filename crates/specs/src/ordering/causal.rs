@@ -1,7 +1,7 @@
 //! Causal broadcast: delivery respects the happened-before relation on
 //! broadcast messages.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use camp_trace::{Action, Execution, MessageId, ProcessId};
 
@@ -36,11 +36,11 @@ impl BroadcastSpec for CausalSpec {
 
     fn admits(&self, exec: &Execution) -> SpecResult {
         // knowledge[p] = messages p has B-broadcast or B-delivered so far.
-        let mut knowledge: HashMap<ProcessId, Vec<MessageId>> = HashMap::new();
+        let mut knowledge: BTreeMap<ProcessId, Vec<MessageId>> = BTreeMap::new();
         // preds[m] = knowledge of sender(m) at the moment it broadcast m.
-        let mut preds: HashMap<MessageId, Vec<MessageId>> = HashMap::new();
+        let mut preds: BTreeMap<MessageId, Vec<MessageId>> = BTreeMap::new();
         // delivered[p] = set of messages p has delivered so far.
-        let mut delivered: HashMap<ProcessId, HashSet<MessageId>> = HashMap::new();
+        let mut delivered: BTreeMap<ProcessId, BTreeSet<MessageId>> = BTreeMap::new();
 
         for (i, step) in exec.steps().iter().enumerate() {
             match step.action {

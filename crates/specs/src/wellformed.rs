@@ -11,7 +11,7 @@
 //! the replay checker in `camp-impossibility` re-verifies it for the
 //! adversarial executions.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use camp_trace::{Action, Execution, ProcessId};
 
@@ -32,9 +32,9 @@ use crate::violation::{SpecResult, Violation};
 ///
 /// Returns a [`Violation`] naming the structural defect.
 pub fn check_structure(exec: &Execution) -> SpecResult {
-    let mut crashed: HashMap<ProcessId, usize> = HashMap::new();
+    let mut crashed: BTreeMap<ProcessId, usize> = BTreeMap::new();
     // The message of the currently pending B.broadcast invocation, per process.
-    let mut pending_broadcast: HashMap<ProcessId, camp_trace::MessageId> = HashMap::new();
+    let mut pending_broadcast: BTreeMap<ProcessId, camp_trace::MessageId> = BTreeMap::new();
 
     for (i, step) in exec.steps().iter().enumerate() {
         if let Some(at) = crashed.get(&step.process) {

@@ -1,0 +1,326 @@
+//! Structural comparison of executions.
+//!
+//! Two executions produced by the same algorithm under the same seed must be
+//! *identical*, not merely equivalent: the paper's proofs manipulate concrete
+//! step sequences, so any nondeterminism in the toolkit (hash-order
+//! iteration, ambient randomness) would silently invalidate replayed
+//! counter-examples. This module provides the primitives the determinism
+//! auditor is built on: [`StepSpan`], a half-open range of step indices used
+//! as a witness locator, and [`first_divergence`], which reports the first
+//! place two executions disagree.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::action::Step;
+use crate::execution::{Execution, MessageInfo};
+use crate::ids::MessageId;
+
+/// A half-open span `start..end` of step indices, locating a witness inside
+/// an execution.
+///
+/// Spans are how diagnostics point at evidence: a single offending step is
+/// `StepSpan::single(i)`, while a causally linked pair (a crash and a later
+/// step of the crashed process, say) spans from the first to just past the
+/// second.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StepSpan {
+    /// Index of the first step in the span.
+    pub start: usize,
+    /// One past the index of the last step in the span.
+    pub end: usize,
+}
+
+impl StepSpan {
+    /// The span `start..end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    #[must_use]
+    pub fn new(start: usize, end: usize) -> Self {
+        assert!(start <= end, "StepSpan start {start} exceeds end {end}");
+        Self { start, end }
+    }
+
+    /// The one-step span `i..i + 1`.
+    #[must_use]
+    pub fn single(i: usize) -> Self {
+        Self {
+            start: i,
+            end: i + 1,
+        }
+    }
+
+    /// Number of steps covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Does the span cover no steps at all?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Does the span cover step index `i`?
+    #[must_use]
+    pub fn contains(&self, i: usize) -> bool {
+        self.start <= i && i < self.end
+    }
+
+    /// The steps of `exec` covered by this span (clamped to its length).
+    pub fn steps<'a>(&self, exec: &'a Execution) -> &'a [Step] {
+        let steps = exec.steps();
+        let start = self.start.min(steps.len());
+        let end = self.end.min(steps.len());
+        &steps[start..end]
+    }
+}
+
+impl fmt::Display for StepSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.len() == 1 {
+            write!(f, "step {}", self.start)
+        } else {
+            write!(f, "steps {}..{}", self.start, self.end)
+        }
+    }
+}
+
+/// The first structural disagreement between two executions.
+///
+/// Comparison proceeds in a fixed order — system size, then the step
+/// sequences position by position, then the message tables — so the reported
+/// divergence is deterministic and minimal: everything before it is
+/// identical in both executions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Divergence {
+    /// The executions run over different numbers of processes.
+    ProcessCount {
+        /// `n` of the left execution.
+        left: usize,
+        /// `n` of the right execution.
+        right: usize,
+    },
+    /// The step sequences first differ at `index`. A `None` side means that
+    /// execution ended before reaching `index`.
+    Step {
+        /// Index of the first differing step.
+        index: usize,
+        /// The left execution's step at `index`, if it has one.
+        left: Option<Step>,
+        /// The right execution's step at `index`, if it has one.
+        right: Option<Step>,
+    },
+    /// The step sequences agree but the message tables differ at `id`. A
+    /// `None` side means the message is not registered in that execution.
+    Message {
+        /// The first message id (in id order) whose registration differs.
+        id: MessageId,
+        /// The left execution's registration, if present.
+        left: Option<MessageInfo>,
+        /// The right execution's registration, if present.
+        right: Option<MessageInfo>,
+    },
+}
+
+impl Divergence {
+    /// The span of the divergence in the *left* execution, when it is
+    /// locatable at a step.
+    #[must_use]
+    pub fn span(&self) -> Option<StepSpan> {
+        match self {
+            Divergence::Step { index, .. } => Some(StepSpan::single(*index)),
+            Divergence::ProcessCount { .. } | Divergence::Message { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn side<T: fmt::Debug>(x: &Option<T>) -> String {
+            match x {
+                Some(v) => format!("{v:?}"),
+                None => "<absent>".to_string(),
+            }
+        }
+        match self {
+            Divergence::ProcessCount { left, right } => {
+                write!(f, "process counts differ: {left} vs {right}")
+            }
+            Divergence::Step { index, left, right } => write!(
+                f,
+                "executions diverge at step {index}: {} vs {}",
+                side(left),
+                side(right)
+            ),
+            Divergence::Message { id, left, right } => write!(
+                f,
+                "message tables diverge at {id:?}: {} vs {}",
+                side(left),
+                side(right)
+            ),
+        }
+    }
+}
+
+/// Reports the first structural difference between `a` and `b`, or `None` if
+/// they are identical.
+///
+/// The comparison order (process count, then steps, then message tables)
+/// guarantees that the witness is the earliest one: a [`Divergence::Step`]
+/// at index `i` implies the two executions share an identical prefix of `i`
+/// steps.
+#[must_use]
+pub fn first_divergence(a: &Execution, b: &Execution) -> Option<Divergence> {
+    if a.process_count() != b.process_count() {
+        return Some(Divergence::ProcessCount {
+            left: a.process_count(),
+            right: b.process_count(),
+        });
+    }
+    let (sa, sb) = (a.steps(), b.steps());
+    for i in 0..sa.len().max(sb.len()) {
+        let (la, lb) = (sa.get(i), sb.get(i));
+        if la != lb {
+            return Some(Divergence::Step {
+                index: i,
+                left: la.cloned(),
+                right: lb.cloned(),
+            });
+        }
+    }
+    // Step sequences agree; compare the message tables in id order. Walking
+    // both sorted iterators in lockstep finds the smallest differing id.
+    let mut ma = a.messages().peekable();
+    let mut mb = b.messages().peekable();
+    loop {
+        match (ma.peek(), mb.peek()) {
+            (None, None) => return None,
+            (Some(&(id, info)), None) => {
+                return Some(Divergence::Message {
+                    id,
+                    left: Some(info.clone()),
+                    right: None,
+                });
+            }
+            (None, Some(&(id, info))) => {
+                return Some(Divergence::Message {
+                    id,
+                    left: None,
+                    right: Some(info.clone()),
+                });
+            }
+            (Some(&(ia, fa)), Some(&(ib, fb))) => {
+                if ia == ib {
+                    if fa != fb {
+                        return Some(Divergence::Message {
+                            id: ia,
+                            left: Some(fa.clone()),
+                            right: Some(fb.clone()),
+                        });
+                    }
+                    ma.next();
+                    mb.next();
+                } else if ia < ib {
+                    return Some(Divergence::Message {
+                        id: ia,
+                        left: Some(fa.clone()),
+                        right: None,
+                    });
+                } else {
+                    return Some(Divergence::Message {
+                        id: ib,
+                        left: None,
+                        right: Some(fb.clone()),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+    use crate::builder::ExecutionBuilder;
+    use crate::ids::{ProcessId, Value};
+
+    fn sample() -> ExecutionBuilder {
+        let p1 = ProcessId::new(1);
+        let p2 = ProcessId::new(2);
+        let mut b = ExecutionBuilder::new(2);
+        let m = b.fresh_broadcast_message(p1, Value::new(7));
+        b.step(p1, Action::Broadcast { msg: m });
+        b.step(p2, Action::Deliver { from: p1, msg: m });
+        b
+    }
+
+    #[test]
+    fn identical_executions_have_no_divergence() {
+        let a = sample().build();
+        let b = sample().build();
+        assert_eq!(first_divergence(&a, &b), None);
+    }
+
+    #[test]
+    fn differing_step_is_located() {
+        let a = sample().build();
+        let mut builder = sample();
+        builder.step(ProcessId::new(1), Action::Internal { tag: 9 });
+        let b = builder.build();
+        match first_divergence(&a, &b) {
+            Some(Divergence::Step {
+                index: 2,
+                left: None,
+                right: Some(_),
+            }) => {}
+            other => panic!("unexpected divergence: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn differing_message_table_is_located() {
+        let a = sample().build();
+        let mut builder = sample();
+        // Register an extra (unused) message: steps agree, tables differ.
+        builder.fresh_p2p_message(ProcessId::new(2), "extra");
+        let b = builder.build();
+        match first_divergence(&a, &b) {
+            Some(Divergence::Message {
+                left: None,
+                right: Some(_),
+                ..
+            }) => {}
+            other => panic!("unexpected divergence: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn span_display_and_accessors() {
+        let s = StepSpan::single(3);
+        assert_eq!(s.to_string(), "step 3");
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(3));
+        assert!(!s.contains(4));
+        let w = StepSpan::new(2, 6);
+        assert_eq!(w.to_string(), "steps 2..6");
+        assert!(!w.is_empty());
+        let exec = sample().build();
+        assert_eq!(StepSpan::new(1, 5).steps(&exec).len(), 1);
+    }
+
+    #[test]
+    fn process_count_mismatch_reported_first() {
+        let a = ExecutionBuilder::new(2).build();
+        let b = ExecutionBuilder::new(3).build();
+        assert_eq!(
+            first_divergence(&a, &b),
+            Some(Divergence::ProcessCount { left: 2, right: 3 })
+        );
+    }
+}

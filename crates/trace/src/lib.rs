@@ -46,6 +46,7 @@
 
 mod action;
 mod builder;
+mod diff;
 mod error;
 mod execution;
 mod ids;
@@ -57,6 +58,7 @@ mod views;
 
 pub use action::{Action, Step};
 pub use builder::ExecutionBuilder;
+pub use diff::{first_divergence, Divergence, StepSpan};
 pub use error::TraceError;
 pub use execution::{Execution, MessageInfo, MessageKind};
 pub use ids::{KsaId, MessageId, ProcessId, Value};

@@ -2,7 +2,7 @@
 //! orders, with the comparison helpers used by indistinguishability and
 //! ordering arguments.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::action::{Action, Step};
 use crate::execution::Execution;
@@ -76,7 +76,7 @@ impl ProcessView {
 pub struct DeliveryView {
     n: usize,
     /// `positions[p.index()][m]` = index of `m` in `p`'s delivery sequence.
-    positions: Vec<HashMap<MessageId, usize>>,
+    positions: Vec<BTreeMap<MessageId, usize>>,
     /// `orders[p.index()]` = `p`'s delivery sequence.
     orders: Vec<Vec<MessageId>>,
 }
@@ -86,7 +86,7 @@ impl DeliveryView {
     #[must_use]
     pub fn of(exec: &Execution) -> Self {
         let n = exec.process_count();
-        let mut positions = vec![HashMap::new(); n];
+        let mut positions = vec![BTreeMap::new(); n];
         let mut orders = vec![Vec::new(); n];
         for p in ProcessId::all(n) {
             let order = exec.delivery_order(p);

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# The full CI gate, runnable locally: tier-1 verify, strict lints on the
+# whole workspace, formatting, and the camp-lint static-analysis layer over
+# the committed Figure 1 golden trace.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: cargo build --release"
+cargo build --release
+
+echo "==> tier-1: cargo test -q"
+cargo test -q
+
+echo "==> workspace tests"
+cargo test --workspace -q
+
+echo "==> clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> rustfmt check"
+cargo fmt --check
+
+echo "==> camp-lint: trace linter on the Figure 1 golden trace"
+cargo run --release -q -p camp-lint --bin camp-lint -- trace tests/golden/figure1.json
+
+echo "==> camp-lint: determinism + branch audit of the built-in algorithms"
+cargo run --release -q -p camp-lint --bin camp-lint -- audit --seeds 5
+
+echo "CI OK"

@@ -17,6 +17,8 @@
 //! * [`agreement`] — k-set-agreement oracles, decision rules, and the
 //!   positive algorithms surrounding the impossibility result;
 //! * [`modelcheck`] — bounded exhaustive exploration of scheduler choices;
+//! * [`lint`] — static analysis: the trace linter, the determinism auditor,
+//!   and the algorithm auditor (also available as the `camp-lint` binary);
 //! * [`impossibility`] — the paper's Algorithm 1 adversarial scheduler,
 //!   N-solo machinery, per-lemma verifiers, and the Theorem 1 contradiction
 //!   pipeline;
@@ -35,6 +37,7 @@
 pub use camp_agreement as agreement;
 pub use camp_broadcast as broadcast;
 pub use camp_impossibility as impossibility;
+pub use camp_lint as lint;
 pub use camp_modelcheck as modelcheck;
 pub use camp_runtime as runtime;
 pub use camp_shm as shm;

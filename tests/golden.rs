@@ -11,9 +11,14 @@
 
 use campkit::broadcast::AgreedBroadcast;
 use campkit::impossibility::adversarial_scheduler;
+use campkit::lint::lint_execution;
 use campkit::trace::Execution;
 
 const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/figure1.json");
+const LINT_GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/figure1_lint.json"
+);
 
 fn figure1_execution() -> Execution {
     adversarial_scheduler(3, 2, AgreedBroadcast::new(), 10_000_000)
@@ -48,10 +53,31 @@ fn figure1_matches_the_committed_golden() {
     );
 }
 
-/// Not a test: rewrites the golden file. Run explicitly with `--ignored`.
 #[test]
-#[ignore = "regenerates the golden file"]
+fn figure1_lint_report_matches_the_committed_golden() {
+    let report = lint_execution(&figure1_execution());
+    assert!(
+        report.is_clean(),
+        "the Figure 1 execution must lint clean: {:?}",
+        report.diagnostics
+    );
+    let golden = std::fs::read_to_string(LINT_GOLDEN_PATH)
+        .expect("lint golden file missing — run the regenerate test");
+    assert_eq!(
+        report.to_json(),
+        golden.trim_end(),
+        "the linter's JSON output for Figure 1 changed; if intentional, regenerate"
+    );
+}
+
+/// Not a test: rewrites the golden files. Run explicitly with `--ignored`.
+#[test]
+#[ignore = "regenerates the golden files"]
 fn regenerate() {
-    let json = serde_json::to_string_pretty(&figure1_execution()).unwrap();
+    let exec = figure1_execution();
+    let json = serde_json::to_string_pretty(&exec).unwrap();
     std::fs::write(GOLDEN_PATH, json).unwrap();
+    let mut lint = lint_execution(&exec).to_json();
+    lint.push('\n');
+    std::fs::write(LINT_GOLDEN_PATH, lint).unwrap();
 }

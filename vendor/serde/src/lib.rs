@@ -1,0 +1,409 @@
+//! Offline stand-in for the `serde` surface this workspace uses.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! minimal replacements for its external dependencies. Real `serde` is a
+//! zero-copy visitor framework; this stand-in collapses the data model to a
+//! concrete JSON tree ([`Json`]) — which is all the workspace needs, since
+//! its only serialization format is JSON via `serde_json`.
+//!
+//! The encoding mirrors serde's derive conventions so existing golden files
+//! parse and re-serialize byte-for-byte:
+//!
+//! * named structs → objects with fields in declaration order;
+//! * one-field tuple structs (newtypes) → the inner value, transparently;
+//! * unit enum variants → `"VariantName"`;
+//! * struct enum variants → `{"VariantName": {…fields…}}`;
+//! * maps → objects, scalar keys rendered as strings (`{"0": …}`).
+//!
+//! `#[derive(Serialize, Deserialize)]` comes from the companion
+//! `serde_derive` stand-in (enabled by the `derive` feature, like upstream).
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON value: the concrete data model of this serde stand-in.
+///
+/// Object fields keep insertion order (a `Vec`, not a map) so struct field
+/// order survives round trips exactly as with upstream serde_json.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An integer. `i128` covers the full `u64` and `i64` ranges.
+    Int(i128),
+    /// A non-integer number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, fields in insertion order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// The fields of an object, or `None`.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array, or `None`.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string payload, or `None`.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload if it fits in `i64`, or `None`.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => i64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The integer payload if it fits in `u64`, or `None`.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of an object by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Json> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+}
+
+/// A deserialization error: what was expected, what was found.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types convertible into the [`Json`] data model.
+pub trait Serialize {
+    /// Converts `self` to a JSON tree.
+    fn to_json(&self) -> Json;
+}
+
+/// Types reconstructible from the [`Json`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value from a JSON tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the tree does not match `Self`'s encoding.
+    fn from_json(v: &Json) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers the derive macro (and hand-written impls) lean on.
+// ---------------------------------------------------------------------------
+
+/// Asserts `v` is an object; `what` names the expecting type in errors.
+pub fn expect_object<'a>(v: &'a Json, what: &str) -> Result<&'a [(String, Json)], DeError> {
+    v.as_object()
+        .ok_or_else(|| DeError::custom(format!("expected object for {what}")))
+}
+
+/// Asserts `v` is an array of exactly `len` elements.
+pub fn expect_tuple<'a>(v: &'a Json, len: usize, what: &str) -> Result<&'a [Json], DeError> {
+    let items = v
+        .as_array()
+        .ok_or_else(|| DeError::custom(format!("expected array for {what}")))?;
+    if items.len() != len {
+        return Err(DeError::custom(format!(
+            "expected {len} elements for {what}, found {}",
+            items.len()
+        )));
+    }
+    Ok(items)
+}
+
+/// Looks up a required field in an object's field list.
+pub fn obj_field<'a>(fields: &'a [(String, Json)], name: &str) -> Result<&'a Json, DeError> {
+    fields
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::custom(format!("missing field `{name}`")))
+}
+
+/// Renders a map key as serde_json would: scalar keys become strings.
+fn key_to_string(key: &Json) -> String {
+    match key {
+        Json::Str(s) => s.clone(),
+        Json::Int(i) => i.to_string(),
+        Json::Bool(b) => b.to_string(),
+        other => panic!("unsupported map key for JSON encoding: {other:?}"),
+    }
+}
+
+/// Parses a map key back: integer-looking strings become [`Json::Int`].
+fn key_from_string(key: &str) -> Json {
+    match key.parse::<i128>() {
+        Ok(i) => Json::Int(i),
+        Err(_) => Json::Str(key.to_string()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(*self as i128)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Json) -> Result<Self, DeError> {
+                match v {
+                    Json::Int(i) => <$t>::try_from(*i).map_err(|_| {
+                        DeError::custom(format!(
+                            "integer {i} out of range for {}",
+                            stringify!($t)
+                        ))
+                    }),
+                    other => Err(DeError::custom(format!(
+                        "expected integer, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        match v {
+            Json::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        match v {
+            Json::Str(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        match v {
+            Json::Null => Ok(None),
+            other => Ok(Some(T::from_json(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        match v {
+            Json::Array(items) => items.iter().map(T::from_json).collect(),
+            other => Err(DeError::custom(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json(&self) -> Json {
+                Json::Array(vec![$(self.$idx.to_json()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json(v: &Json) -> Result<Self, DeError> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                let items = expect_tuple(v, LEN, "tuple")?;
+                Ok(($($name::from_json(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<K, V> Serialize for BTreeMap<K, V>
+where
+    K: Serialize,
+    V: Serialize,
+{
+    fn to_json(&self) -> Json {
+        Json::Object(
+            self.iter()
+                .map(|(k, v)| (key_to_string(&k.to_json()), v.to_json()))
+                .collect(),
+        )
+    }
+}
+
+impl<K, V> Deserialize for BTreeMap<K, V>
+where
+    K: Deserialize + Ord,
+    V: Deserialize,
+{
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        let fields = expect_object(v, "map")?;
+        fields
+            .iter()
+            .map(|(k, v)| Ok((K::from_json(&key_from_string(k))?, V::from_json(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl Deserialize for Json {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_keys_round_trip_as_strings() {
+        let mut m = BTreeMap::new();
+        m.insert(3u64, String::from("x"));
+        let j = m.to_json();
+        assert_eq!(
+            j,
+            Json::Object(vec![("3".to_string(), Json::Str("x".to_string()))])
+        );
+        let back: BTreeMap<u64, String> = Deserialize::from_json(&j).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn tuples_are_arrays() {
+        let t = (1u64, String::from("a"));
+        let j = t.to_json();
+        let back: (u64, String) = Deserialize::from_json(&j).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn out_of_range_int_is_an_error() {
+        let j = Json::Int(-1);
+        assert!(u64::from_json(&j).is_err());
+    }
+
+    #[test]
+    fn option_uses_null() {
+        assert_eq!(None::<u64>.to_json(), Json::Null);
+        assert_eq!(Some(5u64).to_json(), Json::Int(5));
+        let o: Option<u64> = Deserialize::from_json(&Json::Null).unwrap();
+        assert_eq!(o, None);
+    }
+}

@@ -1,0 +1,418 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde::Serialize` / `serde::Deserialize`
+//! traits (a concrete JSON data model) for the type shapes this workspace
+//! actually defines: non-generic named structs, tuple structs, unit structs,
+//! and enums whose variants are unit, named-field, or tuple. Parsing is done
+//! directly on [`proc_macro::TokenStream`] — no `syn`/`quote`, since the
+//! build container cannot download them.
+//!
+//! Unsupported shapes (generics, `#[serde(...)]` attributes) panic at
+//! compile time with a clear message rather than generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (vendored stand-in).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let ty = parse(input);
+    gen_serialize(&ty).parse().expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize` (vendored stand-in).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let ty = parse(input);
+    gen_deserialize(&ty).parse().expect("generated impl parses")
+}
+
+struct Input {
+    name: String,
+    data: Data,
+}
+
+enum Data {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    let mut kind = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Outer attribute: `#` followed by a bracketed group.
+                let _ = iter.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                // Visibility, possibly `pub(crate)` etc.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        let _ = iter.next();
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+                kind = Some(id.to_string());
+                break;
+            }
+            _ => {}
+        }
+    }
+    let kind = kind.expect("derive input must be a struct or enum");
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic type `{name}`");
+    }
+    let data = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Data::NamedStruct(parse_named_fields(g.stream()))
+            } else {
+                Data::Enum(parse_variants(g.stream()))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            assert_eq!(kind, "struct", "parenthesised body on non-struct");
+            Data::TupleStruct(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+            assert_eq!(kind, "struct", "`;` body on non-struct");
+            Data::UnitStruct
+        }
+        other => panic!("unsupported body for `{name}`: {other:?}"),
+    };
+    Input { name, data }
+}
+
+/// Parses `field: Type, …` from a brace group, returning field names in order.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    let _ = iter.next();
+                    let _ = iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    let _ = iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            let _ = iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tt) = iter.next() else { break };
+        let TokenTree::Ident(id) = tt else {
+            panic!("expected field name, found {tt:?}");
+        };
+        fields.push(id.to_string());
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        // Skip the type: tokens until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        for tt in iter.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Counts `Type, …` entries of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut depth = 0i32;
+    let mut saw_tokens = false;
+    for tt in stream {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        // Skip attributes before the variant name.
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            let _ = iter.next();
+            let _ = iter.next();
+        }
+        let Some(tt) = iter.next() else { break };
+        let TokenTree::Ident(id) = tt else {
+            panic!("expected variant name, found {tt:?}");
+        };
+        let name = id.to_string();
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                let _ = iter.next();
+                VariantFields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                let _ = iter.next();
+                VariantFields::Tuple(count_tuple_fields(g))
+            }
+            _ => VariantFields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        // Skip an optional discriminant and the separating comma.
+        let mut depth = 0i32;
+        while let Some(tt) = iter.peek() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    let _ = iter.next();
+                    break;
+                }
+                _ => {}
+            }
+            let _ = iter.next();
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(ty: &Input) -> String {
+    let name = &ty.name;
+    let body = match &ty.data {
+        Data::NamedStruct(fields) => {
+            let entries = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_json(&self.{f}))"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Json::Object(vec![{entries}])")
+        }
+        Data::TupleStruct(1) => "::serde::Serialize::to_json(&self.0)".to_string(),
+        Data::TupleStruct(arity) => {
+            let items = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_json(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Json::Array(vec![{items}])")
+        }
+        Data::UnitStruct => "::serde::Json::Null".to_string(),
+        Data::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|v| gen_serialize_arm(name, v))
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_json(&self) -> ::serde::Json {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_serialize_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.fields {
+        VariantFields::Unit => {
+            format!("{name}::{vname} => ::serde::Json::Str(\"{vname}\".to_string()),")
+        }
+        VariantFields::Named(fields) => {
+            let binds = fields.join(", ");
+            let entries = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_json({f}))"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{name}::{vname} {{ {binds} }} => ::serde::Json::Object(vec![\
+                 (\"{vname}\".to_string(), ::serde::Json::Object(vec![{entries}]))]),"
+            )
+        }
+        VariantFields::Tuple(1) => format!(
+            "{name}::{vname}(f0) => ::serde::Json::Object(vec![\
+             (\"{vname}\".to_string(), ::serde::Serialize::to_json(f0))]),"
+        ),
+        VariantFields::Tuple(arity) => {
+            let binds = (0..*arity)
+                .map(|i| format!("f{i}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let items = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_json(f{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{name}::{vname}({binds}) => ::serde::Json::Object(vec![\
+                 (\"{vname}\".to_string(), ::serde::Json::Array(vec![{items}]))]),"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(ty: &Input) -> String {
+    let name = &ty.name;
+    let body = match &ty.data {
+        Data::NamedStruct(fields) => {
+            let inits = named_field_inits(name, fields);
+            format!(
+                "let fields = ::serde::expect_object(v, \"{name}\")?;\n\
+                 Ok({name} {{ {inits} }})"
+            )
+        }
+        Data::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_json(v)?))")
+        }
+        Data::TupleStruct(arity) => {
+            let items = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_json(&items[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "let items = ::serde::expect_tuple(v, {arity}, \"{name}\")?;\n\
+                 Ok({name}({items}))"
+            )
+        }
+        Data::UnitStruct => format!(
+            "match v {{\n\
+                 ::serde::Json::Null => Ok({name}),\n\
+                 other => Err(::serde::DeError::custom(format!(\
+                     \"expected null for {name}, found {{other:?}}\"))),\n\
+             }}"
+        ),
+        Data::Enum(variants) => gen_deserialize_enum(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_json(v: &::serde::Json) \
+               -> ::std::result::Result<{name}, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn named_field_inits(what: &str, fields: &[String]) -> String {
+    let _ = what;
+    fields
+        .iter()
+        .map(|f| {
+            format!("{f}: ::serde::Deserialize::from_json(::serde::obj_field(fields, \"{f}\")?)?")
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn gen_deserialize_enum(name: &str, variants: &[Variant]) -> String {
+    let unit_arms = variants
+        .iter()
+        .filter(|v| matches!(v.fields, VariantFields::Unit))
+        .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let tagged_arms = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.fields {
+                VariantFields::Unit => None,
+                VariantFields::Named(fields) => {
+                    let inits = named_field_inits(vname, fields);
+                    Some(format!(
+                        "\"{vname}\" => {{\n\
+                             let fields = ::serde::expect_object(inner, \"{name}::{vname}\")?;\n\
+                             Ok({name}::{vname} {{ {inits} }})\n\
+                         }}"
+                    ))
+                }
+                VariantFields::Tuple(1) => Some(format!(
+                    "\"{vname}\" => Ok({name}::{vname}(\
+                     ::serde::Deserialize::from_json(inner)?)),"
+                )),
+                VariantFields::Tuple(arity) => {
+                    let items = (0..*arity)
+                        .map(|i| format!("::serde::Deserialize::from_json(&items[{i}])?"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    Some(format!(
+                        "\"{vname}\" => {{\n\
+                             let items = ::serde::expect_tuple(inner, {arity}, \"{name}::{vname}\")?;\n\
+                             Ok({name}::{vname}({items}))\n\
+                         }}"
+                    ))
+                }
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    format!(
+        "match v {{\n\
+             ::serde::Json::Str(tag) => match tag.as_str() {{\n\
+                 {unit_arms}\n\
+                 other => Err(::serde::DeError::custom(format!(\
+                     \"unknown unit variant `{{other}}` for {name}\"))),\n\
+             }},\n\
+             ::serde::Json::Object(entries) if entries.len() == 1 => {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 match tag.as_str() {{\n\
+                     {tagged_arms}\n\
+                     other => Err(::serde::DeError::custom(format!(\
+                         \"unknown variant `{{other}}` for {name}\"))),\n\
+                 }}\n\
+             }}\n\
+             other => Err(::serde::DeError::custom(format!(\
+                 \"expected variant encoding for {name}, found {{other:?}}\"))),\n\
+         }}"
+    )
+}
