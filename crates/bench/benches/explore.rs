@@ -1,0 +1,203 @@
+//! B5 — exploration-engine benchmarks for the reduction stack, emitting the
+//! machine-readable `BENCH_explore.json` consumed by CI and tracked in the
+//! repository root.
+//!
+//! Three benches cover the three exploration entry points the overhaul
+//! touched:
+//!
+//! * `explore_fifo_2x2` — the full reduction stack (drain + sleep sets +
+//!   dedup) on the 2-process, 2-messages-each FIFO scope, checked against
+//!   the base properties and the FIFO ordering spec;
+//! * `explore_causal_3` — a 3-process causal-broadcast scope (one broadcast
+//!   each from two senders, so causality can actually chain through the
+//!   third process) that the unreduced baseline cannot finish under default
+//!   budgets but the reduced engine completes untruncated;
+//! * `crashsweep_reliable` — the crash-point sweep over uniform reliable
+//!   broadcast at 3 processes (the uniformity dimension the explorer's
+//!   local-step reduction leaves out).
+//!
+//! The vendored criterion stand-in prints human-readable timings but has no
+//! report files, so this harness owns `main` (instead of `criterion_main!`)
+//! and writes the JSON itself: per bench, the median ns/op together with the
+//! work rates (completed executions/sec and visited nodes/sec) derived from
+//! one instrumented run. Set `CAMP_BENCH_QUICK=1` for a low-sample CI smoke
+//! run and `CAMP_BENCH_OUT` to redirect the JSON.
+
+use camp_broadcast::{CausalBroadcast, EagerReliable, FifoBroadcast};
+use camp_modelcheck::crashsweep::{crash_point_sweep, SweepOutcome};
+use camp_modelcheck::{explore_with_stats, EngineConfig, EngineStats, ExploreOutcome};
+use camp_sim::scheduler::Workload;
+use camp_sim::{BroadcastAlgorithm, FirstProposalRule, KsaOracle, Simulation};
+use camp_specs::{base, BroadcastSpec, CausalSpec, FifoSpec, SpecResult};
+use camp_trace::{Execution, ProcessId};
+use criterion::Criterion;
+use serde::Json;
+
+/// One benchmark's measurements: median wall-clock per operation plus the
+/// amount of work one operation performs, from which the rates derive.
+struct Record {
+    name: &'static str,
+    ns_per_op: u128,
+    executions: usize,
+    nodes: usize,
+}
+
+impl Record {
+    fn to_json(&self) -> Json {
+        let secs = self.ns_per_op as f64 / 1e9;
+        Json::Object(vec![
+            ("name".to_string(), Json::Str(self.name.to_string())),
+            ("ns_per_op".to_string(), Json::Int(self.ns_per_op as i128)),
+            ("executions".to_string(), Json::Int(self.executions as i128)),
+            ("nodes".to_string(), Json::Int(self.nodes as i128)),
+            (
+                "executions_per_sec".to_string(),
+                Json::Float(self.executions as f64 / secs),
+            ),
+            (
+                "nodes_per_sec".to_string(),
+                Json::Float(self.nodes as f64 / secs),
+            ),
+        ])
+    }
+}
+
+fn fresh<B: BroadcastAlgorithm>(algo: B, n: usize) -> Simulation<B> {
+    Simulation::new(algo, n, KsaOracle::new(1, Box::new(FirstProposalRule)))
+}
+
+/// Runs one full exploration with the default reduction stack and asserts
+/// the verdict, returning the engine counters for the rate computation.
+fn explore_once<B>(
+    algo: B,
+    n: usize,
+    workload: &Workload,
+    property: &dyn Fn(&Execution) -> SpecResult,
+) -> EngineStats
+where
+    B: BroadcastAlgorithm + Clone,
+    B::Msg: Clone,
+{
+    let (outcome, stats) =
+        explore_with_stats(fresh(algo, n), workload, property, EngineConfig::default());
+    assert!(
+        matches!(
+            outcome,
+            ExploreOutcome::Verified {
+                truncated: false,
+                ..
+            }
+        ),
+        "bench scope must verify untruncated, got {outcome:?}"
+    );
+    stats
+}
+
+fn bench_explore(c: &mut Criterion, sample_size: usize, records: &mut Vec<Record>) {
+    let mut group = c.benchmark_group("explore");
+    group.sample_size(sample_size);
+
+    let fifo_workload = Workload::uniform(2, 2);
+    let fifo_property = |e: &Execution| -> SpecResult {
+        base::check_all(e)?;
+        FifoSpec::new().admits(e)
+    };
+    let stats = explore_once(FifoBroadcast::new(), 2, &fifo_workload, &fifo_property);
+    group.bench_function("explore_fifo_2x2", |b| {
+        b.iter(|| explore_once(FifoBroadcast::new(), 2, &fifo_workload, &fifo_property));
+        records.push(Record {
+            name: "explore_fifo_2x2",
+            ns_per_op: b.median().expect("samples collected").as_nanos(),
+            executions: stats.completed,
+            nodes: stats.nodes,
+        });
+    });
+
+    let mut causal_workload = Workload::new(3);
+    causal_workload.push(ProcessId::new(1), camp_trace::Value::new(1));
+    causal_workload.push(ProcessId::new(2), camp_trace::Value::new(2));
+    let causal_property = |e: &Execution| -> SpecResult {
+        base::check_all(e)?;
+        CausalSpec::new().admits(e)
+    };
+    let stats = explore_once(
+        CausalBroadcast::new(),
+        3,
+        &causal_workload,
+        &causal_property,
+    );
+    group.bench_function("explore_causal_3", |b| {
+        b.iter(|| {
+            explore_once(
+                CausalBroadcast::new(),
+                3,
+                &causal_workload,
+                &causal_property,
+            )
+        });
+        records.push(Record {
+            name: "explore_causal_3",
+            ns_per_op: b.median().expect("samples collected").as_nanos(),
+            executions: stats.completed,
+            nodes: stats.nodes,
+        });
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("crashsweep");
+    group.sample_size(sample_size);
+    let sweep_workload = Workload::uniform(3, 1);
+    let sweep = || {
+        crash_point_sweep(
+            &|| fresh(EagerReliable::uniform(), 3),
+            &sweep_workload,
+            &[ProcessId::new(1), ProcessId::new(2)],
+            &|e| base::bc_uniform_agreement(e),
+            100_000,
+        )
+    };
+    let SweepOutcome::Verified { runs } = sweep() else {
+        panic!("uniform reliable broadcast must survive the crash sweep");
+    };
+    group.bench_function("crashsweep_reliable", |b| {
+        b.iter(&sweep);
+        records.push(Record {
+            name: "crashsweep_reliable",
+            ns_per_op: b.median().expect("samples collected").as_nanos(),
+            // A sweep's unit of work is one fair crash-injected run; report
+            // it under both rate fields so the JSON schema stays uniform.
+            executions: runs,
+            nodes: runs,
+        });
+    });
+    group.finish();
+}
+
+fn main() {
+    let quick = std::env::var("CAMP_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let sample_size = if quick { 3 } else { 10 };
+    let mut criterion = Criterion::default();
+    let mut records = Vec::new();
+    bench_explore(&mut criterion, sample_size, &mut records);
+
+    let out = std::env::var("CAMP_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explore.json").to_string()
+    });
+    let doc = Json::Object(vec![
+        (
+            "schema".to_string(),
+            Json::Str("camp-bench/explore/v1".to_string()),
+        ),
+        (
+            "mode".to_string(),
+            Json::Str(if quick { "quick" } else { "full" }.to_string()),
+        ),
+        (
+            "benches".to_string(),
+            Json::Array(records.iter().map(Record::to_json).collect()),
+        ),
+    ]);
+    let rendered = serde_json::to_string_pretty(&doc).expect("render bench report");
+    std::fs::write(&out, rendered + "\n").expect("write bench report");
+    println!("\nwrote {out}");
+}

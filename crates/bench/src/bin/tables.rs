@@ -12,7 +12,9 @@ use camp_broadcast::{
     AgreedBroadcast, CausalBroadcast, EagerReliable, FifoBroadcast, SendToAll, SteppedBroadcast,
 };
 use camp_impossibility::{adversarial_scheduler, refute_spec, theorem1, verify_lemmas, NSolo};
-use camp_modelcheck::explore::{explore, ExploreConfig, ExploreOutcome};
+use camp_modelcheck::explore::{
+    explore, explore_with_stats, EngineConfig, ExploreConfig, ExploreOutcome,
+};
 use camp_modelcheck::schedules::{is_one_solo_all_own, ScheduleQuery};
 use camp_sim::scheduler::{CrashPlan, Workload};
 use camp_sim::{BroadcastAlgorithm, FirstProposalRule, KsaOracle, OwnValueRule, Simulation};
@@ -641,6 +643,42 @@ fn modelcheck() {
         },
     );
 
+    // Reduction stack: interleaving-tree size under the naive baseline DFS
+    // (local-step drain only) vs the dedup + sleep-set engine, on identical
+    // scopes. The baseline gets a 2M-node budget so the table regenerates
+    // quickly; "TRUNCATED" means it exhausted that budget without finishing
+    // — the scope is out of the baseline's reach but inside the engine's.
+    println!(
+        "\n{:<26}{:<14}{:>16}{:>16}{:>9}",
+        "reduction comparison", "scope", "baseline nodes", "reduced nodes", "factor"
+    );
+    let mut fifo3 = Workload::new(2);
+    fifo3.push(ProcessId::new(1), Value::new(10));
+    fifo3.push(ProcessId::new(1), Value::new(11));
+    fifo3.push(ProcessId::new(2), Value::new(20));
+    reduction_row("fifo", FifoBroadcast::new(), 2, &fifo3, &|e| {
+        camp_specs::base::check_all(e)?;
+        FifoSpec::new().admits(e)
+    });
+    reduction_row(
+        "fifo",
+        FifoBroadcast::new(),
+        2,
+        &Workload::uniform(2, 2),
+        &|e| {
+            camp_specs::base::check_all(e)?;
+            FifoSpec::new().admits(e)
+        },
+    );
+    let mut causal3 = Workload::new(3);
+    causal3.push(ProcessId::new(1), Value::new(1));
+    causal3.push(ProcessId::new(2), Value::new(2));
+    reduction_row("causal", CausalBroadcast::new(), 3, &causal3, &|e| {
+        camp_specs::base::check_all(e)?;
+        CausalSpec::new().admits(e)
+    });
+    println!("\nExpected: the reduced engine visits >=10x fewer nodes on the FIFO 2x2 scope and finishes the 3-process causal scope the baseline cannot.");
+
     // Failure-injection sweeps: every joint crash point of (p1, p2) along
     // fair schedules.
     println!(
@@ -651,6 +689,60 @@ fn modelcheck() {
     sweep_row("eager-reliable", EagerReliable::non_uniform(), false);
     sweep_row("send-to-all", SendToAll::new(), false);
     println!("\nExpected: only the forward-before-deliver variant provides uniform agreement; the sweep finds the crash timing that breaks the others.");
+}
+
+/// One row of the reduction comparison: node counts for the same scope
+/// explored by the baseline DFS (capped at 2M nodes) and the full engine.
+fn reduction_row<B>(
+    name: &str,
+    algo: B,
+    n: usize,
+    workload: &Workload,
+    property: &dyn Fn(&Execution) -> camp_specs::SpecResult,
+) where
+    B: BroadcastAlgorithm + Clone,
+    B::Msg: Clone,
+{
+    const BASELINE_NODE_CAP: usize = 2_000_000;
+    let fresh = || {
+        Simulation::new(
+            algo.clone(),
+            n,
+            KsaOracle::new(1, Box::new(FirstProposalRule)),
+        )
+    };
+    let (_, base) = explore_with_stats(
+        fresh(),
+        workload,
+        property,
+        EngineConfig {
+            budgets: ExploreConfig {
+                max_nodes: BASELINE_NODE_CAP,
+                ..ExploreConfig::default()
+            },
+            dedup: false,
+            sleep_sets: false,
+        },
+    );
+    let (_, reduced) = explore_with_stats(fresh(), workload, property, EngineConfig::default());
+    let baseline_cell = if base.truncated {
+        format!(">{} TRUNCATED", base.nodes)
+    } else {
+        base.nodes.to_string()
+    };
+    let factor = if base.truncated {
+        format!(">{:.0}x", base.nodes as f64 / reduced.nodes as f64)
+    } else {
+        format!("{:.0}x", base.nodes as f64 / reduced.nodes as f64)
+    };
+    println!(
+        "{:<26}{:<14}{:>16}{:>16}{:>9}",
+        name,
+        format!("n={n},M={}", workload.total()),
+        baseline_cell,
+        reduced.nodes,
+        factor
+    );
 }
 
 fn sweep_row<B: BroadcastAlgorithm + Clone>(name: &str, algo: B, expect_uniform: bool) {

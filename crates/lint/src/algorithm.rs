@@ -70,6 +70,10 @@ pub struct BranchReport {
     pub algorithm: String,
     /// Completed executions visited by the exploration.
     pub completed: usize,
+    /// Choice-tree nodes visited by the exploration (after reductions); the
+    /// effort behind the verdict, and the number to watch when a scope that
+    /// used to truncate is re-audited.
+    pub nodes: usize,
     /// Whether exploration hit a budget before exhausting the schedule space.
     pub truncated: bool,
     /// Branch labels observed across all explored executions.
@@ -94,10 +98,11 @@ impl fmt::Display for BranchReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{}: {} completed executions{}, {} branches observed",
+            "{}: {} completed executions{} over {} nodes, {} branches observed",
             self.algorithm,
             self.completed,
             if self.truncated { " (truncated)" } else { "" },
+            self.nodes,
             self.observed.len()
         )?;
         for b in &self.unreachable {
@@ -182,12 +187,12 @@ where
         }
     });
 
-    let (completed, truncated) = match outcome {
+    let (completed, nodes, truncated) = match outcome {
         ExploreOutcome::Verified {
             completed,
+            nodes,
             truncated,
-            ..
-        } => (completed, truncated),
+        } => (completed, nodes, truncated),
         ExploreOutcome::CounterExample { violation, .. } => {
             unreachable!("the coverage visitor never fails, got {violation}")
         }
@@ -203,6 +208,7 @@ where
     Ok(BranchReport {
         algorithm: name.to_string(),
         completed,
+        nodes,
         truncated,
         observed,
         unreachable,

@@ -6,21 +6,56 @@
 //! workload broadcast is invoked — and checks a property on every reachable
 //! *completed* execution (one with no enabled event left).
 //!
-//! **Reduction.** Local algorithm steps are *not* branch points: after every
-//! environment event the explorer drains all enabled local steps of all
-//! processes deterministically. This is sound for the properties of
-//! `camp-specs`, which only read per-process event orders: local steps
-//! consume no external input, so a process's event sequence depends only on
-//! the order in which the environment feeds it inputs — exactly the choices
-//! the explorer does branch on. The reduction turns an intractable
-//! interleaving space into the much smaller input-ordering space.
+//! # The reduction stack
+//!
+//! Naive enumeration of environment choices is intractable beyond two
+//! processes; the engine layers three sound reductions on top of each other
+//! (see `docs/MODELCHECK.md` for the full soundness arguments):
+//!
+//! 1. **Local-step drain.** Local algorithm steps are *not* branch points:
+//!    after every environment event the explorer drains all enabled local
+//!    steps of all processes deterministically. This is sound for the
+//!    properties of `camp-specs`, which only read per-process event orders:
+//!    local steps consume no external input, so a process's event sequence
+//!    depends only on the order in which the environment feeds it inputs —
+//!    exactly the choices the explorer does branch on.
+//!
+//! 2. **Sleep sets** ([`EngineConfig::sleep_sets`]). Two environment events
+//!    whose *subject* processes differ — an invocation at `p` and a
+//!    reception at `q ≠ p` — commute: each only mutates its subject's local
+//!    state (the drain after each only steps the subject, since nobody else
+//!    changed), and neither disables the other. Exploring both orders
+//!    reaches executions that are identical up to (a) the interleaving of
+//!    events at distinct processes and (b) a consistent bijective renaming
+//!    of message ids (id allocation is order-dependent). The per-process
+//!    properties of `camp-specs` are invariant under both, so one order per
+//!    pair suffices. k-SA responses are never treated as independent: a
+//!    decision value can depend on the oracle's global proposal-arrival
+//!    state, which any other event may extend.
+//!
+//! 3. **State memoization** ([`EngineConfig::dedup`]). Re-converging
+//!    interleavings are pruned by fingerprint, turning the choice tree into
+//!    a DAG walk. The fingerprint combines the *live* state
+//!    ([`camp_sim::Simulation::fingerprint`]: process states, in-flight
+//!    multiset, oracle, workload cursors) with the per-process *projection
+//!    hashes* of the recorded trace — so two prefixes merge only when no
+//!    per-process observer (hence no `camp-specs` property verdict on any
+//!    completed extension) could tell them apart. A memoized state is only
+//!    skipped when it was previously expanded with a sleep set no larger
+//!    than the current one, the classic side condition for combining state
+//!    caching with sleep sets.
+//!
+//! A fourth layer, deterministic parallel frontier exploration, lives in
+//! [`crate::explore_parallel`].
 
+use std::collections::HashMap;
 use std::ops::ControlFlow;
 
+use camp_sim::fingerprint::StateHasher;
 use camp_sim::scheduler::Workload;
 use camp_sim::{BroadcastAlgorithm, SimError, Simulation};
 use camp_specs::{SpecResult, Violation};
-use camp_trace::{Execution, ProcessId};
+use camp_trace::{Execution, MessageId, ProcessId};
 
 /// Budgets for an exploration.
 #[derive(Debug, Clone, Copy)]
@@ -41,6 +76,56 @@ impl Default for ExploreConfig {
             max_nodes: 20_000_000,
         }
     }
+}
+
+/// Full engine configuration: budgets plus reduction toggles.
+///
+/// [`explore`] runs with every reduction enabled; construct this directly
+/// (or via `From<ExploreConfig>`) to toggle layers individually — the
+/// engine-equivalence tests and the `tables modelcheck` baseline comparison
+/// do exactly that.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// The exploration budgets.
+    pub budgets: ExploreConfig,
+    /// Memoize states by fingerprint and prune re-converging interleavings.
+    pub dedup: bool,
+    /// Partial-order reduction over independent environment events.
+    pub sleep_sets: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            budgets: ExploreConfig::default(),
+            dedup: true,
+            sleep_sets: true,
+        }
+    }
+}
+
+impl From<ExploreConfig> for EngineConfig {
+    fn from(budgets: ExploreConfig) -> Self {
+        Self {
+            budgets,
+            ..Self::default()
+        }
+    }
+}
+
+/// Counters describing how an exploration spent its budget.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Tree nodes expanded.
+    pub nodes: usize,
+    /// Completed executions checked.
+    pub completed: usize,
+    /// Nodes pruned because their fingerprint was already expanded.
+    pub dedup_hits: usize,
+    /// Branches skipped because the chosen event was asleep.
+    pub sleep_skips: usize,
+    /// Whether a budget was hit.
+    pub truncated: bool,
 }
 
 /// The outcome of an exploration.
@@ -76,19 +161,335 @@ impl ExploreOutcome {
 
 /// One branchable environment event.
 #[derive(Debug, Clone, Copy)]
-enum Choice {
+pub(crate) enum Choice {
     Invoke(ProcessId),
     Receive(usize),
     Respond(ProcessId),
 }
 
-/// Explores every environment schedule of `sim` under `workload`, checking
-/// `property` on each completed execution.
+/// A stable identity for a [`Choice`], independent of network slot indices
+/// (slots shift as messages are consumed; message ids never do). Sleep sets
+/// and memoization signatures are keyed by `ChoiceKey`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum ChoiceKey {
+    Invoke(ProcessId),
+    Receive { msg: MessageId, to: ProcessId },
+    Respond(ProcessId),
+}
+
+impl ChoiceKey {
+    /// The process whose local state the event mutates, if the event is
+    /// eligible for the independence relation at all. k-SA responses return
+    /// `None`: their decision value reads global oracle state (proposal
+    /// arrival order, previously decided values), so they are conservatively
+    /// dependent on everything.
+    fn subject(self) -> Option<ProcessId> {
+        match self {
+            ChoiceKey::Invoke(p) => Some(p),
+            ChoiceKey::Receive { to, .. } => Some(to),
+            ChoiceKey::Respond(_) => None,
+        }
+    }
+}
+
+/// Are two environment events independent (order-commutable)?
+///
+/// Only invocations and receptions at *distinct* subject processes qualify:
+/// each mutates only its subject's local state and the append-only portions
+/// of the shared state (network, message-id allocator), so executing them in
+/// either order yields the same state up to a consistent message-id
+/// renaming, and neither order disables the other event.
+pub(crate) fn independent(a: ChoiceKey, b: ChoiceKey) -> bool {
+    match (a.subject(), b.subject()) {
+        (Some(p), Some(q)) => p != q,
+        _ => false,
+    }
+}
+
+/// Drains all local steps of all processes (reduction layer 1), responding
+/// to nothing — proposals stay pending as branchable choices.
+pub(crate) fn drain<B: BroadcastAlgorithm>(sim: &mut Simulation<B>) -> Result<(), SimError> {
+    loop {
+        let mut progressed = false;
+        for p in ProcessId::all(sim.n()) {
+            if sim.is_crashed(p) {
+                continue;
+            }
+            while sim.has_local_step(p) {
+                sim.step_process(p)?;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            return Ok(());
+        }
+    }
+}
+
+/// Enumerates the enabled environment events into `out` (cleared first).
+/// The enumeration order is deterministic and shared by every engine.
+pub(crate) fn collect_choices<B: BroadcastAlgorithm>(
+    sim: &Simulation<B>,
+    workload: &Workload,
+    issued: &[usize],
+    out: &mut Vec<Choice>,
+) {
+    out.clear();
+    for p in ProcessId::all(sim.n()) {
+        if sim.is_crashed(p) {
+            continue;
+        }
+        if sim.pending_broadcast(p).is_none() && workload.get(p, issued[p.index()]).is_some() {
+            out.push(Choice::Invoke(p));
+        }
+        if sim.oracle().pending_of(p).is_some() {
+            out.push(Choice::Respond(p));
+        }
+    }
+    for (slot, m) in sim.network().in_flight().iter().enumerate() {
+        if !sim.is_crashed(m.to) {
+            out.push(Choice::Receive(slot));
+        }
+    }
+}
+
+/// The stable key of a choice in the current state.
+pub(crate) fn key_of<B: BroadcastAlgorithm>(choice: Choice, sim: &Simulation<B>) -> ChoiceKey {
+    match choice {
+        Choice::Invoke(p) => ChoiceKey::Invoke(p),
+        Choice::Respond(p) => ChoiceKey::Respond(p),
+        Choice::Receive(slot) => {
+            let m = &sim.network().in_flight()[slot];
+            ChoiceKey::Receive {
+                msg: m.id,
+                to: m.to,
+            }
+        }
+    }
+}
+
+/// Applies `choice` to `sim` (advancing `issued` for invocations) and drains
+/// the resulting local steps.
+pub(crate) fn apply_choice<B>(
+    sim: &mut Simulation<B>,
+    workload: &Workload,
+    issued: &mut [usize],
+    choice: Choice,
+) -> Result<(), SimError>
+where
+    B: BroadcastAlgorithm,
+    B::Msg: Clone,
+{
+    match choice {
+        Choice::Invoke(p) => {
+            let content = workload
+                .get(p, issued[p.index()])
+                .expect("enabled implies available");
+            sim.invoke_broadcast(p, content)?;
+            issued[p.index()] += 1;
+        }
+        Choice::Receive(slot) => {
+            sim.receive(slot)?;
+        }
+        Choice::Respond(p) => {
+            let obj = sim.oracle().pending_of(p).expect("enabled");
+            sim.respond_ksa(obj, p)?;
+        }
+    }
+    drain(sim)
+}
+
+/// The memoization fingerprint of a node: live simulation state, workload
+/// cursors, and the per-process projection hashes of the trace so far.
+pub(crate) fn combined_fingerprint<B: BroadcastAlgorithm>(
+    sim: &Simulation<B>,
+    issued: &[usize],
+) -> u128 {
+    let live = sim.fingerprint();
+    let mut h = StateHasher::new();
+    h.write_u64((live >> 64) as u64);
+    h.write_u64(live as u64);
+    for i in issued {
+        h.write_usize(*i);
+    }
+    for ph in sim.trace().projection_hashes() {
+        h.write_u64(*ph);
+    }
+    h.finish()
+}
+
+/// Stored sleep signatures per memoized state. A state revisited with a
+/// sleep set that is a superset of a stored signature explores a subset of
+/// what the stored visit explored, so it can be pruned; keeping a few
+/// signatures catches revisits under incomparable sleep sets without
+/// unbounded growth.
+const MAX_SLEEP_SIGNATURES: usize = 4;
+
+pub(crate) struct Engine<'a> {
+    pub workload: &'a Workload,
+    pub property: &'a dyn Fn(&Execution) -> SpecResult,
+    pub cfg: EngineConfig,
+    pub stats: EngineStats,
+    visited: HashMap<u128, Vec<Vec<ChoiceKey>>>,
+    scratch: Vec<Vec<Choice>>,
+}
+
+impl<'a> Engine<'a> {
+    pub fn new(
+        workload: &'a Workload,
+        property: &'a dyn Fn(&Execution) -> SpecResult,
+        cfg: EngineConfig,
+    ) -> Self {
+        Self {
+            workload,
+            property,
+            cfg,
+            stats: EngineStats::default(),
+            visited: HashMap::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Explores the subtree rooted at `sim` (already drained) with the given
+    /// sleep set. `depth` counts environment events along the path.
+    pub fn dfs<B>(
+        &mut self,
+        sim: &Simulation<B>,
+        issued: &mut [usize],
+        depth: usize,
+        sleep: Vec<ChoiceKey>,
+    ) -> ControlFlow<ExploreOutcome>
+    where
+        B: BroadcastAlgorithm + Clone,
+        B::Msg: Clone,
+    {
+        let budgets = self.cfg.budgets;
+        if self.stats.nodes >= budgets.max_nodes
+            || depth > budgets.max_depth
+            || self.stats.completed >= budgets.max_executions
+        {
+            self.stats.truncated = true;
+            return ControlFlow::Continue(());
+        }
+        self.stats.nodes += 1;
+
+        // The choice buffer is pooled: one allocation per exploration depth,
+        // not per node (the buffer must survive recursion into children).
+        let mut choices = self.scratch.pop().unwrap_or_default();
+        collect_choices(sim, self.workload, issued, &mut choices);
+
+        if choices.is_empty() {
+            self.stats.completed += 1;
+            let result = if let Err(violation) = (self.property)(sim.trace()) {
+                ControlFlow::Break(ExploreOutcome::CounterExample {
+                    trace: Box::new(sim.trace().clone()),
+                    violation,
+                })
+            } else {
+                ControlFlow::Continue(())
+            };
+            self.scratch.push(choices);
+            return result;
+        }
+
+        if self.cfg.dedup {
+            let fp = combined_fingerprint(sim, issued);
+            let mut sig = sleep.clone();
+            sig.sort_unstable();
+            let sigs = self.visited.entry(fp).or_default();
+            if sigs.iter().any(|old| old.iter().all(|k| sig.contains(k))) {
+                self.stats.dedup_hits += 1;
+                self.scratch.push(choices);
+                return ControlFlow::Continue(());
+            }
+            if sigs.len() < MAX_SLEEP_SIGNATURES {
+                sigs.push(sig);
+            }
+        }
+
+        let mut done: Vec<ChoiceKey> = Vec::new();
+        let mut outcome = ControlFlow::Continue(());
+        for &choice in &choices {
+            let key = key_of(choice, sim);
+            if sleep.contains(&key) {
+                self.stats.sleep_skips += 1;
+                continue;
+            }
+            let child_sleep: Vec<ChoiceKey> = if self.cfg.sleep_sets {
+                sleep
+                    .iter()
+                    .chain(done.iter())
+                    .filter(|k| independent(**k, key))
+                    .copied()
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let mut branch = sim.clone();
+            if let Err(e) = apply_choice(&mut branch, self.workload, issued, choice) {
+                outcome = ControlFlow::Break(ExploreOutcome::Error(e));
+                break;
+            }
+            let result = self.dfs(&branch, issued, depth + 1, child_sleep);
+            if let Choice::Invoke(p) = choice {
+                issued[p.index()] -= 1;
+            }
+            if result.is_break() {
+                outcome = result;
+                break;
+            }
+            if self.cfg.sleep_sets {
+                done.push(key);
+            }
+        }
+        choices.clear();
+        self.scratch.push(choices);
+        outcome
+    }
+}
+
+/// Runs the full reduction stack and returns the outcome together with the
+/// engine counters (nodes, dedup hits, sleep skips, …).
 ///
 /// The simulation must be freshly created (no steps taken). `property` is
 /// called with the final execution of each maximal branch; liveness-style
 /// checks are appropriate because the explorer only deems a branch complete
 /// when no event is enabled at all.
+pub fn explore_with_stats<B>(
+    sim: Simulation<B>,
+    workload: &Workload,
+    property: &dyn Fn(&Execution) -> SpecResult,
+    cfg: EngineConfig,
+) -> (ExploreOutcome, EngineStats)
+where
+    B: BroadcastAlgorithm + Clone,
+    B::Msg: Clone,
+{
+    let mut root = sim;
+    if let Err(e) = drain(&mut root) {
+        return (ExploreOutcome::Error(e), EngineStats::default());
+    }
+    // `issued` is indexed by process: exactly `n` entries.
+    let mut issued = vec![0usize; root.n()];
+    let mut engine = Engine::new(workload, property, cfg);
+    let outcome = match engine.dfs(&root, &mut issued, 0, Vec::new()) {
+        ControlFlow::Break(outcome) => outcome,
+        ControlFlow::Continue(()) => ExploreOutcome::Verified {
+            completed: engine.stats.completed,
+            nodes: engine.stats.nodes,
+            truncated: engine.stats.truncated,
+        },
+    };
+    (outcome, engine.stats)
+}
+
+/// Explores every environment schedule of `sim` under `workload` with the
+/// full reduction stack (drain + sleep sets + memoization), checking
+/// `property` on each completed execution.
+///
+/// Note that with the reductions enabled, `completed` counts *representative*
+/// executions — one per equivalence class of interleavings — rather than raw
+/// interleavings; use [`explore_baseline`] for the unreduced count.
 pub fn explore<B>(
     sim: Simulation<B>,
     workload: &Workload,
@@ -99,145 +500,33 @@ where
     B: BroadcastAlgorithm + Clone,
     B::Msg: Clone,
 {
-    struct Ctx<'a, B: BroadcastAlgorithm> {
-        workload: &'a Workload,
-        property: &'a dyn Fn(&Execution) -> SpecResult,
-        cfg: ExploreConfig,
-        completed: usize,
-        nodes: usize,
-        truncated: bool,
-        _marker: std::marker::PhantomData<B>,
-    }
+    explore_with_stats(sim, workload, property, EngineConfig::from(cfg)).0
+}
 
-    /// Drains all local steps of all processes (the reduction), responding
-    /// to nothing — proposals stay pending as branchable choices.
-    fn drain<B: BroadcastAlgorithm>(sim: &mut Simulation<B>) -> Result<(), SimError> {
-        loop {
-            let mut progressed = false;
-            for p in ProcessId::all(sim.n()) {
-                if sim.is_crashed(p) {
-                    continue;
-                }
-                while sim.has_local_step(p) {
-                    sim.step_process(p)?;
-                    progressed = true;
-                }
-            }
-            if !progressed {
-                return Ok(());
-            }
-        }
-    }
-
-    fn choices<B: BroadcastAlgorithm>(
-        sim: &Simulation<B>,
-        workload: &Workload,
-        issued: &[usize],
-    ) -> Vec<Choice> {
-        let mut out = Vec::new();
-        for p in ProcessId::all(sim.n()) {
-            if sim.is_crashed(p) {
-                continue;
-            }
-            if sim.pending_broadcast(p).is_none() && workload.get(p, issued[p.index()]).is_some() {
-                out.push(Choice::Invoke(p));
-            }
-            if sim.oracle().pending_of(p).is_some() {
-                out.push(Choice::Respond(p));
-            }
-        }
-        for (slot, m) in sim.network().in_flight().iter().enumerate() {
-            if !sim.is_crashed(m.to) {
-                out.push(Choice::Receive(slot));
-            }
-        }
-        out
-    }
-
-    fn dfs<B>(
-        sim: Simulation<B>,
-        issued: Vec<usize>,
-        depth: usize,
-        ctx: &mut Ctx<'_, B>,
-    ) -> ControlFlow<ExploreOutcome>
-    where
-        B: BroadcastAlgorithm + Clone,
-        B::Msg: Clone,
-    {
-        ctx.nodes += 1;
-        if ctx.nodes > ctx.cfg.max_nodes
-            || depth > ctx.cfg.max_depth
-            || ctx.completed > ctx.cfg.max_executions
-        {
-            ctx.truncated = true;
-            return ControlFlow::Continue(());
-        }
-        let available = choices(&sim, ctx.workload, &issued);
-        if available.is_empty() {
-            ctx.completed += 1;
-            if let Err(violation) = (ctx.property)(sim.trace()) {
-                return ControlFlow::Break(ExploreOutcome::CounterExample {
-                    trace: Box::new(sim.into_trace()),
-                    violation,
-                });
-            }
-            return ControlFlow::Continue(());
-        }
-        for choice in available {
-            let mut branch = sim.clone();
-            let mut issued_branch = issued.clone();
-            let applied = (|| -> Result<(), SimError> {
-                match choice {
-                    Choice::Invoke(p) => {
-                        let content = ctx
-                            .workload
-                            .get(p, issued_branch[p.index()])
-                            .expect("enabled implies available");
-                        branch.invoke_broadcast(p, content)?;
-                        issued_branch[p.index()] += 1;
-                    }
-                    Choice::Receive(slot) => {
-                        branch.receive(slot)?;
-                    }
-                    Choice::Respond(p) => {
-                        let obj = branch.oracle().pending_of(p).expect("enabled");
-                        branch.respond_ksa(obj, p)?;
-                    }
-                }
-                drain(&mut branch)
-            })();
-            if let Err(e) = applied {
-                return ControlFlow::Break(ExploreOutcome::Error(e));
-            }
-            dfs(branch, issued_branch, depth + 1, ctx)?;
-        }
-        ControlFlow::Continue(())
-    }
-
-    let mut ctx = Ctx::<B> {
+/// The naive clone-per-branch DFS with no reduction beyond the local-step
+/// drain: the reference oracle the optimized engine is checked against (and
+/// the baseline the `tables modelcheck` node-count comparison reports).
+pub fn explore_baseline<B>(
+    sim: Simulation<B>,
+    workload: &Workload,
+    property: &dyn Fn(&Execution) -> SpecResult,
+    cfg: ExploreConfig,
+) -> ExploreOutcome
+where
+    B: BroadcastAlgorithm + Clone,
+    B::Msg: Clone,
+{
+    explore_with_stats(
+        sim,
         workload,
         property,
-        cfg,
-        completed: 0,
-        nodes: 0,
-        truncated: false,
-        _marker: std::marker::PhantomData,
-    };
-    let mut root = sim;
-    if let Err(e) = drain(&mut root) {
-        return ExploreOutcome::Error(e);
-    }
-    // `issued` is indexed by process, so it must have `n` entries even when
-    // the workload holds fewer invocations than there are processes.
-    let issued = vec![0; workload.total().max(root.n())];
-    match dfs(root, issued, 0, &mut ctx) {
-        ControlFlow::Break(outcome) => outcome,
-        ControlFlow::Continue(()) => ExploreOutcome::Verified {
-            completed: ctx.completed,
-            nodes: ctx.nodes,
-            truncated: ctx.truncated,
+        EngineConfig {
+            budgets: cfg,
+            dedup: false,
+            sleep_sets: false,
         },
-    }
+    )
+    .0
 }
 
 /// Runs [`explore`] while invoking `visit` on every *completed* execution —
@@ -249,6 +538,12 @@ where
 /// property. The property handed to [`explore`] always succeeds, so the
 /// outcome is [`ExploreOutcome::Verified`] (reporting how many executions
 /// were visited) unless the simulation itself raises an error.
+///
+/// The reductions prune interleavings, not behaviours: every pruned
+/// execution is a per-process-equivalent permutation (up to message-id
+/// renaming) of a visited one, so coverage-style visitors observe the same
+/// branch labels and the same per-process step sequences they would under
+/// the naive enumeration.
 pub fn explore_collect<B, F>(
     sim: Simulation<B>,
     workload: &Workload,
@@ -315,14 +610,15 @@ mod tests {
         workload.push(ProcessId::new(1), camp_trace::Value::new(10));
         workload.push(ProcessId::new(1), camp_trace::Value::new(11));
         workload.push(ProcessId::new(2), camp_trace::Value::new(20));
-        let outcome = explore(
+        let property = |e: &Execution| {
+            base::check_all(e)?;
+            FifoSpec::new().admits(e)
+        };
+        let (outcome, stats) = explore_with_stats(
             fresh(FifoBroadcast::new(), 2, 1, false),
             &workload,
-            &|e| {
-                base::check_all(e)?;
-                FifoSpec::new().admits(e)
-            },
-            ExploreConfig::default(),
+            &property,
+            EngineConfig::default(),
         );
         match outcome {
             ExploreOutcome::Verified {
@@ -331,24 +627,72 @@ mod tests {
                 ..
             } => {
                 assert!(!truncated, "scope should fit the budget");
-                assert!(completed > 10, "got {completed}");
+                // With the reductions on, `completed` counts representative
+                // executions; there must be several, and the reductions must
+                // actually have pruned something at this scope.
+                assert!(completed > 0, "got {completed}");
+                // FIFO never proposes, so there are no re-converging
+                // dependent diamonds for dedup to merge here — the
+                // partial-order layer does all the pruning at this scope.
+                assert!(stats.sleep_skips > 0, "reductions idle: {stats:?}");
             }
             other => panic!("{other:?}"),
         }
     }
 
     #[test]
-    fn agreed_broadcast_with_consensus_oracle_is_total_order_everywhere() {
-        let outcome = explore(
-            fresh(AgreedBroadcast::new(), 2, 1, true),
-            &Workload::uniform(2, 1),
-            &|e| {
-                base::check_all(e)?;
-                TotalOrderSpec::new().admits(e)
-            },
+    fn reduced_engine_matches_baseline_verdict_on_fifo_scope() {
+        let mut workload = Workload::new(2);
+        workload.push(ProcessId::new(1), camp_trace::Value::new(10));
+        workload.push(ProcessId::new(1), camp_trace::Value::new(11));
+        workload.push(ProcessId::new(2), camp_trace::Value::new(20));
+        let property = |e: &Execution| {
+            base::check_all(e)?;
+            FifoSpec::new().admits(e)
+        };
+        let reduced = explore(
+            fresh(FifoBroadcast::new(), 2, 1, false),
+            &workload,
+            &property,
             ExploreConfig::default(),
         );
+        let baseline = explore_baseline(
+            fresh(FifoBroadcast::new(), 2, 1, false),
+            &workload,
+            &property,
+            ExploreConfig::default(),
+        );
+        assert!(reduced.verified() && baseline.verified());
+        let (
+            ExploreOutcome::Verified { nodes: rn, .. },
+            ExploreOutcome::Verified { nodes: bn, .. },
+        ) = (&reduced, &baseline)
+        else {
+            unreachable!()
+        };
+        assert!(
+            rn * 10 <= *bn,
+            "expected ≥10× node reduction, got {rn} vs {bn}"
+        );
+    }
+
+    #[test]
+    fn agreed_broadcast_with_consensus_oracle_is_total_order_everywhere() {
+        let property = |e: &Execution| {
+            base::check_all(e)?;
+            TotalOrderSpec::new().admits(e)
+        };
+        let (outcome, stats) = explore_with_stats(
+            fresh(AgreedBroadcast::new(), 2, 1, true),
+            &Workload::uniform(2, 1),
+            &property,
+            EngineConfig::default(),
+        );
         assert!(outcome.verified(), "{outcome:?}");
+        // AgreedBroadcast proposes on k-SA objects: oracle responses are
+        // dependent with everything, so re-converging dependent diamonds
+        // (e.g. Respond(p) × Receive(q)) exist and memoization must fire.
+        assert!(stats.dedup_hits > 0, "memoization idle: {stats:?}");
     }
 
     #[test]
@@ -389,6 +733,30 @@ mod tests {
         );
         match outcome {
             ExploreOutcome::Verified { truncated, .. } => assert!(truncated),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_execution_budget_means_zero() {
+        let outcome = explore(
+            fresh(SendToAll::new(), 2, 1, false),
+            &Workload::uniform(2, 1),
+            &|_| Ok(()),
+            ExploreConfig {
+                max_executions: 0,
+                ..ExploreConfig::default()
+            },
+        );
+        match outcome {
+            ExploreOutcome::Verified {
+                completed,
+                truncated,
+                ..
+            } => {
+                assert_eq!(completed, 0);
+                assert!(truncated);
+            }
             other => panic!("{other:?}"),
         }
     }

@@ -29,8 +29,13 @@
 
 pub mod crashsweep;
 pub mod explore;
+pub mod parallel;
 pub mod schedules;
 
 pub use crashsweep::{crash_point_sweep, SweepOutcome};
-pub use explore::{explore, explore_collect, ExploreConfig, ExploreOutcome};
+pub use explore::{
+    explore, explore_baseline, explore_collect, explore_with_stats, EngineConfig, EngineStats,
+    ExploreConfig, ExploreOutcome,
+};
+pub use parallel::explore_parallel;
 pub use schedules::{for_each_complete_schedule, ScheduleQuery, ScheduleStats};

@@ -1,0 +1,328 @@
+//! Deterministic parallel frontier exploration (reduction-stack layer 4).
+//!
+//! The sequential engine in [`crate::explore`] is a depth-first walk; this
+//! module splits the walk across threads without giving up determinism:
+//!
+//! 1. **Frontier expansion (sequential).** A breadth-first expansion of the
+//!    choice tree — using exactly the same choice enumeration, sleep-set
+//!    inheritance, and budget accounting as the sequential engine — until
+//!    the frontier holds enough *work units* (a few per thread). Completed
+//!    executions reached during expansion are checked inline, in
+//!    deterministic BFS order.
+//! 2. **Dispatch.** Work units are numbered in frontier order and sent over
+//!    per-worker `crossbeam` channels with a static round-robin assignment
+//!    (unit `i` goes to worker `i mod threads`). Each worker runs the full
+//!    sequential reduction stack on each of its units — with a fresh
+//!    memoization table and a fixed per-unit budget share, so a unit's
+//!    result is a pure function of the unit, never of thread timing.
+//! 3. **Deterministic merge.** Workers report `(unit index, outcome)` on a
+//!    shared results channel. Results are sorted by unit index; the
+//!    non-verified outcome with the **least unit index** wins (the
+//!    counterexample with the least schedule in frontier order), otherwise
+//!    the per-unit counters are summed into an aggregate `Verified`.
+//!
+//! Soundness is inherited from the sequential layers: the frontier is a
+//! partition of the (reduced) choice tree, every unit is explored by the
+//! same engine, and the merge is a fold over a deterministic sequence.
+//! Budgets are *shares*: each unit receives `remaining / units` of the node
+//! and execution budgets (at least one each), so a parallel run may in total
+//! check slightly more executions than a sequential run with the same
+//! config, but equal configs and equal thread counts always produce
+//! identical reports.
+
+use std::collections::VecDeque;
+use std::ops::ControlFlow;
+
+use crossbeam::channel;
+
+use camp_sim::scheduler::Workload;
+use camp_sim::{BroadcastAlgorithm, Simulation};
+use camp_specs::SpecResult;
+use camp_trace::Execution;
+
+use crate::explore::{
+    apply_choice, collect_choices, drain, independent, key_of, ChoiceKey, Engine, EngineConfig,
+    EngineStats, ExploreOutcome,
+};
+
+/// How many work units the frontier expansion aims to produce per thread.
+/// A few units per worker smooth out uneven subtree sizes without making
+/// the sequential expansion phase significant.
+const UNITS_PER_THREAD: usize = 8;
+
+/// One frontier node: a drained simulation prefix plus the engine state
+/// (workload cursors, depth, sleep set) needed to resume exploration there.
+struct Unit<B: BroadcastAlgorithm> {
+    sim: Simulation<B>,
+    issued: Vec<usize>,
+    depth: usize,
+    sleep: Vec<ChoiceKey>,
+}
+
+/// Explores like [`crate::explore_with_stats`], but splits the tree across
+/// `threads` worker threads (clamped to at least one).
+///
+/// Given equal inputs and an equal thread count, the result — outcome and
+/// counters — is byte-for-byte reproducible: work assignment is static,
+/// per-unit budgets are fixed shares, and the merge orders results by unit
+/// index, not by arrival.
+pub fn explore_parallel<B>(
+    sim: Simulation<B>,
+    workload: &Workload,
+    property: &(dyn Fn(&Execution) -> SpecResult + Sync),
+    cfg: EngineConfig,
+    threads: usize,
+) -> (ExploreOutcome, EngineStats)
+where
+    B: BroadcastAlgorithm + Clone + Send,
+    B::State: Send,
+    B::Msg: Clone + Send,
+{
+    let threads = threads.max(1);
+    let budgets = cfg.budgets;
+    let mut stats = EngineStats::default();
+
+    let mut root = sim;
+    if let Err(e) = drain(&mut root) {
+        return (ExploreOutcome::Error(e), stats);
+    }
+    let n = root.n();
+
+    // Phase 1: sequential BFS expansion into work units. Each expansion
+    // mirrors one node of the sequential engine (minus memoization, which
+    // the workers apply within their units).
+    let mut frontier: VecDeque<Unit<B>> = VecDeque::new();
+    frontier.push_back(Unit {
+        sim: root,
+        issued: vec![0; n],
+        depth: 0,
+        sleep: Vec::new(),
+    });
+    let target = threads * UNITS_PER_THREAD;
+    let mut choices = Vec::new();
+    while frontier.len() < target {
+        let Some(unit) = frontier.pop_front() else {
+            break;
+        };
+        if stats.nodes >= budgets.max_nodes
+            || unit.depth > budgets.max_depth
+            || stats.completed >= budgets.max_executions
+        {
+            stats.truncated = true;
+            continue;
+        }
+        stats.nodes += 1;
+        collect_choices(&unit.sim, workload, &unit.issued, &mut choices);
+        if choices.is_empty() {
+            stats.completed += 1;
+            if let Err(violation) = property(unit.sim.trace()) {
+                return (
+                    ExploreOutcome::CounterExample {
+                        trace: Box::new(unit.sim.into_trace()),
+                        violation,
+                    },
+                    stats,
+                );
+            }
+            continue;
+        }
+        let mut done: Vec<ChoiceKey> = Vec::new();
+        for &choice in &choices {
+            let key = key_of(choice, &unit.sim);
+            if unit.sleep.contains(&key) {
+                stats.sleep_skips += 1;
+                continue;
+            }
+            let child_sleep: Vec<ChoiceKey> = if cfg.sleep_sets {
+                unit.sleep
+                    .iter()
+                    .chain(done.iter())
+                    .filter(|k| independent(**k, key))
+                    .copied()
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let mut branch = unit.sim.clone();
+            let mut issued = unit.issued.clone();
+            if let Err(e) = apply_choice(&mut branch, workload, &mut issued, choice) {
+                return (ExploreOutcome::Error(e), stats);
+            }
+            frontier.push_back(Unit {
+                sim: branch,
+                issued,
+                depth: unit.depth + 1,
+                sleep: child_sleep,
+            });
+            if cfg.sleep_sets {
+                done.push(key);
+            }
+        }
+    }
+
+    let units: Vec<Unit<B>> = frontier.into_iter().collect();
+    if units.is_empty() {
+        return (
+            ExploreOutcome::Verified {
+                completed: stats.completed,
+                nodes: stats.nodes,
+                truncated: stats.truncated,
+            },
+            stats,
+        );
+    }
+
+    // Phase 2: fixed per-unit budget shares (at least one node/execution
+    // each, so progress is always possible and the shares stay deterministic).
+    let unit_count = units.len();
+    let unit_cfg = EngineConfig {
+        budgets: crate::ExploreConfig {
+            max_depth: budgets.max_depth,
+            max_executions: (budgets.max_executions.saturating_sub(stats.completed) / unit_count)
+                .max(1),
+            max_nodes: (budgets.max_nodes.saturating_sub(stats.nodes) / unit_count).max(1),
+        },
+        ..cfg
+    };
+
+    // Phase 3: static round-robin dispatch over per-worker channels; results
+    // come back tagged with their unit index on a shared channel.
+    let (result_tx, result_rx) = channel::unbounded::<(usize, ExploreOutcome, EngineStats)>();
+    let mut work_txs = Vec::with_capacity(threads);
+    let mut work_rxs = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        let (tx, rx) = channel::unbounded::<(usize, Unit<B>)>();
+        work_txs.push(tx);
+        work_rxs.push(rx);
+    }
+    for (idx, unit) in units.into_iter().enumerate() {
+        work_txs[idx % threads]
+            .send((idx, unit))
+            .expect("worker receiver alive");
+    }
+    drop(work_txs);
+
+    std::thread::scope(|scope| {
+        for rx in work_rxs {
+            let result_tx = result_tx.clone();
+            scope.spawn(move || {
+                for (idx, unit) in rx {
+                    let mut engine = Engine::new(workload, &property, unit_cfg);
+                    let mut issued = unit.issued;
+                    let outcome = match engine.dfs(&unit.sim, &mut issued, unit.depth, unit.sleep) {
+                        ControlFlow::Break(outcome) => outcome,
+                        ControlFlow::Continue(()) => ExploreOutcome::Verified {
+                            completed: engine.stats.completed,
+                            nodes: engine.stats.nodes,
+                            truncated: engine.stats.truncated,
+                        },
+                    };
+                    let _ = result_tx.send((idx, outcome, engine.stats));
+                }
+            });
+        }
+    });
+    drop(result_tx);
+
+    let mut results: Vec<(usize, ExploreOutcome, EngineStats)> = result_rx.iter().collect();
+    results.sort_by_key(|(idx, _, _)| *idx);
+
+    let mut first_bad: Option<ExploreOutcome> = None;
+    for (_, outcome, unit_stats) in results {
+        stats.nodes += unit_stats.nodes;
+        stats.completed += unit_stats.completed;
+        stats.dedup_hits += unit_stats.dedup_hits;
+        stats.sleep_skips += unit_stats.sleep_skips;
+        stats.truncated |= unit_stats.truncated;
+        if first_bad.is_none() && !outcome.verified() {
+            first_bad = Some(outcome);
+        }
+    }
+    let outcome = first_bad.unwrap_or(ExploreOutcome::Verified {
+        completed: stats.completed,
+        nodes: stats.nodes,
+        truncated: stats.truncated,
+    });
+    (outcome, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use camp_broadcast::{FifoBroadcast, SendToAll};
+    use camp_sim::{FirstProposalRule, KsaOracle};
+    use camp_specs::{base, BroadcastSpec, FifoSpec, Violation};
+    use camp_trace::ProcessId;
+
+    fn fresh<B: BroadcastAlgorithm>(algo: B, n: usize) -> Simulation<B> {
+        Simulation::new(algo, n, KsaOracle::new(1, Box::new(FirstProposalRule)))
+    }
+
+    #[test]
+    fn parallel_agrees_with_sequential_verdict() {
+        let workload = Workload::uniform(2, 1);
+        let property = |e: &Execution| -> SpecResult { base::check_all(e) };
+        let (seq, _) = crate::explore_with_stats(
+            fresh(SendToAll::new(), 2),
+            &workload,
+            &property,
+            EngineConfig::default(),
+        );
+        let (par, _) = explore_parallel(
+            fresh(SendToAll::new(), 2),
+            &workload,
+            &property,
+            EngineConfig::default(),
+            4,
+        );
+        assert!(seq.verified() && par.verified(), "{seq:?} vs {par:?}");
+    }
+
+    #[test]
+    fn parallel_runs_are_deterministic() {
+        let mut workload = Workload::new(2);
+        workload.push(ProcessId::new(1), camp_trace::Value::new(10));
+        workload.push(ProcessId::new(1), camp_trace::Value::new(11));
+        workload.push(ProcessId::new(2), camp_trace::Value::new(20));
+        let property = |e: &Execution| -> SpecResult {
+            base::check_all(e)?;
+            FifoSpec::new().admits(e)
+        };
+        let run = || {
+            let (outcome, stats) = explore_parallel(
+                fresh(FifoBroadcast::new(), 2),
+                &workload,
+                &property,
+                EngineConfig::default(),
+                3,
+            );
+            format!("{outcome:?}/{stats:?}")
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn parallel_counterexample_is_deterministic() {
+        let workload = Workload::uniform(2, 1);
+        let property = |e: &Execution| -> SpecResult {
+            if e.delivery_order(ProcessId::new(1)).is_empty() {
+                Ok(())
+            } else {
+                Err(Violation::new("no-delivery", "p1 delivered something"))
+            }
+        };
+        let run = || {
+            let (outcome, _) = explore_parallel(
+                fresh(SendToAll::new(), 2),
+                &workload,
+                &property,
+                EngineConfig::default(),
+                4,
+            );
+            format!("{outcome:?}")
+        };
+        let first = run();
+        assert!(first.contains("no-delivery"), "{first}");
+        assert_eq!(first, run());
+    }
+}

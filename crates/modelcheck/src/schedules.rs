@@ -224,7 +224,7 @@ impl ScheduleQuery {
         &self,
         spec: &dyn BroadcastSpec,
         predicate: impl FnMut(&Execution) -> bool,
-    ) -> Result<ScheduleStats, Execution> {
+    ) -> Result<ScheduleStats, Box<Execution>> {
         let mut predicate = predicate;
         let mut counterexample = None;
         let stats = for_each_complete_schedule(self.n, self.m, |exec| {
@@ -236,7 +236,7 @@ impl ScheduleQuery {
             }
         });
         match counterexample {
-            Some(c) => Err(c),
+            Some(c) => Err(Box::new(c)),
             None => Ok(stats),
         }
     }

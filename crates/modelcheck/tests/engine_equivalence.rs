@@ -1,0 +1,179 @@
+//! Engine-equivalence properties: the reduced engine (dedup + sleep sets)
+//! and the parallel frontier engine must report the same verdict as the
+//! naive baseline DFS on every scope — `Verified` exactly when the baseline
+//! verifies, and a counterexample violating the same property exactly when
+//! the baseline finds one.
+//!
+//! The scopes are random small workloads over 2 processes (the largest the
+//! *baseline* can exhaust quickly in debug builds — the reductions' whole
+//! point is that they reach further), and the algorithm pool deliberately
+//! mixes correct implementations with the seeded-fault ones from
+//! `camp_broadcast::faulty`, so both "everything verifies" and "a
+//! counterexample exists" are exercised.
+//!
+//! Case count defaults to 16 (each case runs three engines to exhaustion,
+//! including the unreduced baseline — the expensive one) and can be tuned
+//! via the `CAMP_PROPTEST_CASES` environment variable.
+
+use camp_broadcast::faulty::{Duplicating, Lossy, Misattributing, QuorumBlocking};
+use camp_broadcast::{AgreedBroadcast, CausalBroadcast, EagerReliable, FifoBroadcast, SendToAll};
+use camp_modelcheck::{
+    explore_baseline, explore_parallel, explore_with_stats, EngineConfig, ExploreConfig,
+    ExploreOutcome,
+};
+use camp_sim::scheduler::Workload;
+use camp_sim::{BroadcastAlgorithm, FirstProposalRule, KsaOracle, Simulation};
+use camp_specs::{base, SpecResult};
+use camp_trace::{Execution, ProcessId, Value};
+use proptest::prelude::*;
+
+/// Budgets generous enough that no 2-process scope in this file truncates:
+/// truncated runs may legitimately disagree (they cover different prefixes),
+/// so equivalence is only meaningful on exhaustive verdicts.
+const BUDGETS: ExploreConfig = ExploreConfig {
+    max_depth: 64,
+    max_executions: 5_000_000,
+    max_nodes: 20_000_000,
+};
+
+fn cases_from_env() -> u32 {
+    std::env::var("CAMP_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16)
+}
+
+fn fresh<B: BroadcastAlgorithm>(algo: B, n: usize) -> Simulation<B> {
+    Simulation::new(algo, n, KsaOracle::new(1, Box::new(FirstProposalRule)))
+}
+
+/// Collapses an outcome to the part the engines must agree on: the verdict
+/// and, for counterexamples, the violated property. Node/execution counters
+/// are *expected* to differ (that is the point of the reductions), and the
+/// counterexample trace itself may be a different representative of the
+/// same equivalence class.
+fn verdict(outcome: &ExploreOutcome) -> String {
+    match outcome {
+        ExploreOutcome::Verified { truncated, .. } => format!("verified(truncated={truncated})"),
+        ExploreOutcome::CounterExample { violation, .. } => {
+            format!("violation({})", violation.property())
+        }
+        ExploreOutcome::Error(e) => format!("error({e:?})"),
+    }
+}
+
+/// Runs baseline DFS, the reduced engine, and the parallel engine on the
+/// same scope and returns their collapsed verdicts.
+fn all_verdicts<B>(algo: B, workload: &Workload, threads: usize) -> (String, String, String)
+where
+    B: BroadcastAlgorithm + Clone + Send,
+    B::State: Send,
+    B::Msg: Clone + Send,
+{
+    let property = |e: &Execution| -> SpecResult { base::check_all(e) };
+    let baseline = explore_baseline(fresh(algo.clone(), 2), workload, &property, BUDGETS);
+    let (reduced, _) = explore_with_stats(
+        fresh(algo.clone(), 2),
+        workload,
+        &property,
+        EngineConfig::from(BUDGETS),
+    );
+    let (parallel, _) = explore_parallel(
+        fresh(algo, 2),
+        workload,
+        &property,
+        EngineConfig::from(BUDGETS),
+        threads,
+    );
+    (verdict(&baseline), verdict(&reduced), verdict(&parallel))
+}
+
+/// A random 2-process workload with `total` messages split `first` /
+/// `total - first` between the processes, carrying distinct values.
+fn workload(total: usize, first: usize, vals: &[u64]) -> Workload {
+    let first = first.min(total);
+    let mut w = Workload::new(2);
+    for (i, v) in vals.iter().enumerate().take(total) {
+        let pid = if i < first { 1 } else { 2 };
+        w.push(ProcessId::new(pid), Value::new(*v));
+    }
+    w
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases_from_env()))]
+
+    /// All three engines agree on the verdict for every algorithm in the
+    /// pool — correct and seeded-faulty alike — across random small scopes.
+    #[test]
+    fn engines_agree_on_verdicts(
+        algo in 0usize..9,
+        total in 2usize..4,
+        first in 0usize..4,
+        vals in proptest::collection::vec(0u64..50, 3),
+        threads in 1usize..5,
+    ) {
+        let w = workload(total, first, &vals);
+        let (b, r, p) = match algo {
+            0 => all_verdicts(SendToAll::new(), &w, threads),
+            1 => all_verdicts(FifoBroadcast::new(), &w, threads),
+            2 => all_verdicts(CausalBroadcast::new(), &w, threads),
+            3 => all_verdicts(EagerReliable::uniform(), &w, threads),
+            4 => all_verdicts(AgreedBroadcast::new(), &w, threads),
+            5 => all_verdicts(Duplicating::new(), &w, threads),
+            6 => all_verdicts(Misattributing::new(), &w, threads),
+            7 => all_verdicts(Lossy::new(), &w, threads),
+            _ => all_verdicts(QuorumBlocking::new(), &w, threads),
+        };
+        prop_assert!(
+            !b.contains("truncated=true"),
+            "baseline truncated — widen BUDGETS: {b}"
+        );
+        prop_assert_eq!(&b, &r, "reduced engine disagrees with baseline");
+        prop_assert_eq!(&b, &p, "parallel engine disagrees with baseline");
+    }
+
+    /// The seeded-faulty algorithms must actually *produce* counterexamples
+    /// (not just agree-on-verified): every engine convicts them whenever at
+    /// least one message is in play.
+    #[test]
+    fn faulty_algorithms_are_convicted_by_every_engine(
+        which in 0usize..3,
+        total in 1usize..3,
+        threads in 1usize..4,
+    ) {
+        let w = workload(total, 1, &[7, 8]);
+        let ((b, r, p), property) = match which {
+            0 => (all_verdicts(Duplicating::new(), &w, threads), "BC-No-Duplication"),
+            1 => (all_verdicts(Misattributing::new(), &w, threads), "BC-Validity"),
+            _ => (all_verdicts(Lossy::new(), &w, threads), "BC-Global-CS-Termination"),
+        };
+        let want = format!("violation({property})");
+        prop_assert_eq!(&b, &want, "baseline missed the seeded fault");
+        prop_assert_eq!(&r, &want, "reduced engine missed the seeded fault");
+        prop_assert_eq!(&p, &want, "parallel engine missed the seeded fault");
+    }
+
+    /// Two parallel runs with the same thread count produce byte-identical
+    /// reports (outcome *and* counters), for any thread count and scope.
+    #[test]
+    fn parallel_reports_are_byte_identical(
+        total in 1usize..4,
+        first in 0usize..4,
+        threads in 1usize..6,
+    ) {
+        let w = workload(total, first, &[3, 4, 5]);
+        let property = |e: &Execution| -> SpecResult { base::check_all(e) };
+        let run = || {
+            let (outcome, stats) = explore_parallel(
+                fresh(FifoBroadcast::new(), 2),
+                &w,
+                &property,
+                EngineConfig::from(BUDGETS),
+                threads,
+            );
+            format!("{outcome:?}/{stats:?}")
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -37,6 +37,7 @@
 
 mod algorithm;
 mod error;
+pub mod fingerprint;
 mod network;
 mod oracle;
 pub mod scheduler;

@@ -280,6 +280,14 @@ impl KsaOracle {
         &self.pending
     }
 
+    /// The decision rule (read access). Rules may be stateful — `decide`
+    /// takes `&mut self` — so the model checker folds the rule's `Debug`
+    /// rendering into its state fingerprints.
+    #[must_use]
+    pub fn rule(&self) -> &(dyn DecisionRule + Send) {
+        &*self.rule
+    }
+
     /// The object `proposer` is currently blocked on, if any. A process has
     /// at most one outstanding proposal (propose is blocking).
     #[must_use]

@@ -377,6 +377,54 @@ impl<B: BroadcastAlgorithm> Simulation<B> {
         Ok(())
     }
 
+    /// A 128-bit structural fingerprint of the **live** state: process
+    /// states, pending invocations, crash flags, the in-flight message
+    /// multiset, the oracle, and the id allocator.
+    ///
+    /// Deliberately *not* included: the recorded trace. Two interleavings
+    /// that re-converge to the same live state get the same fingerprint even
+    /// though their histories differ; the model checker combines this value
+    /// with [`camp_trace::Execution::projection_hashes`] when history
+    /// matters. The digest is deterministic across runs of the same binary
+    /// (see [`crate::fingerprint`]): the in-flight multiset is canonicalized
+    /// by sorting on (unique) message ids, and the oracle's pending list by
+    /// (object, proposer) — its order is operationally irrelevant, since
+    /// responses look proposals up by exact pair.
+    #[must_use]
+    pub fn fingerprint(&self) -> u128 {
+        let mut h = crate::fingerprint::StateHasher::new();
+        h.write_usize(self.n);
+        for state in &self.states {
+            h.write_debug(state);
+        }
+        for pending in &self.pending_broadcast {
+            h.write_debug(pending);
+        }
+        for crashed in &self.crashed {
+            h.write_u64(u64::from(*crashed));
+        }
+        h.write_u64(self.next_msg);
+        let mut slots: Vec<&InFlight<B::Msg>> = self.network.in_flight().iter().collect();
+        slots.sort_by_key(|m| m.id);
+        h.write_usize(slots.len());
+        for m in slots {
+            h.write_usize(m.from.index());
+            h.write_usize(m.to.index());
+            h.write_u64(m.id.raw());
+            h.write_debug(&m.payload);
+        }
+        h.write_usize(self.oracle.k());
+        h.write_debug(&self.oracle.rule());
+        for obj in self.oracle.objects() {
+            h.write_u64(obj.raw());
+            h.write_debug(&self.oracle.object(obj));
+        }
+        let mut pending: Vec<(KsaId, ProcessId)> = self.oracle.pending().to_vec();
+        pending.sort_unstable();
+        h.write_debug(&pending);
+        h.finish()
+    }
+
     /// Is the simulation quiescent — no local steps available, no in-flight
     /// message addressed to a live process, no pending k-SA response for a
     /// live process, and no pending broadcast invocation of a live process?

@@ -1,9 +1,12 @@
 //! The [`Execution`] type: a sequence of steps plus a message table.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock};
 
-use serde::{Deserialize, Serialize};
+use serde::{expect_object, obj_field, DeError, Deserialize, Json, Serialize};
 
 use crate::action::{Action, Step};
 use crate::error::TraceError;
@@ -37,6 +40,11 @@ pub struct MessageInfo {
     pub label: String,
 }
 
+/// Steps per frozen spine segment. Small enough that the mutable tail stays
+/// cheap to clone, large enough that a deep execution is a handful of `Arc`
+/// bumps.
+const SEGMENT: usize = 64;
+
 /// An execution `α`: a finite sequence of steps `⟨p_i : a⟩` over a system of
 /// `n` processes, together with the table of (unique) messages appearing in it.
 ///
@@ -45,12 +53,51 @@ pub struct MessageInfo {
 /// process identifiers must be within `1..=n`. Use [`ExecutionBuilder`] for
 /// ergonomic hand construction in tests and docs.
 ///
+/// # Representation: shared prefixes
+///
+/// The log is stored as a *persistent spine*: full segments of [`SEGMENT`]
+/// steps are frozen into `Arc<[Step]>` blocks, and only the short tail is a
+/// plain mutable `Vec`. Cloning an execution therefore bumps one reference
+/// count per segment instead of deep-copying the whole history — the
+/// branching model checker clones a simulation (and its trace) at every
+/// branch point, and the shared spine makes that O(len/SEGMENT) instead of
+/// O(len). Message infos are `Arc`-shared the same way. The flat `&[Step]`
+/// view required by [`Self::steps`] is materialized lazily and cached; the
+/// cache is dropped on clone and invalidated on push.
+///
 /// [`ExecutionBuilder`]: crate::ExecutionBuilder
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug)]
 pub struct Execution {
     n: usize,
-    steps: Vec<Step>,
-    messages: BTreeMap<MessageId, MessageInfo>,
+    /// Frozen, structurally shared prefix: full segments of `SEGMENT` steps.
+    spine: Vec<Arc<[Step]>>,
+    /// Total steps across `spine` (always a multiple of `SEGMENT`).
+    spine_len: usize,
+    /// Mutable suffix, strictly shorter than `SEGMENT`.
+    tail: Vec<Step>,
+    messages: BTreeMap<MessageId, Arc<MessageInfo>>,
+    /// Rolling hash of each process's step subsequence (its *projection*).
+    /// Maintained incrementally by [`Self::push`]; two executions whose
+    /// projections hash equal are — modulo hash collisions —
+    /// indistinguishable to any per-process observer. Not part of the
+    /// execution's identity: excluded from `Eq` and serialization.
+    proj: Vec<u64>,
+    /// Lazily flattened copy of `spine ⊕ tail` backing [`Self::steps`].
+    flat: OnceLock<Vec<Step>>,
+}
+
+impl Clone for Execution {
+    fn clone(&self) -> Self {
+        Self {
+            n: self.n,
+            spine: self.spine.clone(),
+            spine_len: self.spine_len,
+            tail: self.tail.clone(),
+            messages: self.messages.clone(),
+            proj: self.proj.clone(),
+            flat: OnceLock::new(),
+        }
+    }
 }
 
 impl Execution {
@@ -64,8 +111,12 @@ impl Execution {
         assert!(n > 0, "an execution needs at least one process");
         Self {
             n,
-            steps: Vec::new(),
+            spine: Vec::new(),
+            spine_len: 0,
+            tail: Vec::new(),
             messages: BTreeMap::new(),
+            proj: vec![0; n],
+            flat: OnceLock::new(),
         }
     }
 
@@ -86,7 +137,7 @@ impl Execution {
         if self.messages.contains_key(&id) {
             return Err(TraceError::DuplicateMessage(id));
         }
-        self.messages.insert(id, info);
+        self.messages.insert(id, Arc::new(info));
         Ok(())
     }
 
@@ -112,8 +163,23 @@ impl Execution {
                 return Err(TraceError::UnknownMessage(msg));
             }
         }
-        self.steps.push(step);
+        self.push_raw(step);
         Ok(())
+    }
+
+    /// Appends without validation (deserialization must accept invalid
+    /// traces — the linter's reason to exist — exactly as the old derived
+    /// impl did).
+    fn push_raw(&mut self, step: Step) {
+        if let Some(slot) = self.proj.get_mut(step.process.index()) {
+            *slot = (*slot ^ hash_step(&step)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        self.flat.take();
+        self.tail.push(step);
+        if self.tail.len() == SEGMENT {
+            self.spine.push(Arc::from(std::mem::take(&mut self.tail)));
+            self.spine_len += SEGMENT;
+        }
     }
 
     fn check_process(&self, p: ProcessId) -> Result<(), TraceError> {
@@ -127,32 +193,67 @@ impl Execution {
     }
 
     /// The steps of the execution, in order.
+    ///
+    /// While the execution still fits in one (mutable) segment this is a
+    /// direct borrow; once frozen segments exist, a flattened copy is
+    /// materialized on first use and cached until the next [`Self::push`].
     #[must_use]
     pub fn steps(&self) -> &[Step] {
-        &self.steps
+        if self.spine.is_empty() {
+            return &self.tail;
+        }
+        self.flat.get_or_init(|| {
+            let mut v = Vec::with_capacity(self.len());
+            for seg in &self.spine {
+                v.extend_from_slice(seg);
+            }
+            v.extend_from_slice(&self.tail);
+            v
+        })
+    }
+
+    /// Iterates over the steps without materializing the flat view.
+    fn iter_steps(&self) -> impl Iterator<Item = &Step> {
+        self.spine
+            .iter()
+            .flat_map(|seg| seg.iter())
+            .chain(self.tail.iter())
     }
 
     /// Number of steps.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.steps.len()
+        self.spine_len + self.tail.len()
     }
 
     /// Is this the empty execution `ε`?
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.steps.is_empty()
+        self.len() == 0
+    }
+
+    /// Per-process rolling projection hashes.
+    ///
+    /// Entry `i` is a deterministic hash of the step subsequence of process
+    /// `i + 1` (an FNV-style fold, updated incrementally on push). The model
+    /// checker folds these into its state fingerprints: for the per-process
+    /// properties of `camp-specs`, two prefixes with equal live state and
+    /// equal projection hashes admit exactly the same verdicts on every
+    /// completed extension.
+    #[must_use]
+    pub fn projection_hashes(&self) -> &[u64] {
+        &self.proj
     }
 
     /// Looks up the information of a registered message.
     #[must_use]
     pub fn message(&self, id: MessageId) -> Option<&MessageInfo> {
-        self.messages.get(&id)
+        self.messages.get(&id).map(|info| &**info)
     }
 
     /// Iterates over `(id, info)` for every registered message, in id order.
     pub fn messages(&self) -> impl Iterator<Item = (MessageId, &MessageInfo)> {
-        self.messages.iter().map(|(id, info)| (*id, info))
+        self.messages.iter().map(|(id, info)| (*id, &**info))
     }
 
     /// Identifiers of all broadcast-level messages, in id order.
@@ -165,7 +266,7 @@ impl Execution {
 
     /// The steps taken by one process, in order.
     pub fn steps_of(&self, p: ProcessId) -> impl Iterator<Item = &Step> {
-        self.steps.iter().filter(move |s| s.process == p)
+        self.iter_steps().filter(move |s| s.process == p)
     }
 
     /// Is `p` faulty in this execution (does it take a [`Action::Crash`] step)?
@@ -235,7 +336,7 @@ impl Execution {
     #[must_use]
     pub fn decided_values(&self, obj: crate::KsaId) -> Vec<Value> {
         let mut seen = Vec::new();
-        for s in &self.steps {
+        for s in self.iter_steps() {
             if let Action::Decide { obj: o, value } = s.action {
                 if o == obj && !seen.contains(&value) {
                     seen.push(value);
@@ -249,8 +350,7 @@ impl Execution {
     #[must_use]
     pub fn ksa_objects(&self) -> Vec<crate::KsaId> {
         let mut objs: Vec<_> = self
-            .steps
-            .iter()
+            .iter_steps()
             .filter_map(|s| match s.action {
                 Action::Propose { obj, .. } | Action::Decide { obj, .. } => Some(obj),
                 _ => None,
@@ -273,11 +373,11 @@ impl Execution {
         for (id, info) in other.messages() {
             match self.messages.get(&id) {
                 None => self.register_message(id, info.clone())?,
-                Some(existing) if existing == info => {}
+                Some(existing) if &**existing == info => {}
                 Some(_) => return Err(TraceError::DuplicateMessage(id)),
             }
         }
-        for step in other.steps() {
+        for step in other.iter_steps() {
             self.push(*step)?;
         }
         Ok(())
@@ -304,6 +404,76 @@ impl Execution {
     }
 }
 
+fn hash_step(step: &Step) -> u64 {
+    let mut h = DefaultHasher::new();
+    step.hash(&mut h);
+    h.finish()
+}
+
+impl PartialEq for Execution {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n
+            && self.len() == other.len()
+            && self.messages == other.messages
+            && self.iter_steps().eq(other.iter_steps())
+    }
+}
+
+impl Eq for Execution {}
+
+// Hand-written serde impls (the spine is a representation detail): the
+// encoding is exactly what the old derived `{n, steps, messages}` struct
+// produced, so golden files and cross-version logs stay byte-identical.
+impl Serialize for Execution {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("n".to_string(), self.n.to_json()),
+            (
+                "steps".to_string(),
+                Json::Array(self.iter_steps().map(Serialize::to_json).collect()),
+            ),
+            (
+                "messages".to_string(),
+                Json::Object(
+                    self.messages
+                        .iter()
+                        .map(|(id, info)| (id.raw().to_string(), info.to_json()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for Execution {
+    fn from_json(v: &Json) -> Result<Self, DeError> {
+        let fields = expect_object(v, "Execution")?;
+        let n = usize::from_json(obj_field(fields, "n")?)?;
+        let steps = Vec::<Step>::from_json(obj_field(fields, "steps")?)?;
+        let messages =
+            BTreeMap::<MessageId, MessageInfo>::from_json(obj_field(fields, "messages")?)?;
+        // No semantic validation here: like the old derived impl, the JSON
+        // path must be able to load *invalid* executions so the linter can
+        // diagnose them (L001/L002 exist precisely for such traces).
+        let mut exec = Execution {
+            n,
+            spine: Vec::new(),
+            spine_len: 0,
+            tail: Vec::new(),
+            messages: messages
+                .into_iter()
+                .map(|(id, info)| (id, Arc::new(info)))
+                .collect(),
+            proj: vec![0; n],
+            flat: OnceLock::new(),
+        };
+        for step in steps {
+            exec.push_raw(step);
+        }
+        Ok(exec)
+    }
+}
+
 impl fmt::Display for Execution {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
@@ -312,7 +482,7 @@ impl fmt::Display for Execution {
             self.n,
             self.len()
         )?;
-        for (i, step) in self.steps.iter().enumerate() {
+        for (i, step) in self.iter_steps().enumerate() {
             writeln!(f, "  {i:>4}: {step}")?;
         }
         Ok(())
@@ -472,5 +642,97 @@ mod tests {
         b.step(p(1), Action::Broadcast { msg: m });
         let text = b.build().to_string();
         assert!(text.contains("B.broadcast(m0)"), "got: {text}");
+    }
+
+    /// Builds an execution of `len` Internal steps round-robin over `n`.
+    fn long_exec(n: usize, len: usize) -> Execution {
+        let mut e = Execution::new(n);
+        for i in 0..len {
+            e.push(Step::new(p(1 + i % n), Action::Internal { tag: i as u64 }))
+                .unwrap();
+        }
+        e
+    }
+
+    #[test]
+    fn spine_preserves_step_order_across_segments() {
+        let e = long_exec(3, 5 * SEGMENT + 17);
+        assert_eq!(e.len(), 5 * SEGMENT + 17);
+        let steps = e.steps();
+        for (i, s) in steps.iter().enumerate() {
+            assert_eq!(s.action, Action::Internal { tag: i as u64 });
+        }
+        // The iterator view agrees with the flattened view.
+        assert!(e.iter_steps().eq(steps.iter()));
+    }
+
+    #[test]
+    fn steps_view_stays_fresh_after_push() {
+        let mut e = long_exec(2, SEGMENT + 3);
+        assert_eq!(e.steps().len(), SEGMENT + 3);
+        e.push(Step::new(p(1), Action::Internal { tag: 999 }))
+            .unwrap();
+        let steps = e.steps();
+        assert_eq!(steps.len(), SEGMENT + 4);
+        assert_eq!(steps.last().unwrap().action, Action::Internal { tag: 999 });
+    }
+
+    #[test]
+    fn clones_share_spine_segments() {
+        let e = long_exec(2, 3 * SEGMENT);
+        let f = e.clone();
+        assert_eq!(e, f);
+        for (a, b) in e.spine.iter().zip(&f.spine) {
+            assert!(Arc::ptr_eq(a, b), "spine segments must be shared");
+        }
+    }
+
+    #[test]
+    fn diverging_clones_stay_independent() {
+        let mut e = long_exec(2, SEGMENT + 5);
+        let mut f = e.clone();
+        e.push(Step::new(p(1), Action::Internal { tag: 100 }))
+            .unwrap();
+        f.push(Step::new(p(2), Action::Internal { tag: 200 }))
+            .unwrap();
+        assert_ne!(e, f);
+        assert_eq!(e.steps().last().unwrap().process, p(1));
+        assert_eq!(f.steps().last().unwrap().process, p(2));
+    }
+
+    #[test]
+    fn projection_hashes_track_per_process_subsequences() {
+        // Same per-process projections, different interleavings: equal hashes.
+        let mut a = Execution::new(2);
+        let mut b = Execution::new(2);
+        a.push(Step::new(p(1), Action::Internal { tag: 1 }))
+            .unwrap();
+        a.push(Step::new(p(2), Action::Internal { tag: 2 }))
+            .unwrap();
+        b.push(Step::new(p(2), Action::Internal { tag: 2 }))
+            .unwrap();
+        b.push(Step::new(p(1), Action::Internal { tag: 1 }))
+            .unwrap();
+        assert_eq!(a.projection_hashes(), b.projection_hashes());
+        // Different projection: different hash (with overwhelming probability).
+        let mut c = Execution::new(2);
+        c.push(Step::new(p(1), Action::Internal { tag: 3 }))
+            .unwrap();
+        c.push(Step::new(p(2), Action::Internal { tag: 2 }))
+            .unwrap();
+        assert_ne!(a.projection_hashes()[0], c.projection_hashes()[0]);
+        assert_eq!(a.projection_hashes()[1], c.projection_hashes()[1]);
+    }
+
+    #[test]
+    fn serde_matches_legacy_derive_encoding() {
+        // The hand-written impls must keep the `{n, steps, messages}` object
+        // shape with message ids rendered as string keys.
+        let mut b = ExecutionBuilder::new(2);
+        let m = b.fresh_broadcast_message(p(1), Value::new(9));
+        b.step(p(1), Action::Broadcast { msg: m });
+        let json = serde_json::to_string(&b.build()).unwrap();
+        assert!(json.starts_with("{\"n\":2,\"steps\":["), "got: {json}");
+        assert!(json.contains("\"messages\":{\"0\":{"), "got: {json}");
     }
 }

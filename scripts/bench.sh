@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Runs the performance benches in release mode and leaves the
+# machine-readable exploration report at BENCH_explore.json (repo root).
+#
+# Usage:
+#   scripts/bench.sh           # full run (10 samples per bench)
+#   scripts/bench.sh --quick   # CI smoke run (3 samples per bench)
+#   scripts/bench.sh --all     # explore benches plus the legacy suites
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+all=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) quick=1 ;;
+    --all) all=1 ;;
+    *)
+      echo "unknown argument: $arg" >&2
+      echo "usage: scripts/bench.sh [--quick] [--all]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo "==> bench: exploration engine (BENCH_explore.json)"
+if [[ "$quick" -eq 1 ]]; then
+  CAMP_BENCH_QUICK=1 cargo bench -q -p camp-bench --bench explore
+else
+  cargo bench -q -p camp-bench --bench explore
+fi
+
+if [[ "$all" -eq 1 ]]; then
+  echo "==> bench: legacy suites (adversary, broadcast, specs, modelcheck)"
+  cargo bench -q -p camp-bench --bench adversary
+  cargo bench -q -p camp-bench --bench broadcast
+  cargo bench -q -p camp-bench --bench specs
+  cargo bench -q -p camp-bench --bench modelcheck
+fi
+
+out="${CAMP_BENCH_OUT:-BENCH_explore.json}"
+echo "==> $out"
+cat "$out"

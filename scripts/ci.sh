@@ -26,4 +26,19 @@ cargo run --release -q -p camp-lint --bin camp-lint -- trace tests/golden/figure
 echo "==> camp-lint: determinism + branch audit of the built-in algorithms"
 cargo run --release -q -p camp-lint --bin camp-lint -- audit --seeds 5
 
+echo "==> engine equivalence proptests (release, reduced case count)"
+CAMP_PROPTEST_CASES=6 cargo test -q --release -p camp-modelcheck --test engine_equivalence
+
+# The smoke run writes to a scratch path so it never clobbers the committed
+# full-mode BENCH_explore.json; regenerate that one with scripts/bench.sh.
+echo "==> bench smoke: exploration benches produce a well-formed report"
+smoke_out="$PWD/target/BENCH_explore.smoke.json"
+CAMP_BENCH_OUT="$smoke_out" scripts/bench.sh --quick >/dev/null
+for key in '"schema"' '"camp-bench/explore/v1"' '"explore_fifo_2x2"' \
+           '"explore_causal_3"' '"crashsweep_reliable"' '"ns_per_op"' \
+           '"executions_per_sec"' '"nodes_per_sec"'; do
+  grep -q -- "$key" "$smoke_out" \
+    || { echo "$smoke_out malformed: missing $key" >&2; exit 1; }
+done
+
 echo "CI OK"

@@ -73,6 +73,21 @@ impl Bencher {
         }
     }
 
+    /// Median per-iteration time over the collected samples, if any.
+    ///
+    /// Extension over upstream criterion: the stand-in has no report files
+    /// or JSON machinery, so benches that persist machine-readable results
+    /// (e.g. `BENCH_explore.json`) query the samples directly inside the
+    /// bench closure, after `iter` returns.
+    pub fn median(&self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        Some(sorted[sorted.len() / 2])
+    }
+
     fn report(&self, label: &str) {
         if self.samples.is_empty() {
             println!("{label:<40} (no samples)");

@@ -64,6 +64,23 @@ pub mod channel {
         pub fn iter(&self) -> mpsc::Iter<'_, T> {
             self.inner.iter()
         }
+
+        /// Drains pending messages without blocking.
+        pub fn try_iter(&self) -> mpsc::TryIter<'_, T> {
+            self.inner.try_iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+
+        /// Consumes the receiver, iterating until every sender is gone —
+        /// this is what lets a worker thread take ownership of its work
+        /// queue (`for item in rx { … }`), as with upstream crossbeam.
+        fn into_iter(self) -> Self::IntoIter {
+            self.inner.into_iter()
+        }
     }
 
     /// Creates an unbounded channel.
