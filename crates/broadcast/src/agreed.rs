@@ -9,7 +9,7 @@
 //! property equivalent to k-SA: `camp-impossibility` demonstrates the
 //! failure on this very algorithm.
 
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use camp_sim::{AppMessage, BroadcastAlgorithm, BroadcastStep};
 use camp_trace::{KsaId, MessageId, ProcessId, Value};
@@ -68,13 +68,13 @@ pub struct AgreedState {
     /// Known but not yet delivered.
     pending: BTreeSet<MessageId>,
     /// Already delivered (no-duplication guard).
-    delivered: HashSet<MessageId>,
+    delivered: BTreeSet<MessageId>,
     /// Current sequencing round (`ksa_round` is the next object used).
     round: u64,
     /// Decided message whose payload has not arrived yet.
     awaiting: Option<MessageId>,
     /// Relay dedup.
-    seen: HashSet<MessageId>,
+    seen: BTreeSet<MessageId>,
     queue: StepQueue<AgreedMsg>,
 }
 
@@ -106,10 +106,10 @@ impl BroadcastAlgorithm for AgreedBroadcast {
             n,
             received: BTreeMap::new(),
             pending: BTreeSet::new(),
-            delivered: HashSet::new(),
+            delivered: BTreeSet::new(),
             round: 0,
             awaiting: None,
-            seen: HashSet::new(),
+            seen: BTreeSet::new(),
             queue: StepQueue::default(),
         }
     }

@@ -1,7 +1,7 @@
 //! Causal broadcast: vector timestamps over reliable dissemination
 //! (Raynal, Schiper & Toueg \[24\]).
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use camp_sim::{AppMessage, BroadcastAlgorithm, BroadcastStep};
 use camp_trace::{KsaId, MessageId, ProcessId, Value};
@@ -51,7 +51,7 @@ pub struct CausalState {
     /// Messages awaiting their causal predecessors.
     waiting: Vec<CausalMsg>,
     /// Relay dedup.
-    seen: HashSet<MessageId>,
+    seen: BTreeSet<MessageId>,
     queue: StepQueue<CausalMsg>,
 }
 
@@ -95,7 +95,7 @@ impl BroadcastAlgorithm for CausalBroadcast {
             delivered: vec![0; n],
             own_broadcasts: 0,
             waiting: Vec::new(),
-            seen: HashSet::new(),
+            seen: BTreeSet::new(),
             queue: StepQueue::default(),
         }
     }

@@ -1,6 +1,6 @@
 //! FIFO broadcast: per-sender sequence numbers over reliable dissemination.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use camp_sim::{AppMessage, BroadcastAlgorithm, BroadcastStep};
 use camp_trace::{KsaId, MessageId, ProcessId, Value};
@@ -44,7 +44,7 @@ pub struct FifoState {
     /// Buffered out-of-order messages per sender: seq → message.
     buffered: Vec<BTreeMap<usize, AppMessage>>,
     /// Relay dedup.
-    seen: HashSet<MessageId>,
+    seen: BTreeSet<MessageId>,
     queue: StepQueue<FifoMsg>,
 }
 
@@ -74,7 +74,7 @@ impl BroadcastAlgorithm for FifoBroadcast {
             next_seq: 0,
             expected: vec![0; n],
             buffered: vec![BTreeMap::new(); n],
-            seen: HashSet::new(),
+            seen: BTreeSet::new(),
             queue: StepQueue::default(),
         }
     }

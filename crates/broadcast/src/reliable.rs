@@ -1,7 +1,7 @@
 //! Eager reliable broadcast: forward-on-first-receipt, tolerating sender
 //! crashes.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use camp_sim::{AppMessage, BroadcastAlgorithm, BroadcastStep};
 use camp_trace::{KsaId, MessageId, ProcessId, Value};
@@ -53,7 +53,7 @@ impl Default for EagerReliable {
 pub struct ReliableState {
     me: ProcessId,
     n: usize,
-    seen: HashSet<MessageId>,
+    seen: BTreeSet<MessageId>,
     queue: StepQueue<ReliableMsg>,
 }
 
@@ -73,7 +73,7 @@ impl BroadcastAlgorithm for EagerReliable {
         ReliableState {
             me: pid,
             n,
-            seen: HashSet::new(),
+            seen: BTreeSet::new(),
             queue: StepQueue::default(),
         }
     }

@@ -2,7 +2,7 @@
 //! correct with a reliable leader and **wrong** in the paper's wait-free
 //! model, where any process (the sequencer included) may crash.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use camp_sim::{AppMessage, BroadcastAlgorithm, BroadcastStep};
 use camp_trace::{KsaId, MessageId, ProcessId, Value};
@@ -65,7 +65,7 @@ pub struct SequencerState {
     /// Out-of-order sequenced messages, by sequence number.
     pending: BTreeMap<usize, AppMessage>,
     /// Sequencer dedup (a message could be re-forwarded).
-    sequenced: HashSet<MessageId>,
+    sequenced: BTreeSet<MessageId>,
     queue: StepQueue<SequencerMsg>,
 }
 
@@ -93,7 +93,7 @@ impl BroadcastAlgorithm for SequencerBroadcast {
             next_assign: 0,
             next_deliver: 0,
             pending: BTreeMap::new(),
-            sequenced: HashSet::new(),
+            sequenced: BTreeSet::new(),
             queue: StepQueue::default(),
         }
     }

@@ -1,7 +1,7 @@
 //! The k-Stepped broadcast algorithm: implements the (satisfiable but
 //! non-compositional) k-Stepped specification of §3.2 from k-SA objects.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use camp_sim::{AppMessage, BroadcastAlgorithm, BroadcastStep};
 use camp_trace::{KsaId, MessageId, ProcessId, Value};
@@ -59,7 +59,7 @@ struct RoundState {
     /// Round messages received, by identity (arrival order preserved).
     received: Vec<AppMessage>,
     /// Delivered guard.
-    delivered: HashSet<MessageId>,
+    delivered: BTreeSet<MessageId>,
 }
 
 /// Per-process state of [`SteppedBroadcast`].
@@ -71,7 +71,7 @@ pub struct SteppedState {
     own_broadcasts: usize,
     rounds: BTreeMap<usize, RoundState>,
     /// Relay dedup.
-    seen: HashSet<MessageId>,
+    seen: BTreeSet<MessageId>,
     queue: StepQueue<SteppedMsg>,
     /// Rounds whose anchor proposal is queued or pending, to serialize
     /// proposals through the blocking-propose discipline.
@@ -139,7 +139,7 @@ impl BroadcastAlgorithm for SteppedBroadcast {
             n,
             own_broadcasts: 0,
             rounds: BTreeMap::new(),
-            seen: HashSet::new(),
+            seen: BTreeSet::new(),
             queue: StepQueue::default(),
             proposals_queued: Vec::new(),
         }
