@@ -2,7 +2,7 @@
 //! (paper §3.1): BC-Validity, BC-No-Duplication, BC-Local-Termination,
 //! BC-Global-CS-Termination.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use camp_trace::{Action, Execution, MessageId, ProcessId};
 
@@ -15,7 +15,7 @@ use crate::violation::{SpecResult, Violation};
 ///
 /// Returns a [`Violation`] naming the offending delivery.
 pub fn bc_validity(exec: &Execution) -> SpecResult {
-    let mut broadcast: HashSet<(ProcessId, MessageId)> = HashSet::new();
+    let mut broadcast: BTreeSet<(ProcessId, MessageId)> = BTreeSet::new();
     for (i, step) in exec.steps().iter().enumerate() {
         match step.action {
             Action::Broadcast { msg } => {
@@ -44,7 +44,7 @@ pub fn bc_validity(exec: &Execution) -> SpecResult {
 ///
 /// Returns a [`Violation`] naming the duplicated delivery.
 pub fn bc_no_duplication(exec: &Execution) -> SpecResult {
-    let mut delivered: HashSet<(ProcessId, MessageId)> = HashSet::new();
+    let mut delivered: BTreeSet<(ProcessId, MessageId)> = BTreeSet::new();
     for (i, step) in exec.steps().iter().enumerate() {
         if let Action::Deliver { msg, .. } = step.action {
             if !delivered.insert((step.process, msg)) {
@@ -67,7 +67,7 @@ pub fn bc_no_duplication(exec: &Execution) -> SpecResult {
 ///
 /// Returns a [`Violation`] naming the unreturned invocation.
 pub fn bc_local_termination(exec: &Execution) -> SpecResult {
-    let mut returned: HashSet<(ProcessId, MessageId)> = HashSet::new();
+    let mut returned: BTreeSet<(ProcessId, MessageId)> = BTreeSet::new();
     for step in exec.steps() {
         if let Action::ReturnBroadcast { msg } = step.action {
             returned.insert((step.process, msg));
@@ -100,7 +100,7 @@ pub fn bc_local_termination(exec: &Execution) -> SpecResult {
 ///
 /// Returns a [`Violation`] naming the missing delivery.
 pub fn bc_global_cs_termination(exec: &Execution) -> SpecResult {
-    let mut delivered: HashSet<(ProcessId, MessageId)> = HashSet::new();
+    let mut delivered: BTreeSet<(ProcessId, MessageId)> = BTreeSet::new();
     for step in exec.steps() {
         if let Action::Deliver { msg, .. } = step.action {
             delivered.insert((step.process, msg));
@@ -143,7 +143,7 @@ pub fn bc_global_cs_termination(exec: &Execution) -> SpecResult {
 ///
 /// Returns a [`Violation`] naming the non-uniform delivery.
 pub fn bc_uniform_agreement(exec: &Execution) -> SpecResult {
-    let mut delivered: HashSet<(ProcessId, MessageId)> = HashSet::new();
+    let mut delivered: BTreeSet<(ProcessId, MessageId)> = BTreeSet::new();
     for step in exec.steps() {
         if let Action::Deliver { msg, .. } = step.action {
             delivered.insert((step.process, msg));

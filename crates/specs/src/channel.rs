@@ -1,7 +1,7 @@
 //! The three properties of the point-to-point communication channels
 //! (paper §2, "Communication Model").
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use camp_trace::{Action, Execution, MessageId, ProcessId};
 
@@ -15,7 +15,7 @@ use crate::violation::{SpecResult, Violation};
 ///
 /// Returns a [`Violation`] naming the offending reception.
 pub fn sr_validity(exec: &Execution) -> SpecResult {
-    let mut sent: HashSet<(ProcessId, ProcessId, MessageId)> = HashSet::new();
+    let mut sent: BTreeSet<(ProcessId, ProcessId, MessageId)> = BTreeSet::new();
     for (i, step) in exec.steps().iter().enumerate() {
         match step.action {
             Action::Send { to, msg } => {
@@ -43,7 +43,7 @@ pub fn sr_validity(exec: &Execution) -> SpecResult {
 ///
 /// Returns a [`Violation`] naming the duplicated reception.
 pub fn sr_no_duplication(exec: &Execution) -> SpecResult {
-    let mut received: HashSet<(ProcessId, MessageId)> = HashSet::new();
+    let mut received: BTreeSet<(ProcessId, MessageId)> = BTreeSet::new();
     for (i, step) in exec.steps().iter().enumerate() {
         if let Action::Receive { msg, .. } = step.action {
             if !received.insert((step.process, msg)) {
@@ -68,7 +68,7 @@ pub fn sr_no_duplication(exec: &Execution) -> SpecResult {
 ///
 /// Returns a [`Violation`] naming an undelivered message.
 pub fn sr_termination(exec: &Execution) -> SpecResult {
-    let mut received: HashSet<(ProcessId, ProcessId, MessageId)> = HashSet::new();
+    let mut received: BTreeSet<(ProcessId, ProcessId, MessageId)> = BTreeSet::new();
     for step in exec.steps() {
         if let Action::Receive { from, msg } = step.action {
             received.insert((from, step.process, msg));
