@@ -383,6 +383,44 @@ impl Execution {
         Ok(())
     }
 
+    /// Re-runs every well-formedness check [`Self::push`] and
+    /// [`Self::register_message`] enforce, over the whole execution.
+    ///
+    /// The JSON loader is **intentionally non-validating** (see the
+    /// [`Deserialize`] impl): the linter must be able to load ill-formed
+    /// traces in order to diagnose them. `validate` is the explicit opt-in
+    /// for callers that want builder-grade guarantees on a loaded trace —
+    /// `camp-lint trace --strict` calls it right after deserializing.
+    ///
+    /// # Errors
+    ///
+    /// * [`TraceError::UnknownProcess`] if a registered message's sender, a
+    ///   step's acting process, or a peer referenced by an action is outside
+    ///   `p1 … pn`;
+    /// * [`TraceError::UnknownMessage`] if a step references a message id
+    ///   that was never registered.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        for info in self.messages.values() {
+            self.check_process(info.sender)?;
+        }
+        for step in self.iter_steps() {
+            self.check_process(step.process)?;
+            match step.action {
+                Action::Send { to, .. } => self.check_process(to)?,
+                Action::Receive { from, .. } | Action::Deliver { from, .. } => {
+                    self.check_process(from)?;
+                }
+                _ => {}
+            }
+            if let Some(msg) = step.action.message() {
+                if !self.messages.contains_key(&msg) {
+                    return Err(TraceError::UnknownMessage(msg));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Rebuilds an execution from parts, re-validating every step.
     ///
     /// # Errors
@@ -452,9 +490,12 @@ impl Deserialize for Execution {
         let steps = Vec::<Step>::from_json(obj_field(fields, "steps")?)?;
         let messages =
             BTreeMap::<MessageId, MessageInfo>::from_json(obj_field(fields, "messages")?)?;
-        // No semantic validation here: like the old derived impl, the JSON
+        // No semantic validation here — by design, not omission: the JSON
         // path must be able to load *invalid* executions so the linter can
-        // diagnose them (L001/L002 exist precisely for such traces).
+        // diagnose them (L001/L002 exist precisely for such traces), and a
+        // regression test pins this contract. Callers that want the
+        // builder-grade checks back call `Execution::validate` on the
+        // loaded value (`camp-lint trace --strict`).
         let mut exec = Execution {
             n,
             spine: Vec::new(),
