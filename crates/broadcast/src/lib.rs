@@ -31,6 +31,7 @@ mod causal;
 pub mod faulty;
 mod fifo;
 mod queue;
+pub mod registry;
 mod reliable;
 mod send_to_all;
 mod sequencer;

@@ -1,0 +1,231 @@
+//! A registry of the crate's broadcast algorithms, with the metadata the
+//! static analyser needs.
+//!
+//! `camp-lint check` wants to drive *every* algorithm through the abstract
+//! probe harness (`camp_sim::probe`) without naming each one — and the
+//! probe is generic over [`BroadcastAlgorithm`] (each algorithm has its own
+//! `State`/`Msg` types), so a plain `Vec<Box<dyn …>>` cannot work. The
+//! registry inverts control instead: callers implement [`AlgorithmVisitor`]
+//! and the registry calls them back once per algorithm, monomorphised, with
+//! the algorithm value and its [`AlgoSpec`].
+//!
+//! The spec records what an analysis may not infer from the code alone:
+//!
+//! * `wait_free` — whether the algorithm *claims* solo termination
+//!   (BC-Local-Termination with every peer crashed). [`SequencerBroadcast`]
+//!   honestly declares `false`: it is documented as rejected by the
+//!   adversarial scheduler. The faulty [`QuorumBlocking`] claims `true` —
+//!   that mismatch between claim and probe is exactly what convicts it.
+//! * `file` — the workspace-relative source file defining the algorithm, so
+//!   graph-level findings can be anchored to a real `file:line` span.
+
+use camp_sim::BroadcastAlgorithm;
+
+use crate::faulty::{Duplicating, Lossy, Misattributing, QuorumBlocking};
+use crate::{
+    AgreedBroadcast, CausalBroadcast, EagerReliable, FifoBroadcast, SendToAll, SequencerBroadcast,
+    SteppedBroadcast,
+};
+
+/// Static metadata about one registered algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlgoSpec {
+    /// Display name, matching [`BroadcastAlgorithm::name`].
+    pub name: &'static str,
+    /// Name of the defining Rust struct (used to locate the definition).
+    pub struct_name: &'static str,
+    /// Workspace-relative path of the defining source file.
+    pub file: &'static str,
+    /// Does the algorithm claim BC-Local-Termination in solo runs?
+    pub wait_free: bool,
+    /// Does the algorithm use the `[k-SA]` model enrichment?
+    pub uses_ksa: bool,
+}
+
+/// A callback invoked once per registered algorithm, monomorphised per
+/// algorithm type.
+pub trait AlgorithmVisitor {
+    /// Visits one algorithm together with its metadata.
+    fn visit<B: BroadcastAlgorithm + 'static>(&mut self, spec: AlgoSpec, algo: B);
+}
+
+/// Visits the seven healthy built-in algorithms, in library order.
+pub fn visit_builtins<V: AlgorithmVisitor>(v: &mut V) {
+    v.visit(
+        AlgoSpec {
+            name: "send-to-all",
+            struct_name: "SendToAll",
+            file: "crates/broadcast/src/send_to_all.rs",
+            wait_free: true,
+            uses_ksa: false,
+        },
+        SendToAll::new(),
+    );
+    v.visit(
+        AlgoSpec {
+            name: "eager-reliable(uniform)",
+            struct_name: "EagerReliable",
+            file: "crates/broadcast/src/reliable.rs",
+            wait_free: true,
+            uses_ksa: false,
+        },
+        EagerReliable::uniform(),
+    );
+    v.visit(
+        AlgoSpec {
+            name: "fifo",
+            struct_name: "FifoBroadcast",
+            file: "crates/broadcast/src/fifo.rs",
+            wait_free: true,
+            uses_ksa: false,
+        },
+        FifoBroadcast::new(),
+    );
+    v.visit(
+        AlgoSpec {
+            name: "causal",
+            struct_name: "CausalBroadcast",
+            file: "crates/broadcast/src/causal.rs",
+            wait_free: true,
+            uses_ksa: false,
+        },
+        CausalBroadcast::new(),
+    );
+    v.visit(
+        AlgoSpec {
+            name: "agreed-rounds",
+            struct_name: "AgreedBroadcast",
+            file: "crates/broadcast/src/agreed.rs",
+            wait_free: true,
+            uses_ksa: true,
+        },
+        AgreedBroadcast::new(),
+    );
+    v.visit(
+        AlgoSpec {
+            name: "k-stepped",
+            struct_name: "SteppedBroadcast",
+            file: "crates/broadcast/src/stepped.rs",
+            wait_free: true,
+            uses_ksa: true,
+        },
+        SteppedBroadcast::new(),
+    );
+    // Deliberately NOT wait-free: delivery routes through a sequencer
+    // process, so a non-sequencer alone never self-delivers. The lint's
+    // solo rules are informational for algorithms that declare this.
+    v.visit(
+        AlgoSpec {
+            name: "sequencer",
+            struct_name: "SequencerBroadcast",
+            file: "crates/broadcast/src/sequencer.rs",
+            wait_free: false,
+            uses_ksa: false,
+        },
+        SequencerBroadcast::new(),
+    );
+}
+
+/// Visits the four deliberately broken algorithms of [`crate::faulty`].
+///
+/// Each one *claims* the properties of a correct broadcast (in particular
+/// `wait_free: true`) — the claims are what the static analyser convicts
+/// them against.
+pub fn visit_faulty<V: AlgorithmVisitor>(v: &mut V) {
+    const FILE: &str = "crates/broadcast/src/faulty.rs";
+    v.visit(
+        AlgoSpec {
+            name: "faulty:quorum-blocking",
+            struct_name: "QuorumBlocking",
+            file: FILE,
+            wait_free: true,
+            uses_ksa: false,
+        },
+        QuorumBlocking::new(),
+    );
+    v.visit(
+        AlgoSpec {
+            name: "faulty:duplicating",
+            struct_name: "Duplicating",
+            file: FILE,
+            wait_free: true,
+            uses_ksa: false,
+        },
+        Duplicating::new(),
+    );
+    v.visit(
+        AlgoSpec {
+            name: "faulty:misattributing",
+            struct_name: "Misattributing",
+            file: FILE,
+            wait_free: true,
+            uses_ksa: false,
+        },
+        Misattributing::new(),
+    );
+    v.visit(
+        AlgoSpec {
+            name: "faulty:lossy",
+            struct_name: "Lossy",
+            file: FILE,
+            wait_free: true,
+            uses_ksa: false,
+        },
+        Lossy::new(),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Collect(Vec<(String, &'static str, bool)>);
+
+    impl AlgorithmVisitor for Collect {
+        fn visit<B: BroadcastAlgorithm + 'static>(&mut self, spec: AlgoSpec, algo: B) {
+            self.0.push((algo.name(), spec.name, spec.wait_free));
+        }
+    }
+
+    #[test]
+    fn spec_names_match_algorithm_names() {
+        let mut c = Collect(Vec::new());
+        visit_builtins(&mut c);
+        visit_faulty(&mut c);
+        assert_eq!(c.0.len(), 11);
+        for (algo_name, spec_name, _) in &c.0 {
+            assert_eq!(algo_name, spec_name, "spec name must match name()");
+        }
+    }
+
+    #[test]
+    fn only_sequencer_declares_non_wait_free() {
+        let mut c = Collect(Vec::new());
+        visit_builtins(&mut c);
+        visit_faulty(&mut c);
+        let non_wait_free: Vec<_> = c.0.iter().filter(|(_, _, wf)| !wf).collect();
+        assert_eq!(non_wait_free.len(), 1);
+        assert_eq!(non_wait_free[0].1, "sequencer");
+    }
+
+    #[test]
+    fn registered_files_exist() {
+        let mut c = Files(Vec::new());
+        visit_builtins(&mut c);
+        visit_faulty(&mut c);
+        for file in c.0 {
+            let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join(file);
+            assert!(path.exists(), "{file} is registered but does not exist");
+        }
+    }
+
+    struct Files(Vec<&'static str>);
+
+    impl AlgorithmVisitor for Files {
+        fn visit<B: BroadcastAlgorithm + 'static>(&mut self, spec: AlgoSpec, _algo: B) {
+            self.0.push(spec.file);
+        }
+    }
+}

@@ -1,9 +1,10 @@
 //! `camp-lint`: the command-line front-end of the static-analysis layer.
 //!
 //! ```text
-//! camp-lint trace <file.json> [--json]   lint a JSON execution trace
-//! camp-lint audit [--seeds N]            audit the built-in algorithms
-//! camp-lint rules [--json]               list the rule registry
+//! camp-lint trace <file.json> [--json] [--strict]   lint a JSON execution trace
+//! camp-lint check [--json] [--deny-warnings]        static source + protocol-graph analysis
+//! camp-lint audit [--seeds N]                       audit the built-in algorithms
+//! camp-lint rules [--json]                          list the rule registry
 //! ```
 //!
 //! Exit codes: `0` clean, `1` findings (or audit failure), `2` usage or I/O
@@ -15,14 +16,22 @@ use camp_broadcast::{
     AgreedBroadcast, CausalBroadcast, EagerReliable, FifoBroadcast, SendToAll, SequencerBroadcast,
     SteppedBroadcast,
 };
-use camp_lint::{audit_branches, audit_determinism, default_rules, lint_execution};
+use camp_lint::source::source_rules;
+use camp_lint::{
+    audit_branches, audit_determinism, check_workspace, default_rules, lint_execution,
+};
 use camp_modelcheck::ExploreConfig;
 use camp_sim::scheduler::{CrashPlan, Workload};
 use camp_sim::{FirstProposalRule, KsaOracle, Simulation};
 use camp_trace::Execution;
 
 const USAGE: &str = "usage:
-  camp-lint trace <file.json> [--json]   lint a JSON execution trace
+  camp-lint trace <file.json> [--json] [--strict]
+                                         lint a JSON execution trace (--strict also
+                                         re-validates well-formedness on load)
+  camp-lint check [--json] [--deny-warnings] [--timings] [--root DIR]
+                                         source lints (S0xx) + static protocol-graph
+                                         analysis of the registered broadcast algorithms
   camp-lint audit [--seeds N]            determinism + branch audit of the built-in algorithms
   camp-lint rules [--json]               list the rule registry";
 
@@ -31,6 +40,7 @@ fn main() -> ExitCode {
     let argv: Vec<&str> = args.iter().map(String::as_str).collect();
     match argv.split_first() {
         Some((&"trace", rest)) => cmd_trace(rest),
+        Some((&"check", rest)) => cmd_check(rest),
         Some((&"audit", rest)) => cmd_audit(rest),
         Some((&"rules", rest)) => cmd_rules(rest),
         _ => {
@@ -58,6 +68,7 @@ fn emitln(text: impl std::fmt::Display) {
 
 fn cmd_trace(args: &[&str]) -> ExitCode {
     let json = args.contains(&"--json");
+    let strict = args.contains(&"--strict");
     let paths: Vec<&&str> = args.iter().filter(|a| !a.starts_with("--")).collect();
     let [path] = paths.as_slice() else {
         eprintln!("{USAGE}");
@@ -77,6 +88,15 @@ fn cmd_trace(args: &[&str]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // The loader is intentionally non-validating (malformed traces must be
+    // loadable so the linter can diagnose them); --strict opts back into
+    // the full well-formedness validation a builder-produced trace passes.
+    if strict {
+        if let Err(e) = exec.validate() {
+            eprintln!("camp-lint: {path} failed strict validation: {e}");
+            return ExitCode::from(2);
+        }
+    }
     let report = lint_execution(&exec);
     if json {
         emitln(report.to_json());
@@ -92,30 +112,33 @@ fn cmd_trace(args: &[&str]) -> ExitCode {
 
 fn cmd_rules(args: &[&str]) -> ExitCode {
     let rules = default_rules();
+    // The three rule families share one listing: L0xx trace rules, S001-S010
+    // source rules, S020+ protocol-graph rules.
+    let entry = |code: &str, name: &str, severity: &str, summary: &str| {
+        serde_json::Value::Object(vec![
+            ("code".to_string(), serde_json::Value::Str(code.to_string())),
+            ("name".to_string(), serde_json::Value::Str(name.to_string())),
+            (
+                "severity".to_string(),
+                serde_json::Value::Str(severity.to_string()),
+            ),
+            (
+                "summary".to_string(),
+                serde_json::Value::Str(summary.to_string()),
+            ),
+        ])
+    };
     if args.contains(&"--json") {
-        let entries: Vec<serde_json::Value> = rules
+        let mut entries: Vec<serde_json::Value> = rules
             .iter()
-            .map(|r| {
-                serde_json::Value::Object(vec![
-                    (
-                        "code".to_string(),
-                        serde_json::Value::Str(r.code().to_string()),
-                    ),
-                    (
-                        "name".to_string(),
-                        serde_json::Value::Str(r.name().to_string()),
-                    ),
-                    (
-                        "severity".to_string(),
-                        serde_json::Value::Str(r.severity().to_string()),
-                    ),
-                    (
-                        "summary".to_string(),
-                        serde_json::Value::Str(r.summary().to_string()),
-                    ),
-                ])
-            })
+            .map(|r| entry(r.code(), r.name(), &r.severity().to_string(), r.summary()))
             .collect();
+        for r in source_rules() {
+            entries.push(entry(r.code, r.name, &r.severity.to_string(), r.rationale));
+        }
+        for (code, name, summary) in camp_lint::graph::GRAPH_RULES {
+            entries.push(entry(code, name, "error", summary));
+        }
         match serde_json::to_string_pretty(&serde_json::Value::Array(entries)) {
             Ok(s) => emitln(s),
             Err(e) => {
@@ -133,8 +156,92 @@ fn cmd_rules(args: &[&str]) -> ExitCode {
                 r.summary()
             ));
         }
+        for r in source_rules() {
+            emitln(format!(
+                "{} {:<28} {:<8} {}",
+                r.code,
+                r.name,
+                r.severity.to_string(),
+                compact(r.rationale)
+            ));
+        }
+        for (code, name, summary) in camp_lint::graph::GRAPH_RULES {
+            emitln(format!("{code} {name:<28} error    {}", compact(summary)));
+        }
     }
     ExitCode::SUCCESS
+}
+
+/// Collapses the multi-line rationale strings into one display line.
+fn compact(text: &str) -> String {
+    text.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+fn cmd_check(args: &[&str]) -> ExitCode {
+    let json = args.contains(&"--json");
+    let deny_warnings = args.contains(&"--deny-warnings");
+    let timings = args.contains(&"--timings");
+    let root = match parse_value(args, "--root") {
+        Ok(r) => std::path::PathBuf::from(r.unwrap_or_else(|| ".".to_string())),
+        Err(e) => {
+            eprintln!("camp-lint: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match check_workspace(&root, timings) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "camp-lint: cannot check workspace at {} (pass --root): {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        match serde_json::to_string_pretty(&report) {
+            Ok(s) => emitln(s),
+            Err(e) => {
+                eprintln!("camp-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        emit(report.source.render());
+        emit(report.graph.render());
+        emitln(format!(
+            "check: healthy {}, faulty {}",
+            if report.healthy_clean {
+                "clean"
+            } else {
+                "NOT CLEAN"
+            },
+            if report.faulty_convicted {
+                "all convicted"
+            } else {
+                "NOT ALL CONVICTED"
+            }
+        ));
+    }
+    if report.failed(deny_warnings) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Parses `--flag value` into `Some(value)`; `Ok(None)` when absent.
+fn parse_value(args: &[&str], name: &str) -> Result<Option<String>, String> {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if *a == name {
+            return it
+                .next()
+                .map(|v| Some((*v).to_string()))
+                .ok_or_else(|| format!("{name} needs an argument"));
+        }
+    }
+    Ok(None)
 }
 
 fn parse_flag(args: &[&str], name: &str, default: usize) -> Result<usize, String> {

@@ -1,0 +1,66 @@
+//! The combined `camp-lint check` pass: source lints plus the protocol-graph
+//! engine, joined into one report with the two acceptance verdicts.
+//!
+//! This lives in the library (rather than the binary) so tests can pin the
+//! exact report the CLI serialises — the workspace golden test compares
+//! [`check_workspace`]'s JSON byte for byte against a committed file.
+
+use std::io;
+use std::path::Path;
+
+use serde::Serialize;
+
+use crate::graph::{graph_check, GraphReport};
+use crate::source::{scan_workspace, SourceReport};
+
+/// The combined report of `camp-lint check`: the source pass, the
+/// protocol-graph engine, and the two acceptance verdicts.
+#[derive(Debug, Serialize)]
+pub struct CheckReport {
+    /// The `S0xx` source lint pass over the protocol crates.
+    pub source: SourceReport,
+    /// The `S02x` protocol-graph pass over the registered algorithms.
+    pub graph: GraphReport,
+    /// No source findings anywhere, and no graph findings against any
+    /// algorithm not registered as deliberately faulty.
+    pub healthy_clean: bool,
+    /// Every algorithm registered as faulty drew at least one graph error.
+    pub faulty_convicted: bool,
+}
+
+impl CheckReport {
+    /// Should `camp-lint check` exit nonzero for this report?
+    #[must_use]
+    pub fn failed(&self, deny_warnings: bool) -> bool {
+        let warned = self.source.warnings > 0 || self.graph.warnings > 0;
+        self.source.has_errors()
+            || !self.graph.healthy_clean()
+            || !self.faulty_convicted
+            || (deny_warnings && warned)
+    }
+}
+
+/// Runs both engines over the workspace at `root` and joins the verdicts.
+///
+/// With `timings: false` (the default), the per-crate and per-pass wall
+/// times are omitted and the report is a pure function of the sources, so
+/// its JSON is byte-identical across runs.
+///
+/// # Errors
+///
+/// Propagates I/O errors from reading the workspace sources; the usual
+/// cause is `root` not being the workspace root.
+pub fn check_workspace(root: &Path, timings: bool) -> io::Result<CheckReport> {
+    let source = scan_workspace(root, timings)?;
+    let graph = graph_check(root, timings)?;
+    // "Healthy clean" spans both engines: no source findings anywhere, no
+    // graph findings against algorithms not registered as faulty.
+    let healthy_clean = source.is_clean() && graph.healthy_clean();
+    let faulty_convicted = graph.faulty_convicted();
+    Ok(CheckReport {
+        source,
+        graph,
+        healthy_clean,
+        faulty_convicted,
+    })
+}

@@ -1,0 +1,445 @@
+//! The static protocol-graph engine: `S02x` rules over probe reports.
+//!
+//! The second engine of `camp-lint check`. Where the source pass
+//! ([`crate::source`]) reads the *text* of protocol code, this engine reads
+//! its *behaviour in the abstract*: each registered broadcast algorithm is
+//! driven once through `camp_sim::probe` — opaque differential payloads, a
+//! mock network that records instead of delivering — and the resulting
+//! message-kind send/handle graph is checked against the shape every
+//! correct broadcast must have in the paper's wait-free model:
+//!
+//! | rule | checks | convicts |
+//! |---|---|---|
+//! | `S020` | every kind sent to foreign processes does something when received | `Lossy` |
+//! | `S021` | `B.broadcast` returns with every peer silent (Lemma 7) | `QuorumBlocking` |
+//! | `S022` | a solo broadcast still self-delivers | — (defence in depth) |
+//! | `S023` | no message is delivered twice by one process (BC-No-Duplication) | `Duplicating` |
+//! | `S024` | deliveries name the registered broadcaster (BC-Validity) | `Misattributing` |
+//! | `S025` | control flow is identical for two opaque payloads (H1) | — (defence in depth) |
+//!
+//! `S021`/`S022` are skipped for algorithms whose [`AlgoSpec`] declares
+//! `wait_free: false` (the sequencer documents that it is not): the claim
+//! is part of the registration, and the engine convicts claim-vs-behaviour
+//! mismatches, not honest declarations. A `S020` finding is the static
+//! shadow of an `audit_branches` dead-receive branch — the dynamic auditor
+//! confirms what this engine predicts.
+//!
+//! Findings are anchored at the `struct` definition of the offending
+//! algorithm (located with the source lexer), so every diagnostic carries a
+//! real `file:line:col` span.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::time::Instant;
+
+use camp_broadcast::registry::{visit_builtins, visit_faulty, AlgoSpec, AlgorithmVisitor};
+use camp_sim::probe::{probe_broadcast, ProbeReport};
+use camp_sim::BroadcastAlgorithm;
+use serde::Serialize;
+
+use crate::diagnostics::Severity;
+use crate::source::lexer;
+use crate::source::SourceDiagnostic;
+
+/// System size the probe runs with; 3 is the smallest size where
+/// self/foreign/third-party roles are all distinct.
+const PROBE_N: usize = 3;
+
+/// Metadata for the graph rules, mirrored by `camp-lint rules`.
+pub const GRAPH_RULES: &[(&str, &str, &str)] = &[
+    (
+        "S020",
+        "dead-foreign-receive",
+        "a message kind is sent to foreign processes but every foreign reception is a no-op \
+         (the static shadow of an audit_branches dead receive branch)",
+    ),
+    (
+        "S021",
+        "quorum-blocked-return",
+        "B.broadcast cannot return with every peer silent; by Lemma 7 a correct broadcast \
+         completes solo, so waiting for foreign receptions deadlocks in the wait-free model",
+    ),
+    (
+        "S022",
+        "solo-delivery-missing",
+        "a solo broadcast returns without the broadcaster ever delivering its own message \
+         (BC-Local-Termination delivers locally even when alone)",
+    ),
+    (
+        "S023",
+        "duplicate-delivery",
+        "one process delivers the same message more than once (BC-No-Duplication)",
+    ),
+    (
+        "S024",
+        "misattributed-delivery",
+        "a delivery names a process other than the registered broadcaster as the message's \
+         origin (BC-Validity)",
+    ),
+    (
+        "S025",
+        "content-divergence",
+        "control flow differs between two opaque payload contents, violating the \
+         content-neutrality hypothesis H1 the impossibility theorem requires",
+    ),
+];
+
+/// One algorithm's probe outcome and findings.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct AlgoGraph {
+    /// The algorithm's display name.
+    pub name: String,
+    /// Was the algorithm registered as deliberately faulty?
+    pub expected_faulty: bool,
+    /// Does the registration claim solo termination?
+    pub wait_free: bool,
+    /// Does the algorithm use the `[k-SA]` enrichment?
+    pub uses_ksa: bool,
+    /// Message kinds the algorithm sent during the probe, sorted.
+    pub kinds_sent: Vec<String>,
+    /// Findings against this algorithm, sorted by code.
+    pub diagnostics: Vec<SourceDiagnostic>,
+}
+
+impl AlgoGraph {
+    /// Did any rule raise an error against this algorithm?
+    #[must_use]
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+}
+
+/// The outcome of the protocol-graph engine over the registry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct GraphReport {
+    /// Codes of the graph rules, in order.
+    pub rules_checked: Vec<String>,
+    /// Number of error-severity findings across all algorithms.
+    pub errors: usize,
+    /// Number of warning-severity findings across all algorithms.
+    pub warnings: usize,
+    /// Per-algorithm outcomes, registry order (healthy first, then faulty).
+    pub algorithms: Vec<AlgoGraph>,
+    /// Engine wall-time in milliseconds (`None` unless timings were
+    /// requested — see [`crate::source::CrateScan::millis`]).
+    pub millis: Option<u64>,
+}
+
+impl GraphReport {
+    /// Is every *healthy* (not expected-faulty) algorithm free of findings?
+    #[must_use]
+    pub fn healthy_clean(&self) -> bool {
+        self.algorithms
+            .iter()
+            .filter(|a| !a.expected_faulty)
+            .all(|a| a.diagnostics.is_empty())
+    }
+
+    /// Does every expected-faulty algorithm have at least one error-severity
+    /// finding? (The negative candidates exist to be caught; missing one
+    /// means the engine lost coverage.)
+    #[must_use]
+    pub fn faulty_convicted(&self) -> bool {
+        self.algorithms
+            .iter()
+            .filter(|a| a.expected_faulty)
+            .all(AlgoGraph::has_errors)
+    }
+
+    /// Renders the report for humans, one line per algorithm.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for a in &self.algorithms {
+            let verdict = if a.diagnostics.is_empty() {
+                "ok".to_string()
+            } else if a.expected_faulty && a.has_errors() {
+                format!("CONVICTED ({} finding(s))", a.diagnostics.len())
+            } else {
+                format!("FINDINGS ({})", a.diagnostics.len())
+            };
+            out.push_str(&format!(
+                "graph       {:<24} {} [{}]\n",
+                a.name,
+                verdict,
+                a.kinds_sent.join(", ")
+            ));
+            for d in &a.diagnostics {
+                out.push_str(&format!("  {d}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Runs the protocol-graph engine over every registered algorithm (healthy
+/// and faulty), anchoring findings in the sources under `root`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from reading the registered source files (the
+/// anchors must exist for the diagnostics to be honest).
+pub fn graph_check(root: &Path, timings: bool) -> io::Result<GraphReport> {
+    let started = Instant::now();
+    let mut linter = GraphLinter {
+        root,
+        expected_faulty: false,
+        algorithms: Vec::new(),
+        io_error: None,
+    };
+    visit_builtins(&mut linter);
+    linter.expected_faulty = true;
+    visit_faulty(&mut linter);
+    if let Some(e) = linter.io_error {
+        return Err(e);
+    }
+    let (errors, warnings) = linter.algorithms.iter().fold((0, 0), |(e, w), a| {
+        let ae = a
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count();
+        (e + ae, w + a.diagnostics.len() - ae)
+    });
+    Ok(GraphReport {
+        rules_checked: GRAPH_RULES
+            .iter()
+            .map(|(c, _, _)| (*c).to_string())
+            .collect(),
+        errors,
+        warnings,
+        algorithms: linter.algorithms,
+        millis: timings.then(|| started.elapsed().as_millis() as u64),
+    })
+}
+
+struct GraphLinter<'a> {
+    root: &'a Path,
+    expected_faulty: bool,
+    algorithms: Vec<AlgoGraph>,
+    io_error: Option<io::Error>,
+}
+
+impl AlgorithmVisitor for GraphLinter<'_> {
+    fn visit<B: BroadcastAlgorithm + 'static>(&mut self, spec: AlgoSpec, algo: B) {
+        if self.io_error.is_some() {
+            return;
+        }
+        let anchor = match locate_struct(self.root, spec.file, spec.struct_name) {
+            Ok(a) => a,
+            Err(e) => {
+                self.io_error = Some(e);
+                return;
+            }
+        };
+        let probe = probe_broadcast(&algo, PROBE_N);
+        self.algorithms
+            .push(judge(&spec, self.expected_faulty, &probe, anchor));
+    }
+}
+
+/// Finds the `struct <name>` definition in `file`, returning its
+/// `(line, col)`; falls back to `(1, 1)` if the lexer cannot see it.
+fn locate_struct(root: &Path, file: &str, struct_name: &str) -> io::Result<(usize, usize)> {
+    let source = fs::read_to_string(root.join(file))?;
+    let scanned = lexer::scan(&source);
+    for w in scanned.tokens.windows(2) {
+        if w[0].text == "struct" && w[1].text == struct_name {
+            return Ok((w[1].line, w[1].col));
+        }
+    }
+    Ok((1, 1))
+}
+
+/// Applies the `S02x` rules to one probe report.
+fn judge(
+    spec: &AlgoSpec,
+    expected_faulty: bool,
+    probe: &ProbeReport,
+    anchor: (usize, usize),
+) -> AlgoGraph {
+    let mut diagnostics = Vec::new();
+    let mut raise = |code: &str, message: String| {
+        let (_, name, _) = GRAPH_RULES
+            .iter()
+            .find(|(c, _, _)| *c == code)
+            .expect("graph rule codes are static");
+        diagnostics.push(SourceDiagnostic {
+            code: code.to_string(),
+            name: (*name).to_string(),
+            severity: Severity::Error,
+            message: format!("[{}] {}", spec.name, message),
+            file: spec.file.to_string(),
+            line: anchor.0,
+            col: anchor.1,
+        });
+    };
+
+    // S020: kinds received by foreign processes whose receptions all no-op.
+    for kind in probe.foreign_received.difference(&probe.foreign_handled) {
+        raise(
+            "S020",
+            format!(
+                "message kind `{kind}` is sent to foreign processes but every foreign \
+                 reception is a no-op: those sends can never be handled"
+            ),
+        );
+    }
+
+    // S021/S022: the solo phases, for algorithms claiming wait-freedom.
+    if spec.wait_free {
+        for solo in &probe.solo {
+            if !solo.returned_solo {
+                let cause = match solo.foreign_needed {
+                    Some(k) => format!(
+                        "it returns only after {k} foreign reception(s), but in the \
+                         wait-free model (t = n-1) no foreign reception is guaranteed"
+                    ),
+                    None => "it never returned within the probe budget".to_string(),
+                };
+                raise(
+                    "S021",
+                    format!(
+                        "p{} cannot complete B.broadcast with every peer silent: {cause} \
+                         (Lemma 7: a correct broadcast completes solo)",
+                        solo.process
+                    ),
+                );
+            } else if !solo.delivered_own_solo {
+                raise(
+                    "S022",
+                    format!(
+                        "p{} returns from a solo B.broadcast without ever delivering its \
+                         own message",
+                        solo.process
+                    ),
+                );
+            }
+        }
+    }
+
+    // S023: per-(process, message) delivery counts.
+    let mut counts = std::collections::BTreeMap::new();
+    for d in &probe.deliveries {
+        *counts.entry((d.process, d.msg_id)).or_insert(0usize) += 1;
+    }
+    for ((process, msg_id), count) in counts {
+        if count > 1 {
+            raise(
+                "S023",
+                format!(
+                    "p{process} delivers message m{msg_id} {count} times during one \
+                     broadcast (BC-No-Duplication)"
+                ),
+            );
+        }
+    }
+
+    // S024: deliveries naming someone other than the broadcaster (p1).
+    for d in &probe.deliveries {
+        if d.sender != 1 {
+            raise(
+                "S024",
+                format!(
+                    "p{} delivers m{} attributed to p{}, but the registered broadcaster \
+                     is p1 (BC-Validity)",
+                    d.process, d.msg_id, d.sender
+                ),
+            );
+        }
+    }
+
+    // S025: differential control flow.
+    if let Some(div) = &probe.divergence {
+        raise(
+            "S025",
+            format!(
+                "control flow depends on payload content: activation #{} is `{}` for one \
+                 opaque payload and `{}` for another (content-neutrality, hypothesis H1)",
+                div.index, div.left, div.right
+            ),
+        );
+    }
+
+    diagnostics.sort_by(|a, b| (&a.code, &a.message).cmp(&(&b.code, &b.message)));
+    AlgoGraph {
+        name: spec.name.to_string(),
+        expected_faulty,
+        wait_free: spec.wait_free,
+        uses_ksa: spec.uses_ksa,
+        kinds_sent: probe.sends.keys().cloned().collect(),
+        diagnostics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workspace_root() -> std::path::PathBuf {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+    }
+
+    #[test]
+    fn healthy_clean_and_faulty_convicted() {
+        let report = graph_check(&workspace_root(), false).expect("graph check runs");
+        assert!(
+            report.healthy_clean(),
+            "healthy findings:\n{}",
+            report.render()
+        );
+        assert!(
+            report.faulty_convicted(),
+            "unconvicted faulty:\n{}",
+            report.render()
+        );
+        assert_eq!(report.algorithms.len(), 11);
+    }
+
+    #[test]
+    fn each_faulty_algorithm_is_caught_by_its_own_rule() {
+        let report = graph_check(&workspace_root(), false).expect("graph check runs");
+        let codes = |name: &str| -> Vec<String> {
+            report
+                .algorithms
+                .iter()
+                .find(|a| a.name == name)
+                .expect("registered")
+                .diagnostics
+                .iter()
+                .map(|d| d.code.clone())
+                .collect()
+        };
+        assert!(codes("faulty:quorum-blocking").contains(&"S021".to_string()));
+        assert!(codes("faulty:duplicating").contains(&"S023".to_string()));
+        assert!(codes("faulty:misattributing").contains(&"S024".to_string()));
+        assert!(codes("faulty:lossy").contains(&"S020".to_string()));
+    }
+
+    #[test]
+    fn findings_are_anchored_at_struct_definitions() {
+        let report = graph_check(&workspace_root(), false).expect("graph check runs");
+        for a in &report.algorithms {
+            for d in &a.diagnostics {
+                assert_eq!(d.file, "crates/broadcast/src/faulty.rs");
+                assert!(
+                    d.line > 1,
+                    "anchor must be a real struct line, got {}",
+                    d.line
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn timings_are_gated() {
+        let root = workspace_root();
+        let without = graph_check(&root, false).expect("runs");
+        let with = graph_check(&root, true).expect("runs");
+        assert!(without.millis.is_none());
+        assert!(with.millis.is_some());
+    }
+}

@@ -45,11 +45,17 @@
 #![warn(missing_docs)]
 
 mod algorithm;
+pub mod check;
 mod determinism;
 mod diagnostics;
+pub mod graph;
 pub mod rules;
+pub mod source;
 
 pub use algorithm::{audit_branches, branch_label, BranchReport, ExploreFailed, StuckState};
+pub use check::{check_workspace, CheckReport};
 pub use determinism::{audit_determinism, AuditError, DeterminismFailure, DeterminismOutcome};
 pub use diagnostics::{Diagnostic, Report, Severity};
+pub use graph::{graph_check, AlgoGraph, GraphReport};
 pub use rules::{default_rules, lint_execution, lint_with, Rule};
+pub use source::{lint_source, scan_workspace, SourceDiagnostic, SourceReport};

@@ -1,0 +1,437 @@
+//! A small hand-rolled Rust lexer for the source lint pass.
+//!
+//! The workspace is vendored-only, so there is no `syn` to lean on. The
+//! source rules (`S0xx`) only need a *token stream with positions* — not a
+//! full AST — and getting that right means getting the uninteresting parts
+//! of Rust's lexical grammar right: line and block comments (nested),
+//! string literals (plain, raw, byte), char literals versus lifetimes, and
+//! `#[cfg(test)]` items, whose bodies are exempt from protocol lints.
+//!
+//! The scanner additionally collects **suppression comments**: a comment of
+//! the form
+//!
+//! ```text
+//! // camp-lint: allow(S001, S003) -- optional reason
+//! ```
+//!
+//! suppresses the named rules on the comment's own line and on the line
+//! immediately below it (so the comment can trail the offending code or sit
+//! on its own line above it).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One lexical token: a maximal identifier/number run or a single
+/// punctuation character, with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token text (identifier, number, or one punctuation char).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+    /// 1-based column of the token's first character.
+    pub col: usize,
+}
+
+/// The result of scanning one file.
+#[derive(Debug, Clone, Default)]
+pub struct ScannedFile {
+    /// Code tokens, in source order, with `#[cfg(test)]` items removed.
+    pub tokens: Vec<Token>,
+    /// Lines on which each rule code is suppressed (`line → {codes}`).
+    pub suppressions: BTreeMap<usize, BTreeSet<String>>,
+    /// Number of lines in the file (for reporting).
+    pub lines: usize,
+}
+
+/// Scans `source` into tokens plus suppression and test-block metadata.
+#[must_use]
+pub fn scan(source: &str) -> ScannedFile {
+    let mut lx = Lexer::new(source);
+    lx.run();
+    let tokens = strip_cfg_test_items(lx.tokens);
+    ScannedFile {
+        tokens,
+        suppressions: lx.suppressions,
+        lines: lx.line,
+    }
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+    col: usize,
+    tokens: Vec<Token>,
+    suppressions: BTreeMap<usize, BTreeSet<String>>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Self {
+            chars: source.chars().peekable(),
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+            suppressions: BTreeMap::new(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek() {
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' => self.slash(),
+                '"' => self.string_literal(),
+                '\'' => self.quote(),
+                'r' | 'b' => self.maybe_raw_or_byte_string(),
+                c if is_ident_char(c) => self.ident(),
+                _ => {
+                    let (line, col) = (self.line, self.col);
+                    self.bump();
+                    self.tokens.push(Token {
+                        text: c.to_string(),
+                        line,
+                        col,
+                    });
+                }
+            }
+        }
+    }
+
+    /// `/`: a line comment, a block comment, or a lone slash token.
+    fn slash(&mut self) {
+        let (line, col) = (self.line, self.col);
+        self.bump();
+        match self.peek() {
+            Some('/') => {
+                let mut text = String::new();
+                while let Some(c) = self.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    text.push(c);
+                    self.bump();
+                }
+                self.comment_suppressions(&text, line);
+            }
+            Some('*') => {
+                self.bump();
+                let mut depth = 1usize;
+                let mut text = String::new();
+                while depth > 0 {
+                    match self.bump() {
+                        Some('*') if self.peek() == Some('/') => {
+                            self.bump();
+                            depth -= 1;
+                        }
+                        Some('/') if self.peek() == Some('*') => {
+                            self.bump();
+                            depth += 1;
+                        }
+                        Some(c) => text.push(c),
+                        None => break,
+                    }
+                }
+                self.comment_suppressions(&text, line);
+            }
+            _ => self.tokens.push(Token {
+                text: "/".to_string(),
+                line,
+                col,
+            }),
+        }
+    }
+
+    /// Parses `camp-lint: allow(CODE, …)` out of a comment body.
+    fn comment_suppressions(&mut self, text: &str, line: usize) {
+        let Some(at) = text.find("camp-lint:") else {
+            return;
+        };
+        let rest = text[at + "camp-lint:".len()..].trim_start();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            return;
+        };
+        let Some(close) = rest.find(')') else {
+            return;
+        };
+        for code in rest[..close].split(',') {
+            let code = code.trim().to_string();
+            if code.is_empty() {
+                continue;
+            }
+            // The comment covers its own line and the line below it.
+            for l in [line, line + 1] {
+                self.suppressions.entry(l).or_default().insert(code.clone());
+            }
+        }
+    }
+
+    fn string_literal(&mut self) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// `'`: a char literal (`'a'`, `'\n'`) or a lifetime (`'a`, `'static`).
+    fn quote(&mut self) {
+        self.bump(); // the quote
+        match self.peek() {
+            Some('\\') => {
+                // Escaped char literal: consume escape and closing quote.
+                self.bump();
+                self.bump();
+                if self.peek() == Some('\'') {
+                    self.bump();
+                }
+            }
+            Some(c) if is_ident_char(c) => {
+                // Could be 'x' (char) or 'x… (lifetime): consume the ident
+                // run; a following quote makes it a char literal.
+                while let Some(c) = self.peek() {
+                    if !is_ident_char(c) {
+                        break;
+                    }
+                    self.bump();
+                }
+                if self.peek() == Some('\'') {
+                    self.bump();
+                }
+            }
+            Some(_) => {
+                // Punctuation char literal like '{'.
+                self.bump();
+                if self.peek() == Some('\'') {
+                    self.bump();
+                }
+            }
+            None => {}
+        }
+    }
+
+    /// `r` / `b`: possibly a raw (`r"…"`, `r#"…"#`) or byte (`b"…"`,
+    /// `br#"…"#`) string; otherwise an ordinary identifier.
+    fn maybe_raw_or_byte_string(&mut self) {
+        let (line, col) = (self.line, self.col);
+        let first = self.bump().expect("peeked");
+        let mut prefix = String::new();
+        prefix.push(first);
+        // `br` prefix.
+        if first == 'b' && self.peek() == Some('r') {
+            prefix.push('r');
+            self.bump();
+        }
+        match self.peek() {
+            Some('"') if prefix.ends_with('r') || prefix == "b" => {
+                if prefix.ends_with('r') {
+                    self.raw_string_body(0);
+                } else {
+                    self.string_literal();
+                }
+            }
+            Some('\'') if prefix == "b" => {
+                self.quote();
+            }
+            Some('#') if prefix.ends_with('r') => {
+                let mut hashes = 0usize;
+                while self.peek() == Some('#') {
+                    hashes += 1;
+                    self.bump();
+                }
+                if self.peek() == Some('"') {
+                    self.raw_string_body(hashes);
+                } else {
+                    // `r#ident` (raw identifier): lex the identifier.
+                    self.ident_with_prefix(prefix, line, col);
+                }
+            }
+            _ => self.ident_with_prefix(prefix, line, col),
+        }
+    }
+
+    fn raw_string_body(&mut self, hashes: usize) {
+        self.bump(); // opening quote
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut seen = 0usize;
+                while seen < hashes {
+                    if self.peek() == Some('#') {
+                        self.bump();
+                        seen += 1;
+                    } else {
+                        continue 'outer;
+                    }
+                }
+                return;
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        let (line, col) = (self.line, self.col);
+        self.ident_with_prefix(String::new(), line, col);
+    }
+
+    fn ident_with_prefix(&mut self, mut text: String, line: usize, col: usize) {
+        while let Some(c) = self.peek() {
+            if !is_ident_char(c) {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        if !text.is_empty() {
+            self.tokens.push(Token { text, line, col });
+        }
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Removes every item annotated `#[cfg(test)]` (typically `mod tests { … }`)
+/// from the token stream: test code may freely use what protocol code may
+/// not (threads, wall-clock assertions, floats in oracles…).
+fn strip_cfg_test_items(tokens: Vec<Token>) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_cfg_test_at(&tokens, i) {
+            // Skip the attribute itself (7 tokens: # [ cfg ( test ) ]),
+            // then everything through the end of the annotated item: the
+            // matching `}` of the first `{`, or a `;` before any brace
+            // (e.g. `#[cfg(test)] use …;`).
+            i += 7;
+            let mut depth = 0usize;
+            while i < tokens.len() {
+                match tokens[i].text.as_str() {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    ";" if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+        } else {
+            out.push(tokens[i].clone());
+            i += 1;
+        }
+    }
+    out
+}
+
+fn is_cfg_test_at(tokens: &[Token], i: usize) -> bool {
+    let texts = ["#", "[", "cfg", "(", "test", ")", "]"];
+    tokens.len() >= i + texts.len()
+        && texts
+            .iter()
+            .enumerate()
+            .all(|(k, t)| tokens[i + k].text == *t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        scan(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_and_punct_with_positions() {
+        let f = scan("let x = foo(1);");
+        assert_eq!(
+            f.tokens.iter().map(|t| t.text.as_str()).collect::<Vec<_>>(),
+            vec!["let", "x", "=", "foo", "(", "1", ")", ";"]
+        );
+        assert_eq!(f.tokens[0].line, 1);
+        assert_eq!(f.tokens[0].col, 1);
+        assert_eq!(f.tokens[3].col, 9);
+    }
+
+    #[test]
+    fn comments_and_strings_are_not_tokens() {
+        assert_eq!(
+            texts("a // HashMap\nb /* HashSet */ c \"Instant::now\" d"),
+            vec!["a", "b", "c", "d"]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        assert_eq!(texts("a /* x /* y */ z */ b"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        assert_eq!(
+            texts("fn f<'a>(x: &'a str) { r#\"HashMap \" inside\"# ; 'q' }"),
+            vec!["fn", "f", "<", ">", "(", "x", ":", "&", "str", ")", "{", ";", "}"]
+        );
+    }
+
+    #[test]
+    fn char_literal_with_escape() {
+        assert_eq!(
+            texts("x = '\\n'; y = '{';"),
+            vec!["x", "=", ";", "y", "=", ";"]
+        );
+    }
+
+    #[test]
+    fn cfg_test_mod_is_stripped() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests { fn t() { thread_rng(); } }\nfn tail() {}";
+        assert_eq!(
+            texts(src),
+            vec!["fn", "live", "(", ")", "{", "}", "fn", "tail", "(", ")", "{", "}"]
+        );
+    }
+
+    #[test]
+    fn suppression_comment_covers_own_and_next_line() {
+        let f = scan("// camp-lint: allow(S001, S003) -- config knob\nlet p: f64 = 0.0;\n");
+        let s1 = f.suppressions.get(&1).expect("line 1");
+        assert!(s1.contains("S001") && s1.contains("S003"));
+        assert!(f.suppressions.get(&2).expect("line 2").contains("S003"));
+        assert!(!f.suppressions.contains_key(&3));
+    }
+
+    #[test]
+    fn trailing_suppression_same_line() {
+        let f = scan("let p: f64 = 0.0; // camp-lint: allow(S003)\n");
+        assert!(f.suppressions.get(&1).expect("line 1").contains("S003"));
+    }
+}

@@ -40,6 +40,7 @@ mod error;
 pub mod fingerprint;
 mod network;
 mod oracle;
+pub mod probe;
 pub mod scheduler;
 mod simulation;
 

@@ -165,6 +165,7 @@ pub struct CrashPlan {
     /// tolerates `t = n - 1`.
     pub max_crashes: usize,
     /// Probability that a given random event is a crash (while budget lasts).
+    // camp-lint: allow(S003) -- scheduler configuration fed to the seeded RNG, not protocol state
     pub crash_probability: f64,
 }
 
@@ -180,6 +181,7 @@ impl CrashPlan {
 
     /// Up to `max_crashes` crashes with the given per-event probability.
     #[must_use]
+    // camp-lint: allow(S003) -- scheduler configuration fed to the seeded RNG, not protocol state
     pub fn up_to(max_crashes: usize, crash_probability: f64) -> Self {
         Self {
             max_crashes,
