@@ -1,0 +1,74 @@
+//! Workspace-level acceptance tests for `camp-lint check`: the healthy
+//! library lints clean, every deliberately faulty algorithm is convicted,
+//! and the JSON report is a deterministic function of the sources.
+//!
+//! The committed golden file pins the full-workspace report byte for byte;
+//! if an intentional change (new rule, new algorithm, moved struct) alters
+//! it, regenerate with:
+//!
+//! ```sh
+//! cargo test -p campkit --test check -- --ignored regenerate
+//! ```
+
+use std::path::Path;
+
+use campkit::lint::check_workspace;
+use proptest::prelude::*;
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/check.json");
+
+/// Runs the full `camp-lint check` pass (timings off) and serialises it
+/// exactly as `camp-lint check --json` does.
+fn check_json() -> String {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = check_workspace(root, false).expect("workspace must be scannable");
+    serde_json::to_string_pretty(&report).unwrap()
+}
+
+#[test]
+fn healthy_workspace_is_clean_and_faulty_is_convicted() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = check_workspace(root, false).unwrap();
+    assert!(
+        report.healthy_clean,
+        "the shipped protocol crates must lint clean: {:?}",
+        report.source.diagnostics
+    );
+    assert!(
+        report.faulty_convicted,
+        "every crate::faulty algorithm must draw at least one graph error"
+    );
+    assert!(!report.failed(true), "check must pass --deny-warnings");
+}
+
+#[test]
+fn check_report_matches_the_committed_golden() {
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing — run the regenerate test");
+    assert_eq!(
+        check_json(),
+        golden.trim_end(),
+        "the check report changed; if intentional, regenerate the golden file"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// With timings off the report contains no clocks, paths are visited in
+    /// sorted order, and all engine state is BTree-ordered — so two runs in
+    /// the same tree must serialise to byte-identical JSON.
+    #[test]
+    fn check_json_is_byte_identical_across_runs(_case in 0u8..4) {
+        prop_assert_eq!(check_json(), check_json());
+    }
+}
+
+/// Not a test: rewrites the golden file. Run explicitly with `--ignored`.
+#[test]
+#[ignore = "regenerates the golden file"]
+fn regenerate() {
+    let mut json = check_json();
+    json.push('\n');
+    std::fs::write(GOLDEN_PATH, json).unwrap();
+}
