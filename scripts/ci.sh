@@ -5,6 +5,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# First gate, cheapest signal: the static check needs only camp-lint and
+# its deps to build, runs no simulated schedule, and catches determinism
+# hazards before the expensive full-workspace stages spin up.
+echo "==> camp-lint: static source + protocol-graph check (deny warnings)"
+cargo run --release -q -p camp-lint --bin camp-lint -- check --deny-warnings
+
 echo "==> tier-1: cargo build --release"
 cargo build --release
 

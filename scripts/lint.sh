@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# The static-analysis gate on its own: source lints (S0xx) + protocol-graph
+# analysis (S02x) over the whole workspace, warnings promoted to failures.
+# Extra flags are passed through, e.g.:
+#
+#   scripts/lint.sh --json              machine-readable CheckReport
+#   scripts/lint.sh --timings           include per-crate / per-pass wall times
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec cargo run --release -q -p camp-lint --bin camp-lint -- check --deny-warnings "$@"
