@@ -19,13 +19,17 @@
 //! The vendored criterion stand-in prints human-readable timings but has no
 //! report files, so this harness owns `main` (instead of `criterion_main!`)
 //! and writes the JSON itself: per bench, the median ns/op together with the
-//! work rates (completed executions/sec and visited nodes/sec) derived from
-//! one instrumented run. Set `CAMP_BENCH_QUICK=1` for a low-sample CI smoke
-//! run and `CAMP_BENCH_OUT` to redirect the JSON.
+//! work rates (completed executions/sec and visited nodes/sec) and the
+//! reduction counters (dedup hits, sleep-set prunes, widest frontier)
+//! derived from one instrumented run. Set `CAMP_BENCH_QUICK=1` for a
+//! low-sample CI smoke run, `CAMP_BENCH_OUT` to redirect the JSON, and
+//! `CAMP_BENCH_METRICS` to additionally write the raw `camp-obs/v1` counter
+//! snapshot accumulated across the instrumented runs.
 
 use camp_broadcast::{CausalBroadcast, EagerReliable, FifoBroadcast};
-use camp_modelcheck::crashsweep::{crash_point_sweep, SweepOutcome};
-use camp_modelcheck::{explore_with_stats, EngineConfig, EngineStats, ExploreOutcome};
+use camp_modelcheck::crashsweep::{crash_point_sweep_obs, SweepOutcome};
+use camp_modelcheck::{explore_with_obs, EngineConfig, EngineStats, ExploreOutcome};
+use camp_obs::Counters;
 use camp_sim::scheduler::Workload;
 use camp_sim::{BroadcastAlgorithm, FirstProposalRule, KsaOracle, Simulation};
 use camp_specs::{base, BroadcastSpec, CausalSpec, FifoSpec, SpecResult};
@@ -40,6 +44,9 @@ struct Record {
     ns_per_op: u128,
     executions: usize,
     nodes: usize,
+    dedup_hits: u64,
+    sleep_set_prunes: u64,
+    max_frontier: u64,
 }
 
 impl Record {
@@ -58,6 +65,19 @@ impl Record {
                 "nodes_per_sec".to_string(),
                 Json::Float(self.nodes as f64 / secs),
             ),
+            // v2 fields: the reduction counters of the instrumented run.
+            (
+                "dedup_hits".to_string(),
+                Json::Int(i128::from(self.dedup_hits)),
+            ),
+            (
+                "sleep_set_prunes".to_string(),
+                Json::Int(i128::from(self.sleep_set_prunes)),
+            ),
+            (
+                "max_frontier".to_string(),
+                Json::Int(i128::from(self.max_frontier)),
+            ),
         ])
     }
 }
@@ -67,19 +87,26 @@ fn fresh<B: BroadcastAlgorithm>(algo: B, n: usize) -> Simulation<B> {
 }
 
 /// Runs one full exploration with the default reduction stack and asserts
-/// the verdict, returning the engine counters for the rate computation.
+/// the verdict, returning the engine counters for the rate computation and
+/// the per-run observability registry for the v2 reduction fields.
 fn explore_once<B>(
     algo: B,
     n: usize,
     workload: &Workload,
     property: &dyn Fn(&Execution) -> SpecResult,
-) -> EngineStats
+) -> (EngineStats, Counters)
 where
     B: BroadcastAlgorithm + Clone,
     B::Msg: Clone,
 {
-    let (outcome, stats) =
-        explore_with_stats(fresh(algo, n), workload, property, EngineConfig::default());
+    let mut counters = Counters::new();
+    let (outcome, stats) = explore_with_obs(
+        fresh(algo, n),
+        workload,
+        property,
+        EngineConfig::default(),
+        &mut counters,
+    );
     assert!(
         matches!(
             outcome,
@@ -90,10 +117,15 @@ where
         ),
         "bench scope must verify untruncated, got {outcome:?}"
     );
-    stats
+    (stats, counters)
 }
 
-fn bench_explore(c: &mut Criterion, sample_size: usize, records: &mut Vec<Record>) {
+fn bench_explore(
+    c: &mut Criterion,
+    sample_size: usize,
+    records: &mut Vec<Record>,
+    totals: &mut Counters,
+) {
     let mut group = c.benchmark_group("explore");
     group.sample_size(sample_size);
 
@@ -102,7 +134,8 @@ fn bench_explore(c: &mut Criterion, sample_size: usize, records: &mut Vec<Record
         base::check_all(e)?;
         FifoSpec::new().admits(e)
     };
-    let stats = explore_once(FifoBroadcast::new(), 2, &fifo_workload, &fifo_property);
+    let (stats, counters) = explore_once(FifoBroadcast::new(), 2, &fifo_workload, &fifo_property);
+    counters.replay_into(totals);
     group.bench_function("explore_fifo_2x2", |b| {
         b.iter(|| explore_once(FifoBroadcast::new(), 2, &fifo_workload, &fifo_property));
         records.push(Record {
@@ -110,6 +143,9 @@ fn bench_explore(c: &mut Criterion, sample_size: usize, records: &mut Vec<Record
             ns_per_op: b.median().expect("samples collected").as_nanos(),
             executions: stats.completed,
             nodes: stats.nodes,
+            dedup_hits: counters.count("modelcheck.dedup_hits"),
+            sleep_set_prunes: counters.count("modelcheck.sleep_set_prunes"),
+            max_frontier: counters.gauge("modelcheck.max_frontier"),
         });
     });
 
@@ -120,12 +156,13 @@ fn bench_explore(c: &mut Criterion, sample_size: usize, records: &mut Vec<Record
         base::check_all(e)?;
         CausalSpec::new().admits(e)
     };
-    let stats = explore_once(
+    let (stats, counters) = explore_once(
         CausalBroadcast::new(),
         3,
         &causal_workload,
         &causal_property,
     );
+    counters.replay_into(totals);
     group.bench_function("explore_causal_3", |b| {
         b.iter(|| {
             explore_once(
@@ -140,6 +177,66 @@ fn bench_explore(c: &mut Criterion, sample_size: usize, records: &mut Vec<Record
             ns_per_op: b.median().expect("samples collected").as_nanos(),
             executions: stats.completed,
             nodes: stats.nodes,
+            dedup_hits: counters.count("modelcheck.dedup_hits"),
+            sleep_set_prunes: counters.count("modelcheck.sleep_set_prunes"),
+            max_frontier: counters.gauge("modelcheck.max_frontier"),
+        });
+    });
+
+    // The agreed-rounds scope is the one whose state space actually
+    // re-converges (round-based sequencing funnels interleavings into the
+    // same state), so it is the bench that exercises the fingerprint cache:
+    // its `dedup_hits` must be non-zero where the FIFO/causal scopes
+    // structurally cannot be.
+    let agreed_workload = Workload::uniform(2, 1);
+    let agreed_property = |e: &Execution| -> SpecResult {
+        base::check_all(e)?;
+        camp_specs::TotalOrderSpec::new().admits(e)
+    };
+    let fresh_agreed = || {
+        Simulation::new(
+            camp_broadcast::AgreedBroadcast::new(),
+            2,
+            KsaOracle::new(1, Box::new(camp_sim::OwnValueRule)),
+        )
+    };
+    let mut agreed_counters = Counters::new();
+    let (agreed_outcome, agreed_stats) = explore_with_obs(
+        fresh_agreed(),
+        &agreed_workload,
+        &agreed_property,
+        EngineConfig::default(),
+        &mut agreed_counters,
+    );
+    assert!(
+        matches!(
+            agreed_outcome,
+            ExploreOutcome::Verified {
+                truncated: false,
+                ..
+            }
+        ),
+        "agreed bench scope must verify untruncated, got {agreed_outcome:?}"
+    );
+    agreed_counters.replay_into(totals);
+    group.bench_function("explore_agreed_2", |b| {
+        b.iter(|| {
+            explore_with_obs(
+                fresh_agreed(),
+                &agreed_workload,
+                &agreed_property,
+                EngineConfig::default(),
+                &mut camp_obs::NoopSink,
+            )
+        });
+        records.push(Record {
+            name: "explore_agreed_2",
+            ns_per_op: b.median().expect("samples collected").as_nanos(),
+            executions: agreed_stats.completed,
+            nodes: agreed_stats.nodes,
+            dedup_hits: agreed_counters.count("modelcheck.dedup_hits"),
+            sleep_set_prunes: agreed_counters.count("modelcheck.sleep_set_prunes"),
+            max_frontier: agreed_counters.gauge("modelcheck.max_frontier"),
         });
     });
     group.finish();
@@ -148,17 +245,27 @@ fn bench_explore(c: &mut Criterion, sample_size: usize, records: &mut Vec<Record
     group.sample_size(sample_size);
     let sweep_workload = Workload::uniform(3, 1);
     let sweep = || {
-        crash_point_sweep(
+        crash_point_sweep_obs(
             &|| fresh(EagerReliable::uniform(), 3),
             &sweep_workload,
             &[ProcessId::new(1), ProcessId::new(2)],
             &|e| base::bc_uniform_agreement(e),
             100_000,
+            &mut camp_obs::NoopSink,
         )
     };
-    let SweepOutcome::Verified { runs } = sweep() else {
+    let mut counters = Counters::new();
+    let SweepOutcome::Verified { runs } = crash_point_sweep_obs(
+        &|| fresh(EagerReliable::uniform(), 3),
+        &sweep_workload,
+        &[ProcessId::new(1), ProcessId::new(2)],
+        &|e| base::bc_uniform_agreement(e),
+        100_000,
+        &mut counters,
+    ) else {
         panic!("uniform reliable broadcast must survive the crash sweep");
     };
+    counters.replay_into(totals);
     group.bench_function("crashsweep_reliable", |b| {
         b.iter(&sweep);
         records.push(Record {
@@ -166,8 +273,13 @@ fn bench_explore(c: &mut Criterion, sample_size: usize, records: &mut Vec<Record
             ns_per_op: b.median().expect("samples collected").as_nanos(),
             // A sweep's unit of work is one fair crash-injected run; report
             // it under both rate fields so the JSON schema stays uniform.
+            // The sweep explores one schedule per crash point (no branching
+            // frontier), so the reduction counters are structurally zero.
             executions: runs,
             nodes: runs,
+            dedup_hits: counters.count("modelcheck.dedup_hits"),
+            sleep_set_prunes: counters.count("modelcheck.sleep_set_prunes"),
+            max_frontier: counters.gauge("modelcheck.max_frontier"),
         });
     });
     group.finish();
@@ -178,7 +290,8 @@ fn main() {
     let sample_size = if quick { 3 } else { 10 };
     let mut criterion = Criterion::default();
     let mut records = Vec::new();
-    bench_explore(&mut criterion, sample_size, &mut records);
+    let mut totals = Counters::new();
+    bench_explore(&mut criterion, sample_size, &mut records, &mut totals);
 
     let out = std::env::var("CAMP_BENCH_OUT").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explore.json").to_string()
@@ -186,7 +299,7 @@ fn main() {
     let doc = Json::Object(vec![
         (
             "schema".to_string(),
-            Json::Str("camp-bench/explore/v1".to_string()),
+            Json::Str("camp-bench/explore/v2".to_string()),
         ),
         (
             "mode".to_string(),
@@ -200,4 +313,15 @@ fn main() {
     let rendered = serde_json::to_string_pretty(&doc).expect("render bench report");
     std::fs::write(&out, rendered + "\n").expect("write bench report");
     println!("\nwrote {out}");
+
+    if let Ok(metrics_out) = std::env::var("CAMP_BENCH_METRICS") {
+        if !metrics_out.is_empty() {
+            std::fs::write(&metrics_out, totals.snapshot().to_json_string())
+                .expect("write metrics snapshot");
+            println!(
+                "wrote {} metrics snapshot to {metrics_out}",
+                camp_obs::SCHEMA
+            );
+        }
+    }
 }

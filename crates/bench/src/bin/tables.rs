@@ -1,8 +1,12 @@
 //! Experiment tables: regenerates the paper's Figure 1 and every derived
 //! experiment of `EXPERIMENTS.md`.
 //!
-//! Usage: `tables [f1|lemmas|thm1|symmetry|boundaries|modelcheck|all]`
-//! (default: `all`).
+//! Usage: `tables [f1|lemmas|thm1|symmetry|boundaries|modelcheck|all]
+//! [--metrics OUT.json] [--progress]` (default: `all`).
+//!
+//! `--metrics` writes a `camp-obs/v1` snapshot of the counters recorded by
+//! the instrumented tables (`f1` and `modelcheck`); `--progress` enables a
+//! stderr ticker during the exhaustive explorations.
 
 use std::collections::BTreeSet;
 
@@ -13,9 +17,10 @@ use camp_broadcast::{
 };
 use camp_impossibility::{adversarial_scheduler, refute_spec, theorem1, verify_lemmas, NSolo};
 use camp_modelcheck::explore::{
-    explore, explore_with_stats, EngineConfig, ExploreConfig, ExploreOutcome,
+    explore_with_obs, explore_with_stats, EngineConfig, ExploreConfig, ExploreOutcome,
 };
 use camp_modelcheck::schedules::{is_one_solo_all_own, ScheduleQuery};
+use camp_obs::{Obs, ObsSink};
 use camp_sim::scheduler::{CrashPlan, Workload};
 use camp_sim::{BroadcastAlgorithm, FirstProposalRule, KsaOracle, OwnValueRule, Simulation};
 use camp_specs::symmetry::{check_compositional, check_content_neutral, Closure, SymmetryConfig};
@@ -26,23 +31,48 @@ use camp_specs::{
 use camp_trace::{render_timeline, Action, Execution, ExecutionBuilder, ProcessId, Value};
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".into());
-    match arg.as_str() {
-        "f1" => figure1(),
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut table: Option<String> = None;
+    let mut metrics: Option<String> = None;
+    let mut progress = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--progress" => progress = true,
+            "--metrics" => match it.next() {
+                Some(p) => metrics = Some(p.clone()),
+                None => {
+                    eprintln!("--metrics needs a file argument");
+                    std::process::exit(2);
+                }
+            },
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag `{other}`; flags: --metrics OUT.json, --progress");
+                std::process::exit(2);
+            }
+            other => table = Some(other.to_string()),
+        }
+    }
+    let mut obs = Obs::new();
+    if progress {
+        obs = obs.with_progress("tables");
+    }
+    match table.as_deref().unwrap_or("all") {
+        "f1" => figure1(&mut obs),
         "lemmas" => lemmas(),
         "thm1" => thm1(),
         "symmetry" => symmetry(),
         "boundaries" => boundaries(),
-        "modelcheck" => modelcheck(),
+        "modelcheck" => modelcheck(&mut obs),
         "complexity" => complexity(),
         "shm" => shm(),
         "all" => {
-            figure1();
+            figure1(&mut obs);
             lemmas();
             thm1();
             symmetry();
             boundaries();
-            modelcheck();
+            modelcheck(&mut obs);
             complexity();
             shm();
         }
@@ -50,6 +80,14 @@ fn main() {
             eprintln!("unknown table `{other}`; use f1|lemmas|thm1|symmetry|boundaries|modelcheck|complexity|shm|all");
             std::process::exit(2);
         }
+    }
+    obs.finish_progress();
+    if let Some(path) = metrics {
+        if let Err(e) = std::fs::write(&path, obs.snapshot().to_json_string()) {
+            eprintln!("tables: cannot write metrics to {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("\nwrote {} metrics snapshot to {path}", camp_obs::SCHEMA);
     }
 }
 
@@ -63,10 +101,16 @@ fn header(title: &str) {
 /// involve the designated messages — the paper's grey boxes ("the final N
 /// messages of each process, incompatible with an implementation of k-set
 /// agreement").
-fn figure1() {
+fn figure1(obs: &mut Obs) {
     header("F1: Figure 1 — adversarial execution α_{k,N,B,ℬ}, k = 3, N = 2");
+    obs.begin("figure1");
     let run = adversarial_scheduler(3, 2, AgreedBroadcast::new(), 10_000_000)
         .expect("candidate ℬ is a correct broadcast algorithm");
+    obs.add("figure1.execution_len", run.execution.len() as u64);
+    obs.add(
+        "figure1.ksa_objects",
+        run.execution.ksa_objects().len() as u64,
+    );
     let highlight: BTreeSet<_> = run.designated_flat().into_iter().collect();
     println!("{}", render_timeline(&run.execution, &highlight));
     println!("k-SA objects used (white squares of the figure):");
@@ -89,6 +133,7 @@ fn figure1() {
             .map(|d| d.iter().map(ToString::to_string).collect::<Vec<_>>())
             .collect::<Vec<_>>()
     );
+    obs.end("figure1");
 }
 
 fn verdict(ok: bool) -> &'static str {
@@ -556,8 +601,9 @@ fn boundaries() {
 }
 
 /// **E-MC** — small-scope exhaustive verification.
-fn modelcheck() {
+fn modelcheck(obs: &mut Obs) {
     header("E-MC: exhaustive small-scope verification");
+    obs.begin("modelcheck");
 
     // Spec level: 1-solo admissibility over the full schedule space.
     println!(
@@ -602,6 +648,7 @@ fn modelcheck() {
         1,
         false,
         &|e| camp_specs::base::check_all(e),
+        obs,
     );
     mc_row(
         "fifo",
@@ -615,6 +662,7 @@ fn modelcheck() {
             camp_specs::base::check_all(e)?;
             FifoSpec::new().admits(e)
         },
+        obs,
     );
     mc_row(
         "causal",
@@ -628,6 +676,7 @@ fn modelcheck() {
             camp_specs::base::check_all(e)?;
             CausalSpec::new().admits(e)
         },
+        obs,
     );
     mc_row(
         "agreed-rounds (k=1)",
@@ -641,6 +690,7 @@ fn modelcheck() {
             camp_specs::base::check_all(e)?;
             TotalOrderSpec::new().admits(e)
         },
+        obs,
     );
 
     // Reduction stack: interleaving-tree size under the naive baseline DFS
@@ -656,10 +706,17 @@ fn modelcheck() {
     fifo3.push(ProcessId::new(1), Value::new(10));
     fifo3.push(ProcessId::new(1), Value::new(11));
     fifo3.push(ProcessId::new(2), Value::new(20));
-    reduction_row("fifo", FifoBroadcast::new(), 2, &fifo3, &|e| {
-        camp_specs::base::check_all(e)?;
-        FifoSpec::new().admits(e)
-    });
+    reduction_row(
+        "fifo",
+        FifoBroadcast::new(),
+        2,
+        &fifo3,
+        &|e| {
+            camp_specs::base::check_all(e)?;
+            FifoSpec::new().admits(e)
+        },
+        obs,
+    );
     reduction_row(
         "fifo",
         FifoBroadcast::new(),
@@ -669,14 +726,22 @@ fn modelcheck() {
             camp_specs::base::check_all(e)?;
             FifoSpec::new().admits(e)
         },
+        obs,
     );
     let mut causal3 = Workload::new(3);
     causal3.push(ProcessId::new(1), Value::new(1));
     causal3.push(ProcessId::new(2), Value::new(2));
-    reduction_row("causal", CausalBroadcast::new(), 3, &causal3, &|e| {
-        camp_specs::base::check_all(e)?;
-        CausalSpec::new().admits(e)
-    });
+    reduction_row(
+        "causal",
+        CausalBroadcast::new(),
+        3,
+        &causal3,
+        &|e| {
+            camp_specs::base::check_all(e)?;
+            CausalSpec::new().admits(e)
+        },
+        obs,
+    );
     println!("\nExpected: the reduced engine visits >=10x fewer nodes on the FIFO 2x2 scope and finishes the 3-process causal scope the baseline cannot.");
 
     // Failure-injection sweeps: every joint crash point of (p1, p2) along
@@ -685,10 +750,16 @@ fn modelcheck() {
         "\n{:<26}{:<22}{:>8}  {:<40}",
         "algorithm", "property (crash sweep)", "runs", "verdict"
     );
-    sweep_row("eager-reliable(uniform)", EagerReliable::uniform(), true);
-    sweep_row("eager-reliable", EagerReliable::non_uniform(), false);
-    sweep_row("send-to-all", SendToAll::new(), false);
+    sweep_row(
+        "eager-reliable(uniform)",
+        EagerReliable::uniform(),
+        true,
+        obs,
+    );
+    sweep_row("eager-reliable", EagerReliable::non_uniform(), false, obs);
+    sweep_row("send-to-all", SendToAll::new(), false, obs);
     println!("\nExpected: only the forward-before-deliver variant provides uniform agreement; the sweep finds the crash timing that breaks the others.");
+    obs.end("modelcheck");
 }
 
 /// One row of the reduction comparison: node counts for the same scope
@@ -699,6 +770,7 @@ fn reduction_row<B>(
     n: usize,
     workload: &Workload,
     property: &dyn Fn(&Execution) -> camp_specs::SpecResult,
+    obs: &mut Obs,
 ) where
     B: BroadcastAlgorithm + Clone,
     B::Msg: Clone,
@@ -711,6 +783,8 @@ fn reduction_row<B>(
             KsaOracle::new(1, Box::new(FirstProposalRule)),
         )
     };
+    // Only the reduced run feeds the sink: the baseline's node count would
+    // drown the counters the reduction factors are derived from.
     let (_, base) = explore_with_stats(
         fresh(),
         workload,
@@ -724,7 +798,7 @@ fn reduction_row<B>(
             sleep_sets: false,
         },
     );
-    let (_, reduced) = explore_with_stats(fresh(), workload, property, EngineConfig::default());
+    let (_, reduced) = explore_with_obs(fresh(), workload, property, EngineConfig::default(), obs);
     let baseline_cell = if base.truncated {
         format!(">{} TRUNCATED", base.nodes)
     } else {
@@ -745,9 +819,14 @@ fn reduction_row<B>(
     );
 }
 
-fn sweep_row<B: BroadcastAlgorithm + Clone>(name: &str, algo: B, expect_uniform: bool) {
-    use camp_modelcheck::crashsweep::{crash_point_sweep, SweepOutcome};
-    let outcome = crash_point_sweep(
+fn sweep_row<B: BroadcastAlgorithm + Clone>(
+    name: &str,
+    algo: B,
+    expect_uniform: bool,
+    obs: &mut Obs,
+) {
+    use camp_modelcheck::crashsweep::{crash_point_sweep_obs, SweepOutcome};
+    let outcome = crash_point_sweep_obs(
         &|| {
             Simulation::new(
                 algo.clone(),
@@ -759,6 +838,7 @@ fn sweep_row<B: BroadcastAlgorithm + Clone>(name: &str, algo: B, expect_uniform:
         &[ProcessId::new(1), ProcessId::new(2)],
         &|e| camp_specs::base::bc_uniform_agreement(e),
         100_000,
+        obs,
     );
     let (runs, cell) = match &outcome {
         SweepOutcome::Verified { runs } => (*runs, "UNIFORM (all crash points)".to_string()),
@@ -794,6 +874,7 @@ fn mc_row<B>(
     k: usize,
     own_rule: bool,
     property: &dyn Fn(&Execution) -> camp_specs::SpecResult,
+    obs: &mut Obs,
 ) where
     B: BroadcastAlgorithm + Clone,
     B::Msg: Clone,
@@ -804,11 +885,12 @@ fn mc_row<B>(
         Box::new(FirstProposalRule)
     };
     let sim = Simulation::new(algo, n, KsaOracle::new(k, rule));
-    let outcome = explore(
+    let (outcome, _) = explore_with_obs(
         sim,
         &Workload::uniform(n, m),
         property,
-        ExploreConfig::default(),
+        EngineConfig::default(),
+        obs,
     );
     let cell = match &outcome {
         ExploreOutcome::Verified {

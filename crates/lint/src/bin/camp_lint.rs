@@ -30,8 +30,9 @@ const USAGE: &str = "usage:
                                          lint a JSON execution trace (--strict also
                                          re-validates well-formedness on load)
   camp-lint check [--json] [--deny-warnings] [--timings] [--root DIR]
-                                         source lints (S0xx) + static protocol-graph
-                                         analysis of the registered broadcast algorithms
+                  [--metrics OUT.json]   source lints (S0xx) + static protocol-graph
+                                         analysis of the registered broadcast algorithms;
+                                         --metrics writes a camp-obs/v1 counter snapshot
   camp-lint audit [--seeds N]            determinism + branch audit of the built-in algorithms
   camp-lint rules [--json]               list the rule registry";
 
@@ -188,6 +189,13 @@ fn cmd_check(args: &[&str]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let metrics_path = match parse_value(args, "--metrics") {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("camp-lint: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
     let report = match check_workspace(&root, timings) {
         Ok(r) => r,
         Err(e) => {
@@ -198,6 +206,13 @@ fn cmd_check(args: &[&str]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(path) = metrics_path {
+        let snapshot = check_metrics(&report).snapshot();
+        if let Err(e) = std::fs::write(&path, snapshot.to_json_string()) {
+            eprintln!("camp-lint: cannot write metrics to {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
     if json {
         match serde_json::to_string_pretty(&report) {
             Ok(s) => emitln(s),
@@ -228,6 +243,33 @@ fn cmd_check(args: &[&str]) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Distills a [`camp_lint::CheckReport`] into the `lint.*` counter
+/// namespace of a `camp-obs/v1` snapshot. All values are derived from the
+/// (deterministic) report, so the snapshot is byte-identical across runs.
+fn check_metrics(report: &camp_lint::CheckReport) -> camp_obs::Counters {
+    use camp_obs::ObsSink;
+    let mut c = camp_obs::Counters::new();
+    let s = &report.source;
+    c.add("lint.source.rules_checked", s.rules_checked.len() as u64);
+    c.add("lint.source.errors", s.errors as u64);
+    c.add("lint.source.warnings", s.warnings as u64);
+    c.add("lint.source.suppressed", s.suppressed as u64);
+    c.add(
+        "lint.source.files_scanned",
+        s.crates.iter().map(|cs| cs.files as u64).sum(),
+    );
+    c.add(
+        "lint.source.lines_scanned",
+        s.crates.iter().map(|cs| cs.lines as u64).sum(),
+    );
+    let g = &report.graph;
+    c.add("lint.graph.rules_checked", g.rules_checked.len() as u64);
+    c.add("lint.graph.errors", g.errors as u64);
+    c.add("lint.graph.warnings", g.warnings as u64);
+    c.add("lint.graph.algorithms_probed", g.algorithms.len() as u64);
+    c
 }
 
 /// Parses `--flag value` into `Some(value)`; `Ok(None)` when absent.

@@ -31,9 +31,9 @@
 use std::fs;
 use std::io;
 use std::path::Path;
-use std::time::Instant;
 
 use camp_broadcast::registry::{visit_builtins, visit_faulty, AlgoSpec, AlgorithmVisitor};
+use camp_obs::clock::Stopwatch;
 use camp_sim::probe::{probe_broadcast, ProbeReport};
 use camp_sim::BroadcastAlgorithm;
 use serde::Serialize;
@@ -183,7 +183,7 @@ impl GraphReport {
 /// Propagates I/O errors from reading the registered source files (the
 /// anchors must exist for the diagnostics to be honest).
 pub fn graph_check(root: &Path, timings: bool) -> io::Result<GraphReport> {
-    let started = Instant::now();
+    let watch = Stopwatch::started(timings);
     let mut linter = GraphLinter {
         root,
         expected_faulty: false,
@@ -212,7 +212,7 @@ pub fn graph_check(root: &Path, timings: bool) -> io::Result<GraphReport> {
         errors,
         warnings,
         algorithms: linter.algorithms,
-        millis: timings.then(|| started.elapsed().as_millis() as u64),
+        millis: watch.elapsed_millis(),
     })
 }
 

@@ -19,8 +19,8 @@ use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::time::Instant;
 
+use camp_obs::clock::Stopwatch;
 use serde::Serialize;
 
 use crate::diagnostics::Severity;
@@ -30,8 +30,11 @@ pub use rules::{source_rules, SourceRule};
 /// The crates the source pass walks, by directory name under `crates/`.
 ///
 /// `modelcheck` is deliberately absent: its parallel frontier legitimately
-/// spawns threads. `lint` and `trace` are tooling, not protocol code.
-pub const SCANNED_CRATES: &[&str] = &["agreement", "broadcast", "sim", "specs"];
+/// spawns threads. `lint` and `trace` are tooling, not protocol code. `obs`
+/// is scanned because it is linked into the protocol crates' hot paths and
+/// must honour the same determinism fence — its `clock` module is the one
+/// audited `S002` suppression site in the workspace.
+pub const SCANNED_CRATES: &[&str] = &["agreement", "broadcast", "obs", "sim", "specs"];
 
 /// One finding of one source rule, anchored to a file position.
 ///
@@ -231,7 +234,7 @@ pub fn scan_workspace(root: &Path, timings: bool) -> io::Result<SourceReport> {
     let mut suppressed = 0usize;
     let mut crates = Vec::new();
     for crate_name in SCANNED_CRATES {
-        let started = Instant::now();
+        let watch = Stopwatch::started(timings);
         let dir = root.join("crates").join(crate_name).join("src");
         let mut files = rust_files(&dir)?;
         files.sort();
@@ -248,7 +251,7 @@ pub fn scan_workspace(root: &Path, timings: bool) -> io::Result<SourceReport> {
             name: (*crate_name).to_string(),
             files: files.len(),
             lines,
-            millis: timings.then(|| started.elapsed().as_millis() as u64),
+            millis: watch.elapsed_millis(),
         });
     }
     let rules_checked = source_rules().iter().map(|r| r.code.to_string()).collect();

@@ -15,6 +15,7 @@
 //! exponential, and it is *complete for fair schedules*: every way the
 //! victims can crash along the fair run is covered.
 
+use camp_obs::{NoopSink, ObsSink};
 use camp_sim::scheduler::Workload;
 use camp_sim::{BroadcastAlgorithm, KsaOracle, SimError, Simulation};
 use camp_specs::{SpecResult, Violation};
@@ -165,7 +166,36 @@ where
     B: BroadcastAlgorithm,
     F: Fn(&Execution) -> SpecResult,
 {
-    fn recurse<B, F>(
+    crash_point_sweep_obs(
+        make_sim,
+        workload,
+        victims,
+        property,
+        max_events,
+        &mut NoopSink,
+    )
+}
+
+/// [`crash_point_sweep`] with an observability sink: records
+/// `crashsweep.runs` (checked runs), `crashsweep.probe_runs` (crash-free
+/// discovery runs), `crashsweep.crashes_injected`, and
+/// `crashsweep.steps_replayed` (total trace events over checked runs). The
+/// sweep order and verdict are identical to [`crash_point_sweep`]'s.
+pub fn crash_point_sweep_obs<B, F, S>(
+    make_sim: &dyn Fn() -> Simulation<B>,
+    workload: &Workload,
+    victims: &[ProcessId],
+    property: &F,
+    max_events: usize,
+    sink: &mut S,
+) -> SweepOutcome
+where
+    B: BroadcastAlgorithm,
+    F: Fn(&Execution) -> SpecResult,
+    S: ObsSink,
+{
+    #[allow(clippy::too_many_arguments)]
+    fn recurse<B, F, S>(
         make_sim: &dyn Fn() -> Simulation<B>,
         workload: &Workload,
         victims: &[ProcessId],
@@ -173,29 +203,41 @@ where
         property: &F,
         max_events: usize,
         runs: &mut usize,
+        sink: &mut S,
     ) -> Option<SweepOutcome>
     where
         B: BroadcastAlgorithm,
         F: Fn(&Execution) -> SpecResult,
+        S: ObsSink,
     {
         let Some((&victim, rest)) = victims.split_first() else {
             // All victims fixed: run and check.
             *runs += 1;
+            sink.inc("crashsweep.runs");
+            sink.tick();
             let result = fair_run_with_crashes(make_sim(), workload, chosen, max_events);
             return match result {
-                Ok((trace, crashed_at)) => match property(&trace) {
-                    Ok(()) => None,
-                    Err(violation) => Some(SweepOutcome::CounterExample {
-                        crash_points: crashed_at,
-                        trace: Box::new(trace),
-                        violation,
-                    }),
-                },
+                Ok((trace, crashed_at)) => {
+                    sink.add("crashsweep.steps_replayed", trace.len() as u64);
+                    sink.add(
+                        "crashsweep.crashes_injected",
+                        crashed_at.iter().filter(|c| c.is_some()).count() as u64,
+                    );
+                    match property(&trace) {
+                        Ok(()) => None,
+                        Err(violation) => Some(SweepOutcome::CounterExample {
+                            crash_points: crashed_at,
+                            trace: Box::new(trace),
+                            violation,
+                        }),
+                    }
+                }
                 Err(e) => Some(SweepOutcome::Error(e)),
             };
         };
         // Discover this victim's event count with it never crashing
         // (sentinel usize::MAX), within the outer choices.
+        sink.inc("crashsweep.probe_runs");
         let probe = {
             let mut probe_points = chosen.clone();
             probe_points.push((victim, usize::MAX));
@@ -207,7 +249,9 @@ where
         };
         for after in 0..=victim_events {
             chosen.push((victim, after));
-            let out = recurse(make_sim, workload, rest, chosen, property, max_events, runs);
+            let out = recurse(
+                make_sim, workload, rest, chosen, property, max_events, runs, sink,
+            );
             chosen.pop();
             if out.is_some() {
                 return out;
@@ -216,9 +260,10 @@ where
         None
     }
 
+    sink.begin("crashsweep");
     let mut runs = 0;
     let mut chosen = Vec::new();
-    match recurse(
+    let outcome = match recurse(
         make_sim,
         workload,
         victims,
@@ -226,10 +271,13 @@ where
         property,
         max_events,
         &mut runs,
+        sink,
     ) {
         Some(outcome) => outcome,
         None => SweepOutcome::Verified { runs },
-    }
+    };
+    sink.end("crashsweep");
+    outcome
 }
 
 /// Convenience constructor matching the other engines.
@@ -356,6 +404,31 @@ mod tests {
             100_000,
         );
         assert!(outcome.verified(), "{outcome:?}");
+    }
+
+    #[test]
+    fn sweep_obs_counters_match_the_verdict() {
+        let mut sink = camp_obs::Counters::new();
+        let outcome = crash_point_sweep_obs(
+            &|| default_sim(SendToAll::new(), 3),
+            &Workload::uniform(3, 1),
+            &[p(1)],
+            &|e| {
+                base::check_safety(e)?;
+                base::bc_global_cs_termination(e)
+            },
+            100_000,
+            &mut sink,
+        );
+        let SweepOutcome::Verified { runs } = outcome else {
+            panic!("{outcome:?}");
+        };
+        assert_eq!(sink.count("crashsweep.runs"), runs as u64);
+        assert_eq!(sink.count("crashsweep.probe_runs"), 1);
+        assert!(sink.count("crashsweep.steps_replayed") > 0);
+        // Every run but the `after == victim's full count` one injects p1's
+        // crash (the last crash point falls past the run's end).
+        assert!(sink.count("crashsweep.crashes_injected") >= runs as u64 - 1);
     }
 
     #[test]

@@ -51,6 +51,7 @@
 use std::collections::HashMap;
 use std::ops::ControlFlow;
 
+use camp_obs::{NoopSink, ObsSink};
 use camp_sim::fingerprint::StateHasher;
 use camp_sim::scheduler::Workload;
 use camp_sim::{BroadcastAlgorithm, SimError, Simulation};
@@ -207,8 +208,10 @@ pub(crate) fn independent(a: ChoiceKey, b: ChoiceKey) -> bool {
 }
 
 /// Drains all local steps of all processes (reduction layer 1), responding
-/// to nothing — proposals stay pending as branchable choices.
-pub(crate) fn drain<B: BroadcastAlgorithm>(sim: &mut Simulation<B>) -> Result<(), SimError> {
+/// to nothing — proposals stay pending as branchable choices. Returns the
+/// number of local steps taken (the `modelcheck.steps_replayed` counter).
+pub(crate) fn drain<B: BroadcastAlgorithm>(sim: &mut Simulation<B>) -> Result<usize, SimError> {
+    let mut steps = 0;
     loop {
         let mut progressed = false;
         for p in ProcessId::all(sim.n()) {
@@ -217,11 +220,12 @@ pub(crate) fn drain<B: BroadcastAlgorithm>(sim: &mut Simulation<B>) -> Result<()
             }
             while sim.has_local_step(p) {
                 sim.step_process(p)?;
+                steps += 1;
                 progressed = true;
             }
         }
         if !progressed {
-            return Ok(());
+            return Ok(steps);
         }
     }
 }
@@ -269,13 +273,14 @@ pub(crate) fn key_of<B: BroadcastAlgorithm>(choice: Choice, sim: &Simulation<B>)
 }
 
 /// Applies `choice` to `sim` (advancing `issued` for invocations) and drains
-/// the resulting local steps.
+/// the resulting local steps. Returns the number of simulation events
+/// executed: the environment event itself plus the drained local steps.
 pub(crate) fn apply_choice<B>(
     sim: &mut Simulation<B>,
     workload: &Workload,
     issued: &mut [usize],
     choice: Choice,
-) -> Result<(), SimError>
+) -> Result<usize, SimError>
 where
     B: BroadcastAlgorithm,
     B::Msg: Clone,
@@ -296,7 +301,7 @@ where
             sim.respond_ksa(obj, p)?;
         }
     }
-    drain(sim)
+    Ok(1 + drain(sim)?)
 }
 
 /// The memoization fingerprint of a node: live simulation state, workload
@@ -325,26 +330,31 @@ pub(crate) fn combined_fingerprint<B: BroadcastAlgorithm>(
 /// unbounded growth.
 const MAX_SLEEP_SIGNATURES: usize = 4;
 
-pub(crate) struct Engine<'a> {
+pub(crate) struct Engine<'a, S: ObsSink> {
     pub workload: &'a Workload,
     pub property: &'a dyn Fn(&Execution) -> SpecResult,
     pub cfg: EngineConfig,
     pub stats: EngineStats,
+    // The observability sink. Generic, not `dyn`: with the default
+    // `NoopSink` every recording call below monomorphizes to nothing.
+    pub sink: &'a mut S,
     visited: HashMap<u128, Vec<Vec<ChoiceKey>>>,
     scratch: Vec<Vec<Choice>>,
 }
 
-impl<'a> Engine<'a> {
+impl<'a, S: ObsSink> Engine<'a, S> {
     pub fn new(
         workload: &'a Workload,
         property: &'a dyn Fn(&Execution) -> SpecResult,
         cfg: EngineConfig,
+        sink: &'a mut S,
     ) -> Self {
         Self {
             workload,
             property,
             cfg,
             stats: EngineStats::default(),
+            sink,
             visited: HashMap::new(),
             scratch: Vec::new(),
         }
@@ -372,14 +382,20 @@ impl<'a> Engine<'a> {
             return ControlFlow::Continue(());
         }
         self.stats.nodes += 1;
+        self.sink.inc("modelcheck.nodes");
+        self.sink.record_max("modelcheck.max_depth", depth as u64);
+        self.sink.tick();
 
         // The choice buffer is pooled: one allocation per exploration depth,
         // not per node (the buffer must survive recursion into children).
         let mut choices = self.scratch.pop().unwrap_or_default();
         collect_choices(sim, self.workload, issued, &mut choices);
+        self.sink
+            .record_max("modelcheck.max_frontier", choices.len() as u64);
 
         if choices.is_empty() {
             self.stats.completed += 1;
+            self.sink.inc("modelcheck.executions");
             let result = if let Err(violation) = (self.property)(sim.trace()) {
                 ControlFlow::Break(ExploreOutcome::CounterExample {
                     trace: Box::new(sim.trace().clone()),
@@ -396,9 +412,11 @@ impl<'a> Engine<'a> {
             let fp = combined_fingerprint(sim, issued);
             let mut sig = sleep.clone();
             sig.sort_unstable();
+            self.sink.inc("modelcheck.fingerprints_checked");
             let sigs = self.visited.entry(fp).or_default();
             if sigs.iter().any(|old| old.iter().all(|k| sig.contains(k))) {
                 self.stats.dedup_hits += 1;
+                self.sink.inc("modelcheck.dedup_hits");
                 self.scratch.push(choices);
                 return ControlFlow::Continue(());
             }
@@ -413,6 +431,7 @@ impl<'a> Engine<'a> {
             let key = key_of(choice, sim);
             if sleep.contains(&key) {
                 self.stats.sleep_skips += 1;
+                self.sink.inc("modelcheck.sleep_set_prunes");
                 continue;
             }
             let child_sleep: Vec<ChoiceKey> = if self.cfg.sleep_sets {
@@ -426,9 +445,12 @@ impl<'a> Engine<'a> {
                 Vec::new()
             };
             let mut branch = sim.clone();
-            if let Err(e) = apply_choice(&mut branch, self.workload, issued, choice) {
-                outcome = ControlFlow::Break(ExploreOutcome::Error(e));
-                break;
+            match apply_choice(&mut branch, self.workload, issued, choice) {
+                Ok(steps) => self.sink.add("modelcheck.steps_replayed", steps as u64),
+                Err(e) => {
+                    outcome = ControlFlow::Break(ExploreOutcome::Error(e));
+                    break;
+                }
             }
             let result = self.dfs(&branch, issued, depth + 1, child_sleep);
             if let Choice::Invoke(p) = choice {
@@ -465,22 +487,54 @@ where
     B: BroadcastAlgorithm + Clone,
     B::Msg: Clone,
 {
+    explore_with_obs(sim, workload, property, cfg, &mut NoopSink)
+}
+
+/// [`explore_with_stats`] with an observability sink.
+///
+/// Records the `modelcheck.*` counters (see `docs/OBSERVABILITY.md`): nodes,
+/// executions, fingerprints checked, dedup hits, sleep-set prunes, steps
+/// replayed, plus the `max_depth` and `max_frontier` (widest enabled-choice
+/// set at any node) gauges. The exploration order is identical to
+/// [`explore_with_stats`]'s, and every counter is a pure function of
+/// (algorithm, workload, config) — two runs fill identical registries.
+pub fn explore_with_obs<B, S>(
+    sim: Simulation<B>,
+    workload: &Workload,
+    property: &dyn Fn(&Execution) -> SpecResult,
+    cfg: EngineConfig,
+    sink: &mut S,
+) -> (ExploreOutcome, EngineStats)
+where
+    B: BroadcastAlgorithm + Clone,
+    B::Msg: Clone,
+    S: ObsSink,
+{
+    sink.begin("explore");
     let mut root = sim;
-    if let Err(e) = drain(&mut root) {
-        return (ExploreOutcome::Error(e), EngineStats::default());
-    }
-    // `issued` is indexed by process: exactly `n` entries.
-    let mut issued = vec![0usize; root.n()];
-    let mut engine = Engine::new(workload, property, cfg);
-    let outcome = match engine.dfs(&root, &mut issued, 0, Vec::new()) {
-        ControlFlow::Break(outcome) => outcome,
-        ControlFlow::Continue(()) => ExploreOutcome::Verified {
-            completed: engine.stats.completed,
-            nodes: engine.stats.nodes,
-            truncated: engine.stats.truncated,
-        },
+    let outcome = match drain(&mut root) {
+        Err(e) => {
+            sink.end("explore");
+            return (ExploreOutcome::Error(e), EngineStats::default());
+        }
+        Ok(steps) => {
+            sink.add("modelcheck.steps_replayed", steps as u64);
+            // `issued` is indexed by process: exactly `n` entries.
+            let mut issued = vec![0usize; root.n()];
+            let mut engine = Engine::new(workload, property, cfg, &mut *sink);
+            let outcome = match engine.dfs(&root, &mut issued, 0, Vec::new()) {
+                ControlFlow::Break(outcome) => outcome,
+                ControlFlow::Continue(()) => ExploreOutcome::Verified {
+                    completed: engine.stats.completed,
+                    nodes: engine.stats.nodes,
+                    truncated: engine.stats.truncated,
+                },
+            };
+            (outcome, engine.stats)
+        }
     };
-    (outcome, engine.stats)
+    sink.end("explore");
+    outcome
 }
 
 /// Explores every environment schedule of `sim` under `workload` with the
@@ -693,6 +747,66 @@ mod tests {
         // dependent with everything, so re-converging dependent diamonds
         // (e.g. Respond(p) × Receive(q)) exist and memoization must fire.
         assert!(stats.dedup_hits > 0, "memoization idle: {stats:?}");
+    }
+
+    #[test]
+    fn obs_counters_mirror_engine_stats() {
+        let mut workload = Workload::new(2);
+        workload.push(ProcessId::new(1), camp_trace::Value::new(10));
+        workload.push(ProcessId::new(1), camp_trace::Value::new(11));
+        workload.push(ProcessId::new(2), camp_trace::Value::new(20));
+        let property = |e: &Execution| {
+            base::check_all(e)?;
+            FifoSpec::new().admits(e)
+        };
+        let mut sink = camp_obs::Counters::new();
+        let (outcome, stats) = explore_with_obs(
+            fresh(FifoBroadcast::new(), 2, 1, false),
+            &workload,
+            &property,
+            EngineConfig::default(),
+            &mut sink,
+        );
+        assert!(outcome.verified(), "{outcome:?}");
+        assert_eq!(sink.count("modelcheck.nodes"), stats.nodes as u64);
+        assert_eq!(sink.count("modelcheck.executions"), stats.completed as u64);
+        assert_eq!(sink.count("modelcheck.dedup_hits"), stats.dedup_hits as u64);
+        assert_eq!(
+            sink.count("modelcheck.sleep_set_prunes"),
+            stats.sleep_skips as u64
+        );
+        assert!(sink.count("modelcheck.fingerprints_checked") > 0);
+        assert!(sink.count("modelcheck.steps_replayed") > 0);
+        assert!(sink.gauge("modelcheck.max_depth") > 0);
+        assert!(sink.gauge("modelcheck.max_frontier") > 0);
+    }
+
+    #[test]
+    fn obs_sink_does_not_perturb_the_exploration() {
+        let property = |e: &Execution| {
+            base::check_all(e)?;
+            TotalOrderSpec::new().admits(e)
+        };
+        let (plain, plain_stats) = explore_with_stats(
+            fresh(AgreedBroadcast::new(), 2, 1, true),
+            &Workload::uniform(2, 1),
+            &property,
+            EngineConfig::default(),
+        );
+        let mut sink = camp_obs::Counters::new();
+        let (observed, observed_stats) = explore_with_obs(
+            fresh(AgreedBroadcast::new(), 2, 1, true),
+            &Workload::uniform(2, 1),
+            &property,
+            EngineConfig::default(),
+            &mut sink,
+        );
+        assert_eq!(plain.verified(), observed.verified());
+        assert_eq!(plain_stats, observed_stats);
+        assert!(
+            sink.count("modelcheck.dedup_hits") > 0,
+            "memoization idle: {sink:?}"
+        );
     }
 
     #[test]

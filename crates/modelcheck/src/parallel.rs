@@ -35,6 +35,7 @@ use std::ops::ControlFlow;
 
 use crossbeam::channel;
 
+use camp_obs::{Counters, NoopSink, ObsSink};
 use camp_sim::scheduler::Workload;
 use camp_sim::{BroadcastAlgorithm, Simulation};
 use camp_specs::SpecResult;
@@ -78,13 +79,40 @@ where
     B::State: Send,
     B::Msg: Clone + Send,
 {
+    explore_parallel_obs(sim, workload, property, cfg, threads, &mut NoopSink)
+}
+
+/// [`explore_parallel`] with an observability sink.
+///
+/// The expansion phase records the same `modelcheck.*` counters as the
+/// sequential engine, plus `modelcheck.parallel.units` /
+/// `modelcheck.parallel.threads`, and folds the true BFS frontier length
+/// into the `modelcheck.max_frontier` gauge. Workers record into private
+/// [`Counters`] registries which are merged into `sink` in unit-index order
+/// after the join — so the sink sees a deterministic aggregate even though
+/// workers race.
+pub fn explore_parallel_obs<B, S>(
+    sim: Simulation<B>,
+    workload: &Workload,
+    property: &(dyn Fn(&Execution) -> SpecResult + Sync),
+    cfg: EngineConfig,
+    threads: usize,
+    sink: &mut S,
+) -> (ExploreOutcome, EngineStats)
+where
+    B: BroadcastAlgorithm + Clone + Send,
+    B::State: Send,
+    B::Msg: Clone + Send,
+    S: ObsSink,
+{
     let threads = threads.max(1);
     let budgets = cfg.budgets;
     let mut stats = EngineStats::default();
 
     let mut root = sim;
-    if let Err(e) = drain(&mut root) {
-        return (ExploreOutcome::Error(e), stats);
+    match drain(&mut root) {
+        Err(e) => return (ExploreOutcome::Error(e), stats),
+        Ok(steps) => sink.add("modelcheck.steps_replayed", steps as u64),
     }
     let n = root.n();
 
@@ -101,6 +129,7 @@ where
     let target = threads * UNITS_PER_THREAD;
     let mut choices = Vec::new();
     while frontier.len() < target {
+        sink.record_max("modelcheck.max_frontier", frontier.len() as u64);
         let Some(unit) = frontier.pop_front() else {
             break;
         };
@@ -112,9 +141,14 @@ where
             continue;
         }
         stats.nodes += 1;
+        sink.inc("modelcheck.nodes");
+        sink.record_max("modelcheck.max_depth", unit.depth as u64);
+        sink.tick();
         collect_choices(&unit.sim, workload, &unit.issued, &mut choices);
+        sink.record_max("modelcheck.max_frontier", choices.len() as u64);
         if choices.is_empty() {
             stats.completed += 1;
+            sink.inc("modelcheck.executions");
             if let Err(violation) = property(unit.sim.trace()) {
                 return (
                     ExploreOutcome::CounterExample {
@@ -131,6 +165,7 @@ where
             let key = key_of(choice, &unit.sim);
             if unit.sleep.contains(&key) {
                 stats.sleep_skips += 1;
+                sink.inc("modelcheck.sleep_set_prunes");
                 continue;
             }
             let child_sleep: Vec<ChoiceKey> = if cfg.sleep_sets {
@@ -145,8 +180,9 @@ where
             };
             let mut branch = unit.sim.clone();
             let mut issued = unit.issued.clone();
-            if let Err(e) = apply_choice(&mut branch, workload, &mut issued, choice) {
-                return (ExploreOutcome::Error(e), stats);
+            match apply_choice(&mut branch, workload, &mut issued, choice) {
+                Ok(steps) => sink.add("modelcheck.steps_replayed", steps as u64),
+                Err(e) => return (ExploreOutcome::Error(e), stats),
             }
             frontier.push_back(Unit {
                 sim: branch,
@@ -175,6 +211,8 @@ where
     // Phase 2: fixed per-unit budget shares (at least one node/execution
     // each, so progress is always possible and the shares stay deterministic).
     let unit_count = units.len();
+    sink.add("modelcheck.parallel.units", unit_count as u64);
+    sink.record_max("modelcheck.parallel.threads", threads as u64);
     let unit_cfg = EngineConfig {
         budgets: crate::ExploreConfig {
             max_depth: budgets.max_depth,
@@ -187,7 +225,8 @@ where
 
     // Phase 3: static round-robin dispatch over per-worker channels; results
     // come back tagged with their unit index on a shared channel.
-    let (result_tx, result_rx) = channel::unbounded::<(usize, ExploreOutcome, EngineStats)>();
+    let (result_tx, result_rx) =
+        channel::unbounded::<(usize, ExploreOutcome, EngineStats, Counters)>();
     let mut work_txs = Vec::with_capacity(threads);
     let mut work_rxs = Vec::with_capacity(threads);
     for _ in 0..threads {
@@ -207,7 +246,10 @@ where
             let result_tx = result_tx.clone();
             scope.spawn(move || {
                 for (idx, unit) in rx {
-                    let mut engine = Engine::new(workload, &property, unit_cfg);
+                    // Workers record into a private registry; the main
+                    // thread merges registries in unit order after the join.
+                    let mut counters = Counters::new();
+                    let mut engine = Engine::new(workload, &property, unit_cfg, &mut counters);
                     let mut issued = unit.issued;
                     let outcome = match engine.dfs(&unit.sim, &mut issued, unit.depth, unit.sleep) {
                         ControlFlow::Break(outcome) => outcome,
@@ -217,23 +259,26 @@ where
                             truncated: engine.stats.truncated,
                         },
                     };
-                    let _ = result_tx.send((idx, outcome, engine.stats));
+                    let stats = engine.stats;
+                    let _ = result_tx.send((idx, outcome, stats, counters));
                 }
             });
         }
     });
     drop(result_tx);
 
-    let mut results: Vec<(usize, ExploreOutcome, EngineStats)> = result_rx.iter().collect();
-    results.sort_by_key(|(idx, _, _)| *idx);
+    let mut results: Vec<(usize, ExploreOutcome, EngineStats, Counters)> =
+        result_rx.iter().collect();
+    results.sort_by_key(|(idx, _, _, _)| *idx);
 
     let mut first_bad: Option<ExploreOutcome> = None;
-    for (_, outcome, unit_stats) in results {
+    for (_, outcome, unit_stats, unit_counters) in results {
         stats.nodes += unit_stats.nodes;
         stats.completed += unit_stats.completed;
         stats.dedup_hits += unit_stats.dedup_hits;
         stats.sleep_skips += unit_stats.sleep_skips;
         stats.truncated |= unit_stats.truncated;
+        unit_counters.replay_into(sink);
         if first_bad.is_none() && !outcome.verified() {
             first_bad = Some(outcome);
         }
@@ -299,6 +344,42 @@ mod tests {
             format!("{outcome:?}/{stats:?}")
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn parallel_obs_counters_are_deterministic_and_complete() {
+        let mut workload = Workload::new(2);
+        workload.push(ProcessId::new(1), camp_trace::Value::new(10));
+        workload.push(ProcessId::new(1), camp_trace::Value::new(11));
+        workload.push(ProcessId::new(2), camp_trace::Value::new(20));
+        let property = |e: &Execution| -> SpecResult {
+            base::check_all(e)?;
+            FifoSpec::new().admits(e)
+        };
+        let run = || {
+            let mut sink = Counters::new();
+            let (outcome, stats) = explore_parallel_obs(
+                fresh(FifoBroadcast::new(), 2),
+                &workload,
+                &property,
+                EngineConfig::default(),
+                3,
+                &mut sink,
+            );
+            assert!(outcome.verified(), "{outcome:?}");
+            // The sink aggregates expansion + all workers: totals must match
+            // the merged EngineStats exactly.
+            assert_eq!(sink.count("modelcheck.nodes"), stats.nodes as u64);
+            assert_eq!(sink.count("modelcheck.executions"), stats.completed as u64);
+            assert_eq!(
+                sink.count("modelcheck.sleep_set_prunes"),
+                stats.sleep_skips as u64
+            );
+            assert!(sink.count("modelcheck.parallel.units") > 0);
+            assert!(sink.gauge("modelcheck.max_frontier") > 0);
+            sink
+        };
+        assert_eq!(run(), run(), "same config, same merged counters");
     }
 
     #[test]

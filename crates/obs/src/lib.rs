@@ -1,0 +1,201 @@
+//! # camp-obs
+//!
+//! Deterministic metrics & tracing for the CAMP workspace: what happened
+//! inside a run — dedup hits, sleep-set prunes, frontier width, events
+//! scanned, channel pressure — reported without compromising the replay
+//! and byte-identical-golden guarantees the rest of the toolkit depends on.
+//!
+//! Three layers, strictly separated:
+//!
+//! * **deterministic core** — [`Counters`]: plain `u64` counts and gauges in
+//!   `BTreeMap`s, recorded through the [`ObsSink`] trait by the simulator,
+//!   model checker, spec checkers, and runtime. A seeded run fills them as a
+//!   pure function of the run, so two identical runs produce byte-identical
+//!   [`Snapshot`]s;
+//! * **span/event layer** — [`Obs`] additionally records begin/end spans
+//!   with nested phases. Span structure is deterministic; durations are
+//!   `Option`-gated and `None` by default;
+//! * **wall-clock boundary** — [`clock`] owns every `Instant::now` read in
+//!   the workspace. Nothing else may name the std clock types (rule S002,
+//!   enforced by `camp-lint` over this crate too).
+//!
+//! Sinks are explicitly passed handles — no globals (rule S007). The default
+//! [`NoopSink`] has empty inline methods, so uninstrumented call sites
+//! compile to exactly the code they had before this crate existed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod counters;
+pub mod progress;
+pub mod sink;
+pub mod snapshot;
+
+pub use counters::Counters;
+pub use progress::Progress;
+pub use sink::{NoopSink, ObsSink};
+pub use snapshot::{Snapshot, SpanRecord, SCHEMA};
+
+use clock::Stopwatch;
+
+/// The full sink: counters, a span log, optional wall-clock timings, and an
+/// optional stderr progress ticker.
+///
+/// Everything a binary flag can switch on lives here; library code only ever
+/// sees the [`ObsSink`] trait.
+#[derive(Debug, Default)]
+pub struct Obs {
+    counters: Counters,
+    spans: Vec<SpanRecord>,
+    stack: Vec<(usize, Stopwatch)>,
+    timings: bool,
+    progress: Option<Progress>,
+}
+
+impl Obs {
+    /// A sink recording counters and span structure, no wall time, no ticker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables `Option`-gated wall-clock durations on spans (`--timings`).
+    #[must_use]
+    pub fn with_timings(mut self) -> Self {
+        self.timings = true;
+        self
+    }
+
+    /// Enables the stderr progress ticker (`--progress`).
+    #[must_use]
+    pub fn with_progress(mut self, label: impl Into<String>) -> Self {
+        self.progress = Some(Progress::new(label));
+        self
+    }
+
+    /// The counter registry recorded so far.
+    #[must_use]
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Folds a partial registry (e.g. from a parallel worker) into this one.
+    pub fn merge_counters(&mut self, other: &Counters) {
+        self.counters.merge(other);
+    }
+
+    /// Terminates the progress ticker line, if one is active.
+    pub fn finish_progress(&mut self) {
+        if let Some(p) = self.progress.as_mut() {
+            p.finish();
+        }
+    }
+
+    /// A versioned snapshot of everything recorded so far.
+    ///
+    /// Open spans are included with `millis: None` (their duration is
+    /// unknown until [`ObsSink::end`]).
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self.counters.counts().clone(),
+            gauges: self.counters.gauges().clone(),
+            spans: self.spans.clone(),
+        }
+    }
+}
+
+impl ObsSink for Obs {
+    fn add(&mut self, key: &'static str, n: u64) {
+        self.counters.add(key, n);
+    }
+
+    fn record_max(&mut self, key: &'static str, n: u64) {
+        self.counters.record_max(key, n);
+    }
+
+    fn begin(&mut self, name: &'static str) {
+        let idx = self.spans.len();
+        self.spans.push(SpanRecord {
+            name,
+            depth: self.stack.len(),
+            millis: None,
+        });
+        self.stack.push((idx, Stopwatch::started(self.timings)));
+    }
+
+    fn end(&mut self, name: &'static str) {
+        let Some((idx, watch)) = self.stack.pop() else {
+            debug_assert!(false, "end(\"{name}\") with no open span");
+            return;
+        };
+        debug_assert_eq!(self.spans[idx].name, name, "mismatched span end");
+        self.spans[idx].millis = watch.elapsed_millis();
+    }
+
+    fn tick(&mut self) {
+        if let Some(p) = self.progress.as_mut() {
+            p.tick(&self.counters);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_nesting_in_preorder() {
+        let mut obs = Obs::new();
+        obs.begin("outer");
+        obs.begin("inner");
+        obs.end("inner");
+        obs.begin("sibling");
+        obs.end("sibling");
+        obs.end("outer");
+        let snap = obs.snapshot();
+        let shape: Vec<(&str, usize)> = snap.spans.iter().map(|s| (s.name, s.depth)).collect();
+        assert_eq!(
+            shape,
+            vec![("outer", 0), ("inner", 1), ("sibling", 1)],
+            "preorder with depths"
+        );
+        assert!(
+            snap.spans.iter().all(|s| s.millis.is_none()),
+            "no timings unless enabled"
+        );
+    }
+
+    #[test]
+    fn timings_gate_span_durations() {
+        let mut obs = Obs::new().with_timings();
+        obs.begin("phase");
+        obs.end("phase");
+        assert!(obs.snapshot().spans[0].millis.is_some());
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_without_timings() {
+        let run = || {
+            let mut obs = Obs::new();
+            obs.begin("a");
+            obs.inc("k.count");
+            obs.record_max("k.gauge", 3);
+            obs.tick();
+            obs.end("a");
+            obs.snapshot().to_json_string()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn merge_counters_folds_worker_registries() {
+        let mut worker = Counters::new();
+        worker.add("n", 5);
+        let mut obs = Obs::new();
+        obs.inc("n");
+        obs.merge_counters(&worker);
+        assert_eq!(obs.counters().count("n"), 6);
+    }
+}

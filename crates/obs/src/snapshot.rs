@@ -1,0 +1,147 @@
+//! The versioned `camp-obs/v1` metrics snapshot.
+//!
+//! Shape (field order fixed; see `docs/OBSERVABILITY.md`):
+//!
+//! ```json
+//! {
+//!   "schema": "camp-obs/v1",
+//!   "counters": { "modelcheck.nodes": 83, ... },
+//!   "gauges": { "modelcheck.max_depth": 12, ... },
+//!   "spans": [ { "name": "explore", "depth": 0, "millis": null }, ... ]
+//! }
+//! ```
+//!
+//! Determinism contract: counters, gauges, and span *structure* (names,
+//! nesting depth, order) are pure functions of the run. The only
+//! nondeterministic fields are the `Option`-gated `millis` values, which are
+//! `null` unless timings were explicitly enabled — so a snapshot of a seeded
+//! run serializes byte-identically across re-runs by default.
+
+use std::collections::BTreeMap;
+
+use serde::{Json, Serialize};
+
+use crate::counters::Counters;
+
+/// The schema tag written into every snapshot.
+pub const SCHEMA: &str = "camp-obs/v1";
+
+/// One completed span: a named phase with its nesting depth and optional
+/// wall-clock duration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name, e.g. `"check.source"`.
+    pub name: &'static str,
+    /// Nesting depth (0 = top level).
+    pub depth: usize,
+    /// Wall-clock milliseconds — `None` (serialized `null`) unless timings
+    /// were enabled, keeping default snapshots deterministic.
+    pub millis: Option<u64>,
+}
+
+/// A self-describing, versioned dump of an observability session.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// Monotone counts, in key order.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// High-water-mark gauges, in key order.
+    pub gauges: BTreeMap<&'static str, u64>,
+    /// Completed spans, in begin order (preorder of the phase tree).
+    pub spans: Vec<SpanRecord>,
+}
+
+impl Snapshot {
+    /// A snapshot of a bare counter registry (no spans).
+    #[must_use]
+    pub fn from_counters(counters: &Counters) -> Self {
+        Self {
+            counters: counters.counts().clone(),
+            gauges: counters.gauges().clone(),
+            spans: Vec::new(),
+        }
+    }
+
+    /// Pretty-printed JSON with a trailing newline, ready to write to disk.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("snapshot serialization is total");
+        s.push('\n');
+        s
+    }
+}
+
+impl Serialize for Snapshot {
+    fn to_json(&self) -> Json {
+        let map = |m: &BTreeMap<&'static str, u64>| {
+            Json::Object(
+                m.iter()
+                    .map(|(k, v)| ((*k).to_string(), Json::Int(i128::from(*v))))
+                    .collect(),
+            )
+        };
+        let spans = self
+            .spans
+            .iter()
+            .map(|s| {
+                Json::Object(vec![
+                    ("name".to_string(), Json::Str(s.name.to_string())),
+                    ("depth".to_string(), Json::Int(s.depth as i128)),
+                    ("millis".to_string(), s.millis.to_json()),
+                ])
+            })
+            .collect();
+        Json::Object(vec![
+            ("schema".to_string(), Json::Str(SCHEMA.to_string())),
+            ("counters".to_string(), map(&self.counters)),
+            ("gauges".to_string(), map(&self.gauges)),
+            ("spans".to_string(), Json::Array(spans)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::ObsSink;
+
+    #[test]
+    fn snapshot_json_has_schema_and_sorted_keys() {
+        let mut c = Counters::new();
+        c.add("b.two", 2);
+        c.add("a.one", 1);
+        c.record_max("z.gauge", 9);
+        let snap = c.snapshot();
+        let json = snap.to_json_string();
+        assert!(json.contains("\"schema\": \"camp-obs/v1\""));
+        let a = json.find("a.one").unwrap();
+        let b = json.find("b.two").unwrap();
+        assert!(a < b, "counter keys must serialize in sorted order");
+        assert!(json.ends_with('\n'));
+    }
+
+    #[test]
+    fn identical_registries_serialize_identically() {
+        let fill = |c: &mut Counters| {
+            c.add("x", 3);
+            c.record_max("g", 4);
+        };
+        let mut a = Counters::new();
+        let mut b = Counters::new();
+        fill(&mut a);
+        fill(&mut b);
+        assert_eq!(a.snapshot().to_json_string(), b.snapshot().to_json_string());
+    }
+
+    #[test]
+    fn span_millis_none_serializes_as_null() {
+        let snap = Snapshot {
+            spans: vec![SpanRecord {
+                name: "phase",
+                depth: 0,
+                millis: None,
+            }],
+            ..Snapshot::default()
+        };
+        assert!(snap.to_json_string().contains("\"millis\": null"));
+    }
+}

@@ -3,6 +3,7 @@
 
 use std::collections::VecDeque;
 
+use camp_obs::{Counters, ObsSink};
 use camp_trace::{Action, Execution, MessageId, MessageInfo, Step};
 
 /// An event reported by a node to the collector.
@@ -27,6 +28,11 @@ pub(crate) enum TraceEvent {
 pub(crate) struct Collector {
     exec: Execution,
     deferred: VecDeque<Step>,
+    counters: Counters,
+    /// Point-to-point messages sent but not yet received, per the trace
+    /// stream seen so far (pure bookkeeping for the gauge; the value can
+    /// lag the wire by however far the collector queue is behind).
+    in_flight: u64,
 }
 
 impl Collector {
@@ -34,18 +40,40 @@ impl Collector {
         Self {
             exec: Execution::new(n),
             deferred: VecDeque::new(),
+            counters: Counters::new(),
+            in_flight: 0,
         }
     }
 
     pub(crate) fn handle(&mut self, event: TraceEvent) {
         match event {
             TraceEvent::Register(id, info) => {
+                self.counters.inc("runtime.messages_registered");
                 self.exec
                     .register_message(id, info)
                     .expect("nodes register each message exactly once");
                 self.retry_deferred();
             }
-            TraceEvent::Step(step) => self.push_or_defer(step),
+            TraceEvent::Step(step) => {
+                self.counters.inc("runtime.steps");
+                match step.action {
+                    Action::Send { .. } => {
+                        self.counters.inc("runtime.sends");
+                        self.in_flight += 1;
+                        self.counters
+                            .record_max("runtime.net_in_flight_max", self.in_flight);
+                    }
+                    Action::Receive { .. } => {
+                        self.in_flight = self.in_flight.saturating_sub(1);
+                    }
+                    Action::Broadcast { .. } => self.counters.inc("runtime.broadcasts"),
+                    Action::Deliver { .. } => self.counters.inc("runtime.deliveries"),
+                    _ => {}
+                }
+                self.push_or_defer(step);
+                self.counters
+                    .record_max("runtime.collector_deferred_max", self.deferred.len() as u64);
+            }
         }
     }
 
@@ -98,15 +126,16 @@ impl Collector {
         }
     }
 
-    /// Finishes the build. Any still-deferred step indicates a protocol bug
-    /// (a reception whose emission never happened).
-    pub(crate) fn finish(self) -> Execution {
+    /// Finishes the build, returning the execution together with the
+    /// counters recorded while collecting it. Any still-deferred step
+    /// indicates a protocol bug (a reception whose emission never happened).
+    pub(crate) fn finish(self) -> (Execution, Counters) {
         assert!(
             self.deferred.is_empty(),
             "unmatched steps at shutdown: {:?}",
             self.deferred
         );
-        self.exec
+        (self.exec, self.counters)
     }
 }
 
@@ -141,7 +170,7 @@ mod tests {
             p(2),
             Action::Receive { from: p(1), msg: m },
         )));
-        let e = c.finish();
+        let (e, _) = c.finish();
         assert_eq!(e.len(), 2);
         camp_specs::channel::check_all(&e).unwrap();
     }
@@ -161,7 +190,7 @@ mod tests {
             p(1),
             Action::Send { to: p(2), msg: m },
         )));
-        let e = c.finish();
+        let (e, _) = c.finish();
         assert_eq!(e.len(), 2);
         // SR-Validity holds in the repaired linearization.
         camp_specs::channel::sr_validity(&e).unwrap();
@@ -182,8 +211,33 @@ mod tests {
             p(1),
             Action::Broadcast { msg: m },
         )));
-        let e = c.finish();
+        let (e, _) = c.finish();
         camp_specs::base::bc_validity(&e).unwrap();
+    }
+
+    #[test]
+    fn counters_account_for_the_event_stream() {
+        let mut c = Collector::new(2);
+        let m = MessageId::new(0);
+        // Racing receive first: it is deferred, so the deferred-queue gauge
+        // must record depth 1 even though the queue drains by finish.
+        c.handle(TraceEvent::Step(Step::new(
+            p(2),
+            Action::Receive { from: p(1), msg: m },
+        )));
+        c.handle(TraceEvent::Register(m, info(1)));
+        c.handle(TraceEvent::Step(Step::new(
+            p(1),
+            Action::Send { to: p(2), msg: m },
+        )));
+        let (e, counters) = c.finish();
+        assert_eq!(e.len(), 2);
+        assert_eq!(counters.count("runtime.steps"), 2);
+        assert_eq!(counters.count("runtime.sends"), 1);
+        assert_eq!(counters.count("runtime.messages_registered"), 1);
+        assert_eq!(counters.count("runtime.broadcasts"), 0);
+        assert_eq!(counters.gauge("runtime.collector_deferred_max"), 1);
+        assert_eq!(counters.gauge("runtime.net_in_flight_max"), 1);
     }
 
     #[test]

@@ -6,8 +6,9 @@ use std::fmt;
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use camp_obs::{clock, Counters};
 use camp_sim::{AppMessage, BroadcastAlgorithm, KsaOracle, OwnValueRule};
 use camp_trace::{Execution, ProcessId, Value};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
@@ -67,7 +68,7 @@ pub struct ThreadedRuntime {
     deliveries: Receiver<Delivery>,
     collected: Vec<Delivery>,
     handles: Vec<JoinHandle<()>>,
-    collector_handle: JoinHandle<Execution>,
+    collector_handle: JoinHandle<(Execution, Counters)>,
     trace_tx: Sender<TraceEvent>,
 }
 
@@ -193,10 +194,13 @@ impl ThreadedRuntime {
         count: usize,
         timeout: Duration,
     ) -> Result<Vec<Delivery>, RuntimeError> {
-        let deadline = Instant::now() + timeout;
+        // Wall-clock read routed through the audited `camp_obs::clock`
+        // boundary: the runtime is inherently real-time, but keeping the
+        // `Instant` reads behind one module keeps S002 auditable.
+        let start = clock::now();
         let mut got = Vec::with_capacity(count);
         while got.len() < count {
-            let remaining = deadline.saturating_duration_since(Instant::now());
+            let remaining = timeout.saturating_sub(start.elapsed());
             match self.deliveries.recv_timeout(remaining) {
                 Ok(d) => {
                     self.collected.push(d);
@@ -225,6 +229,18 @@ impl ThreadedRuntime {
     /// execution (a per-process-order-preserving linearization of the run).
     #[must_use]
     pub fn shutdown(self) -> Execution {
+        self.shutdown_with_metrics().0
+    }
+
+    /// [`shutdown`], but also returns the observability counters the trace
+    /// collector recorded while the fleet ran: `runtime.steps`,
+    /// `runtime.sends`, `runtime.deliveries`, `runtime.broadcasts`,
+    /// `runtime.messages_registered`, plus the `runtime.net_in_flight_max`
+    /// and `runtime.collector_deferred_max` gauges.
+    ///
+    /// [`shutdown`]: Self::shutdown
+    #[must_use]
+    pub fn shutdown_with_metrics(self) -> (Execution, Counters) {
         for inbox in &self.inboxes {
             let _ = inbox.send(NodeMsgErased {
                 invoke: None,

@@ -149,3 +149,27 @@ fn deliveries_seen_accumulates() {
         .all(|d| d.msg.content == Value::new(3)));
     let _ = rt.shutdown();
 }
+
+#[test]
+fn shutdown_with_metrics_counts_match_the_trace() {
+    let mut rt = ThreadedRuntime::start(SendToAll::new(), 3, 1);
+    for p in ProcessId::all(3) {
+        rt.broadcast(p, Value::new(p.id() as u64)).unwrap();
+    }
+    rt.wait_deliveries(9, TIMEOUT).unwrap();
+    let (trace, counters) = rt.shutdown_with_metrics();
+    base::check_all(&trace).unwrap();
+    // The counters are derived from the very event stream that built the
+    // trace, so they must agree with it exactly.
+    assert_eq!(counters.count("runtime.steps"), trace.len() as u64);
+    assert_eq!(counters.count("runtime.broadcasts"), 3);
+    assert_eq!(counters.count("runtime.deliveries"), 9);
+    let sends = trace
+        .steps()
+        .iter()
+        .filter(|s| matches!(s.action, camp_trace::Action::Send { .. }))
+        .count() as u64;
+    assert_eq!(counters.count("runtime.sends"), sends);
+    assert!(counters.count("runtime.messages_registered") > 0);
+    assert!(counters.gauge("runtime.net_in_flight_max") >= 1);
+}

@@ -24,6 +24,9 @@ pub struct InFlight<M> {
 #[derive(Debug, Clone, Default)]
 pub struct Network<M> {
     in_flight: Vec<InFlight<M>>,
+    // Lifetime send count. Pure bookkeeping for observability: NOT part of
+    // the live state, never fed to `Simulation::fingerprint`, never compared.
+    sent_total: u64,
 }
 
 impl<M> Network<M> {
@@ -32,12 +35,21 @@ impl<M> Network<M> {
     pub fn new() -> Self {
         Self {
             in_flight: Vec::new(),
+            sent_total: 0,
         }
     }
 
     /// Records a send; the message stays in flight until taken.
     pub fn send(&mut self, msg: InFlight<M>) {
+        self.sent_total += 1;
         self.in_flight.push(msg);
+    }
+
+    /// Total number of sends over this network's lifetime (received messages
+    /// included). Observability only — not live state.
+    #[must_use]
+    pub fn total_sent(&self) -> u64 {
+        self.sent_total
     }
 
     /// The in-flight messages, in emission order. Indices into this slice
@@ -123,6 +135,7 @@ mod tests {
         let m = net.take(0).unwrap();
         assert_eq!(m.id, MessageId::new(0));
         assert!(net.is_empty());
+        assert_eq!(net.total_sent(), 1, "lifetime count survives reception");
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! adversarial scheduler (Algorithm 1) lives in `camp-impossibility` and
 //! drives [`Simulation`] through the same primitives these drivers use.
 
+use camp_obs::{NoopSink, ObsSink};
 use camp_trace::{Execution, ProcessId, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -96,11 +97,29 @@ pub fn run_fair<B: BroadcastAlgorithm>(
     workload: &Workload,
     max_events: usize,
 ) -> Result<RunReport, SimError> {
+    run_fair_obs(sim, workload, max_events, &mut NoopSink)
+}
+
+/// [`run_fair`] with an observability sink: records `sim.invocations`,
+/// `sim.steps`, `sim.responses`, `sim.receptions`, the `sim.net_sends`
+/// delta, and the `sim.net_in_flight_max` high-water mark. The schedule (and
+/// hence the trace) is identical to [`run_fair`]'s.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] raised by the simulation.
+pub fn run_fair_obs<B: BroadcastAlgorithm, S: ObsSink>(
+    sim: &mut Simulation<B>,
+    workload: &Workload,
+    max_events: usize,
+    sink: &mut S,
+) -> Result<RunReport, SimError> {
     let n = sim.n();
     let mut issued = vec![0usize; n];
     let mut events = 0;
+    let sends_before = sim.network().total_sent();
 
-    loop {
+    let report = loop {
         let mut progressed = false;
         for pid in ProcessId::all(n) {
             if sim.is_crashed(pid) {
@@ -112,6 +131,8 @@ pub fn run_fair<B: BroadcastAlgorithm>(
                     sim.invoke_broadcast(pid, content)?;
                     issued[pid.index()] += 1;
                     events += 1;
+                    sink.inc("sim.invocations");
+                    sink.tick();
                     progressed = true;
                 }
             }
@@ -120,12 +141,16 @@ pub fn run_fair<B: BroadcastAlgorithm>(
                 match sim.step_process(pid)? {
                     Some(_) => {
                         events += 1;
+                        sink.inc("sim.steps");
+                        sink.record_max("sim.net_in_flight_max", sim.network().len() as u64);
+                        sink.tick();
                         progressed = true;
                         // Respond immediately to a proposal so the process
                         // does not stay blocked (fair oracle).
                         if let Some(obj) = sim.oracle().pending_of(pid) {
                             sim.respond_ksa(obj, pid)?;
                             events += 1;
+                            sink.inc("sim.responses");
                         }
                     }
                     None => break,
@@ -138,24 +163,28 @@ pub fn run_fair<B: BroadcastAlgorithm>(
                 }
                 sim.receive(slot)?;
                 events += 1;
+                sink.inc("sim.receptions");
+                sink.tick();
                 progressed = true;
             }
         }
         let done = ProcessId::all(n)
             .all(|p| sim.is_crashed(p) || workload.next_for(p, issued[p.index()]).is_none());
         if done && sim.is_quiescent() {
-            return Ok(RunReport {
+            break RunReport {
                 events,
                 quiescent: true,
-            });
+            };
         }
         if !progressed || events >= max_events {
-            return Ok(RunReport {
+            break RunReport {
                 events,
                 quiescent: sim.is_quiescent(),
-            });
+            };
         }
-    }
+    };
+    sink.add("sim.net_sends", sim.network().total_sent() - sends_before);
+    Ok(report)
 }
 
 /// Crash-injection policy for [`run_random`].
@@ -207,11 +236,32 @@ pub fn run_random<B: BroadcastAlgorithm>(
     random_events: usize,
     plan: CrashPlan,
 ) -> Result<RunReport, SimError> {
+    run_random_obs(sim, workload, seed, random_events, plan, &mut NoopSink)
+}
+
+/// [`run_random`] with an observability sink: the random phase records the
+/// same `sim.*` counters as [`run_fair_obs`] plus `sim.crashes`; the fair
+/// drain phase records through the same sink. The schedule is identical to
+/// [`run_random`]'s — counters are a pure function of (algorithm, workload,
+/// seed, plan, budgets), like the run itself.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] raised by the simulation.
+pub fn run_random_obs<B: BroadcastAlgorithm, S: ObsSink>(
+    sim: &mut Simulation<B>,
+    workload: &Workload,
+    seed: u64,
+    random_events: usize,
+    plan: CrashPlan,
+    sink: &mut S,
+) -> Result<RunReport, SimError> {
     let n = sim.n();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut issued = vec![0usize; n];
     let mut crashes = 0;
     let mut events = 0;
+    let sends_before = sim.network().total_sent();
 
     #[derive(Clone, Copy)]
     enum Choice {
@@ -231,6 +281,7 @@ pub fn run_random<B: BroadcastAlgorithm>(
                 sim.crash(victim)?;
                 crashes += 1;
                 events += 1;
+                sink.inc("sim.crashes");
                 continue;
             }
         }
@@ -267,12 +318,15 @@ pub fn run_random<B: BroadcastAlgorithm>(
                     .expect("enabled implies available");
                 sim.invoke_broadcast(pid, content)?;
                 issued[pid.index()] += 1;
+                sink.inc("sim.invocations");
             }
             Choice::Step(pid) => {
                 sim.step_process(pid)?;
+                sink.inc("sim.steps");
             }
             Choice::Receive(slot) => {
                 sim.receive(slot)?;
+                sink.inc("sim.receptions");
             }
             Choice::Respond(pid) => {
                 let obj = sim
@@ -280,9 +334,12 @@ pub fn run_random<B: BroadcastAlgorithm>(
                     .pending_of(pid)
                     .expect("enabled implies pending");
                 sim.respond_ksa(obj, pid)?;
+                sink.inc("sim.responses");
             }
         }
         events += 1;
+        sink.record_max("sim.net_in_flight_max", sim.network().len() as u64);
+        sink.tick();
     }
 
     // Fair drain: no more crashes; discharge all liveness obligations.
@@ -297,7 +354,14 @@ pub fn run_random<B: BroadcastAlgorithm>(
             })
             .collect(),
     };
-    let drain = run_fair(sim, &remaining, random_events.saturating_mul(20) + 10_000)?;
+    // Credit the random phase's sends before the drain records its own.
+    sink.add("sim.net_sends", sim.network().total_sent() - sends_before);
+    let drain = run_fair_obs(
+        sim,
+        &remaining,
+        random_events.saturating_mul(20) + 10_000,
+        sink,
+    )?;
     Ok(RunReport {
         events: events + drain.events,
         quiescent: drain.quiescent,

@@ -1,7 +1,10 @@
 //! Direct unit tests of the Simulation harness: guard rails, quiescence,
 //! and the fair/random drivers, using a minimal inline algorithm.
 
-use camp_sim::scheduler::{run_fair, run_random, CrashPlan, Workload};
+use camp_obs::Counters;
+use camp_sim::scheduler::{
+    run_fair, run_fair_obs, run_random, run_random_obs, CrashPlan, Workload,
+};
 use camp_sim::{
     AppMessage, BroadcastAlgorithm, BroadcastStep, Executed, FirstProposalRule, KsaOracle,
     OwnValueRule, SimError, Simulation,
@@ -249,6 +252,66 @@ fn random_runs_are_deterministic_per_seed() {
     };
     assert_eq!(run(42), run(42), "same seed, same execution");
     assert_ne!(run(42), run(43), "different seeds diverge (overwhelmingly)");
+}
+
+#[test]
+fn fair_obs_counters_account_for_every_event() {
+    let mut s = sim(2);
+    let mut sink = Counters::new();
+    let report = run_fair_obs(&mut s, &Workload::uniform(2, 2), 100_000, &mut sink).unwrap();
+    assert!(report.quiescent);
+    let counted = sink.count("sim.invocations")
+        + sink.count("sim.steps")
+        + sink.count("sim.responses")
+        + sink.count("sim.receptions");
+    assert_eq!(counted, report.events as u64, "every event is counted once");
+    assert_eq!(sink.count("sim.invocations"), 4);
+    assert!(sink.count("sim.net_sends") > 0);
+    assert!(sink.gauge("sim.net_in_flight_max") > 0);
+}
+
+#[test]
+fn obs_drivers_leave_the_schedule_unchanged() {
+    let workload = Workload::uniform(3, 2);
+    let mut plain = sim(3);
+    let r1 = run_random(&mut plain, &workload, 7, 300, CrashPlan::none()).unwrap();
+    let mut observed = sim(3);
+    let mut sink = Counters::new();
+    let r2 = run_random_obs(
+        &mut observed,
+        &workload,
+        7,
+        300,
+        CrashPlan::none(),
+        &mut sink,
+    )
+    .unwrap();
+    assert_eq!(r1, r2, "same report with and without a sink");
+    assert_eq!(
+        plain.into_trace(),
+        observed.into_trace(),
+        "identical execution with and without a sink"
+    );
+    assert!(!sink.is_empty());
+}
+
+#[test]
+fn obs_counters_are_deterministic_per_seed() {
+    let run = |seed| {
+        let mut s = sim(3);
+        let mut sink = Counters::new();
+        run_random_obs(
+            &mut s,
+            &Workload::uniform(3, 2),
+            seed,
+            300,
+            CrashPlan::up_to(1, 0.2),
+            &mut sink,
+        )
+        .unwrap();
+        sink
+    };
+    assert_eq!(run(42), run(42), "same seed, same counters");
 }
 
 #[test]

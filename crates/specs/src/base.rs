@@ -190,6 +190,43 @@ pub fn check_all(exec: &Execution) -> SpecResult {
     bc_global_cs_termination(exec)
 }
 
+/// [`check_safety`] with an observability sink: records
+/// `specs.properties_evaluated` per property actually run (short-circuits on
+/// the first violation, like the plain checker) and `specs.events_scanned`
+/// per property × execution length (each checker walks the full step list).
+///
+/// # Errors
+///
+/// Propagates the first violation found.
+pub fn check_safety_obs(exec: &Execution, sink: &mut impl camp_obs::ObsSink) -> SpecResult {
+    for check in [bc_validity, bc_no_duplication] {
+        sink.inc("specs.properties_evaluated");
+        sink.add("specs.events_scanned", exec.len() as u64);
+        check(exec)?;
+    }
+    Ok(())
+}
+
+/// [`check_all`] with an observability sink; same accounting as
+/// [`check_safety_obs`], over all four base properties.
+///
+/// # Errors
+///
+/// Propagates the first violation found.
+pub fn check_all_obs(exec: &Execution, sink: &mut impl camp_obs::ObsSink) -> SpecResult {
+    for check in [
+        bc_validity,
+        bc_no_duplication,
+        bc_local_termination,
+        bc_global_cs_termination,
+    ] {
+        sink.inc("specs.properties_evaluated");
+        sink.add("specs.events_scanned", exec.len() as u64);
+        check(exec)?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,6 +248,29 @@ mod tests {
     #[test]
     fn good_execution_passes_all() {
         assert!(check_all(&good_execution()).is_ok());
+    }
+
+    #[test]
+    fn obs_checkers_count_properties_and_events() {
+        let exec = good_execution();
+        let mut sink = camp_obs::Counters::new();
+        assert!(check_all_obs(&exec, &mut sink).is_ok());
+        assert_eq!(sink.count("specs.properties_evaluated"), 4);
+        assert_eq!(sink.count("specs.events_scanned"), 4 * exec.len() as u64);
+    }
+
+    #[test]
+    fn obs_checker_short_circuits_like_the_plain_one() {
+        // Delivery without a broadcast: BC-Validity (the first property)
+        // fails, so exactly one property is counted.
+        let mut b = ExecutionBuilder::new(2);
+        let m = b.fresh_broadcast_message(p(1), Value::new(1));
+        b.step(p(2), Action::Deliver { from: p(1), msg: m });
+        let exec = b.build();
+        let mut sink = camp_obs::Counters::new();
+        let err = check_safety_obs(&exec, &mut sink).unwrap_err();
+        assert_eq!(err.property(), "BC-Validity");
+        assert_eq!(sink.count("specs.properties_evaluated"), 1);
     }
 
     #[test]

@@ -79,6 +79,20 @@ pub trait BroadcastSpec: fmt::Debug + Send + Sync {
         base::check_safety(exec)?;
         self.admits(exec)
     }
+
+    /// [`BroadcastSpec::admits`] with an observability sink: records one
+    /// `specs.properties_evaluated` and `specs.events_scanned` (the full
+    /// step count — ordering predicates walk the whole execution) before
+    /// delegating. `&mut dyn` keeps the trait object-safe.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::Violation`] witnessing the rejection.
+    fn admits_obs(&self, exec: &Execution, sink: &mut dyn camp_obs::ObsSink) -> SpecResult {
+        sink.inc("specs.properties_evaluated");
+        sink.add("specs.events_scanned", exec.len() as u64);
+        self.admits(exec)
+    }
 }
 
 /// The weakest broadcast abstraction (§3.1): only the four base properties,
@@ -127,6 +141,10 @@ mod tests {
         assert!(SendToAllSpec::new().admits(&e).is_ok());
         assert!(SendToAllSpec::new().admits_with_base(&e).is_ok());
         assert!(!SendToAllSpec::new().is_content_sensitive());
+        let mut sink = camp_obs::Counters::new();
+        assert!(SendToAllSpec::new().admits_obs(&e, &mut sink).is_ok());
+        assert_eq!(sink.count("specs.properties_evaluated"), 1);
+        assert_eq!(sink.count("specs.events_scanned"), e.len() as u64);
     }
 
     #[test]

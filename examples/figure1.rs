@@ -14,6 +14,8 @@ use std::collections::BTreeSet;
 
 use campkit::broadcast::AgreedBroadcast;
 use campkit::impossibility::{adversarial_scheduler, verify_lemmas, NSolo};
+use campkit::obs::{Counters, ObsSink};
+use campkit::specs::base::check_safety_obs;
 use campkit::trace::render_timeline;
 
 fn main() {
@@ -64,6 +66,21 @@ fn main() {
          {n_solo} designated messages before any designated message of the others.",
         beta.broadcast_messages().count()
     );
+
+    // Metrics pass: run the safety checkers over α through a camp-obs
+    // counter registry and print what the run cost. The registry is a pure
+    // function of the execution, so these numbers are reproducible.
+    let mut counters = Counters::new();
+    check_safety_obs(&run.execution, &mut counters).expect("α satisfies base safety");
+    counters.add("figure1.execution_len", run.execution.len() as u64);
+    counters.add(
+        "figure1.ksa_objects",
+        run.execution.ksa_objects().len() as u64,
+    );
+    println!("\nmetrics (camp-obs counters):");
+    for (key, value) in counters.counts() {
+        println!("  {key} = {value}");
+    }
 
     // Also emit a Mermaid space-time diagram of the execution (paste into
     // https://mermaid.live or any Markdown renderer that supports Mermaid).

@@ -3,29 +3,40 @@
 # machine-readable exploration report at BENCH_explore.json (repo root).
 #
 # Usage:
-#   scripts/bench.sh           # full run (10 samples per bench)
-#   scripts/bench.sh --quick   # CI smoke run (3 samples per bench)
-#   scripts/bench.sh --all     # explore benches plus the legacy suites
+#   scripts/bench.sh                    # full run (10 samples per bench)
+#   scripts/bench.sh --quick            # CI smoke run (3 samples per bench)
+#   scripts/bench.sh --all              # explore benches plus the legacy suites
+#   scripts/bench.sh --metrics OUT.json # also write the camp-obs/v1 snapshot
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 quick=0
 all=0
-for arg in "$@"; do
-  case "$arg" in
+metrics=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
     --quick) quick=1 ;;
     --all) all=1 ;;
+    --metrics)
+      [[ $# -ge 2 ]] || { echo "--metrics needs a file argument" >&2; exit 2; }
+      metrics="$2"
+      shift
+      ;;
     *)
-      echo "unknown argument: $arg" >&2
-      echo "usage: scripts/bench.sh [--quick] [--all]" >&2
+      echo "unknown argument: $1" >&2
+      echo "usage: scripts/bench.sh [--quick] [--all] [--metrics OUT.json]" >&2
       exit 2
       ;;
   esac
+  shift
 done
 
 echo "==> bench: exploration engine (BENCH_explore.json)"
-if [[ "$quick" -eq 1 ]]; then
-  CAMP_BENCH_QUICK=1 cargo bench -q -p camp-bench --bench explore
+env_args=()
+[[ "$quick" -eq 1 ]] && env_args+=("CAMP_BENCH_QUICK=1")
+[[ -n "$metrics" ]] && env_args+=("CAMP_BENCH_METRICS=$metrics")
+if [[ ${#env_args[@]} -gt 0 ]]; then
+  env "${env_args[@]}" cargo bench -q -p camp-bench --bench explore
 else
   cargo bench -q -p camp-bench --bench explore
 fi
@@ -41,3 +52,8 @@ fi
 out="${CAMP_BENCH_OUT:-BENCH_explore.json}"
 echo "==> $out"
 cat "$out"
+
+if [[ -n "$metrics" ]]; then
+  echo "==> $metrics"
+  cat "$metrics"
+fi

@@ -37,14 +37,32 @@ CAMP_PROPTEST_CASES=6 cargo test -q --release -p camp-modelcheck --test engine_e
 
 # The smoke run writes to a scratch path so it never clobbers the committed
 # full-mode BENCH_explore.json; regenerate that one with scripts/bench.sh.
-echo "==> bench smoke: exploration benches produce a well-formed report"
+echo "==> bench smoke: exploration benches produce a well-formed v2 report"
 smoke_out="$PWD/target/BENCH_explore.smoke.json"
-CAMP_BENCH_OUT="$smoke_out" scripts/bench.sh --quick >/dev/null
-for key in '"schema"' '"camp-bench/explore/v1"' '"explore_fifo_2x2"' \
-           '"explore_causal_3"' '"crashsweep_reliable"' '"ns_per_op"' \
-           '"executions_per_sec"' '"nodes_per_sec"'; do
+smoke_metrics="$PWD/target/BENCH_explore.smoke.metrics.json"
+CAMP_BENCH_OUT="$smoke_out" scripts/bench.sh --quick --metrics "$smoke_metrics" >/dev/null
+for key in '"schema"' '"camp-bench/explore/v2"' '"explore_fifo_2x2"' \
+           '"explore_causal_3"' '"explore_agreed_2"' '"crashsweep_reliable"' \
+           '"ns_per_op"' '"executions_per_sec"' '"nodes_per_sec"' \
+           '"dedup_hits"' '"sleep_set_prunes"' '"max_frontier"'; do
   grep -q -- "$key" "$smoke_out" \
     || { echo "$smoke_out malformed: missing $key" >&2; exit 1; }
 done
+# The v2 reduction counters must be live, not decorative: the FIFO scope
+# prunes through sleep sets, the agreed-rounds scope hits the dedup cache.
+python3 - "$smoke_out" <<'PY'
+import json, sys
+rows = {b["name"]: b for b in json.load(open(sys.argv[1]))["benches"]}
+assert rows["explore_fifo_2x2"]["sleep_set_prunes"] > 0, "fifo sleep_set_prunes is zero"
+assert rows["explore_fifo_2x2"]["max_frontier"] > 0, "fifo max_frontier is zero"
+assert rows["explore_causal_3"]["sleep_set_prunes"] > 0, "causal sleep_set_prunes is zero"
+assert rows["explore_agreed_2"]["dedup_hits"] > 0, "agreed dedup_hits is zero"
+print("bench smoke: v2 reduction counters live")
+PY
+grep -q '"camp-obs/v1"' "$smoke_metrics" \
+  || { echo "$smoke_metrics malformed: missing camp-obs/v1 schema" >&2; exit 1; }
+
+echo "==> metrics goldens: camp-lint check --metrics matches tests/golden"
+cargo test -q --release -p campkit --test metrics
 
 echo "CI OK"

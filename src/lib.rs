@@ -17,6 +17,9 @@
 //! * [`agreement`] — k-set-agreement oracles, decision rules, and the
 //!   positive algorithms surrounding the impossibility result;
 //! * [`modelcheck`] — bounded exhaustive exploration of scheduler choices;
+//! * [`obs`] — deterministic metrics & tracing: counter/gauge registries,
+//!   span logs, the audited wall-clock boundary, and the versioned
+//!   `camp-obs/v1` snapshot the binaries emit behind `--metrics`;
 //! * [`lint`] — static analysis: the trace linter, the determinism auditor,
 //!   and the algorithm auditor (also available as the `camp-lint` binary);
 //! * [`impossibility`] — the paper's Algorithm 1 adversarial scheduler,
@@ -39,6 +42,7 @@ pub use camp_broadcast as broadcast;
 pub use camp_impossibility as impossibility;
 pub use camp_lint as lint;
 pub use camp_modelcheck as modelcheck;
+pub use camp_obs as obs;
 pub use camp_runtime as runtime;
 pub use camp_shm as shm;
 pub use camp_sim as sim;
