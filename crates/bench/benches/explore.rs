@@ -20,16 +20,18 @@
 //! report files, so this harness owns `main` (instead of `criterion_main!`)
 //! and writes the JSON itself: per bench, the median ns/op together with the
 //! work rates (completed executions/sec and visited nodes/sec) and the
-//! reduction counters (dedup hits, sleep-set prunes, widest frontier)
+//! reduction counters (dedup hits, sleep-set prunes, widest frontier, and
+//! since v3 the certificate-gated canonical hits plus a cert-loaded flag)
 //! derived from one instrumented run. Set `CAMP_BENCH_QUICK=1` for a
 //! low-sample CI smoke run, `CAMP_BENCH_OUT` to redirect the JSON, and
 //! `CAMP_BENCH_METRICS` to additionally write the raw `camp-obs/v1` counter
 //! snapshot accumulated across the instrumented runs.
 
 use camp_broadcast::{CausalBroadcast, EagerReliable, FifoBroadcast};
-use camp_modelcheck::crashsweep::{crash_point_sweep_obs, SweepOutcome};
-use camp_modelcheck::{explore_with_obs, EngineConfig, EngineStats, ExploreOutcome};
+use camp_modelcheck::crashsweep::{crash_point_sweep_certs, SweepOutcome};
+use camp_modelcheck::{explore_with_certs, EngineConfig, EngineStats, ExploreOutcome};
 use camp_obs::Counters;
+use camp_sim::canonical::CertStore;
 use camp_sim::scheduler::Workload;
 use camp_sim::{BroadcastAlgorithm, FirstProposalRule, KsaOracle, Simulation};
 use camp_specs::{base, BroadcastSpec, CausalSpec, FifoSpec, SpecResult};
@@ -47,6 +49,8 @@ struct Record {
     dedup_hits: u64,
     sleep_set_prunes: u64,
     max_frontier: u64,
+    canonical_hits: u64,
+    cert_loaded: bool,
 }
 
 impl Record {
@@ -78,6 +82,15 @@ impl Record {
                 "max_frontier".to_string(),
                 Json::Int(i128::from(self.max_frontier)),
             ),
+            // v3 fields: the certificate-gated renaming quotient. A
+            // symmetric scope run with a loaded certificate must show
+            // non-zero canonical hits — CI asserts this for the FIFO and
+            // causal benches.
+            (
+                "canonical_hits".to_string(),
+                Json::Int(i128::from(self.canonical_hits)),
+            ),
+            ("cert_loaded".to_string(), Json::Bool(self.cert_loaded)),
         ])
     }
 }
@@ -94,17 +107,19 @@ fn explore_once<B>(
     n: usize,
     workload: &Workload,
     property: &dyn Fn(&Execution) -> SpecResult,
+    certs: &CertStore,
 ) -> (EngineStats, Counters)
 where
     B: BroadcastAlgorithm + Clone,
     B::Msg: Clone,
 {
     let mut counters = Counters::new();
-    let (outcome, stats) = explore_with_obs(
+    let (outcome, stats) = explore_with_certs(
         fresh(algo, n),
         workload,
         property,
         EngineConfig::default(),
+        certs,
         &mut counters,
     );
     assert!(
@@ -126,6 +141,9 @@ fn bench_explore(
     records: &mut Vec<Record>,
     totals: &mut Counters,
 ) {
+    // One static-analysis pass issues the certificates that license the
+    // renaming-quotient canonicalization for every certified algorithm.
+    let certs = camp_bench::workspace_certs();
     let mut group = c.benchmark_group("explore");
     group.sample_size(sample_size);
 
@@ -134,10 +152,24 @@ fn bench_explore(
         base::check_all(e)?;
         FifoSpec::new().admits(e)
     };
-    let (stats, counters) = explore_once(FifoBroadcast::new(), 2, &fifo_workload, &fifo_property);
+    let (stats, counters) = explore_once(
+        FifoBroadcast::new(),
+        2,
+        &fifo_workload,
+        &fifo_property,
+        &certs,
+    );
     counters.replay_into(totals);
     group.bench_function("explore_fifo_2x2", |b| {
-        b.iter(|| explore_once(FifoBroadcast::new(), 2, &fifo_workload, &fifo_property));
+        b.iter(|| {
+            explore_once(
+                FifoBroadcast::new(),
+                2,
+                &fifo_workload,
+                &fifo_property,
+                &certs,
+            )
+        });
         records.push(Record {
             name: "explore_fifo_2x2",
             ns_per_op: b.median().expect("samples collected").as_nanos(),
@@ -146,6 +178,8 @@ fn bench_explore(
             dedup_hits: counters.count("modelcheck.dedup_hits"),
             sleep_set_prunes: counters.count("modelcheck.sleep_set_prunes"),
             max_frontier: counters.gauge("modelcheck.max_frontier"),
+            canonical_hits: counters.count("modelcheck.canonical_hits"),
+            cert_loaded: counters.count("modelcheck.cert_loaded") > 0,
         });
     });
 
@@ -161,6 +195,7 @@ fn bench_explore(
         3,
         &causal_workload,
         &causal_property,
+        &certs,
     );
     counters.replay_into(totals);
     group.bench_function("explore_causal_3", |b| {
@@ -170,6 +205,7 @@ fn bench_explore(
                 3,
                 &causal_workload,
                 &causal_property,
+                &certs,
             )
         });
         records.push(Record {
@@ -180,14 +216,17 @@ fn bench_explore(
             dedup_hits: counters.count("modelcheck.dedup_hits"),
             sleep_set_prunes: counters.count("modelcheck.sleep_set_prunes"),
             max_frontier: counters.gauge("modelcheck.max_frontier"),
+            canonical_hits: counters.count("modelcheck.canonical_hits"),
+            cert_loaded: counters.count("modelcheck.cert_loaded") > 0,
         });
     });
 
-    // The agreed-rounds scope is the one whose state space actually
-    // re-converges (round-based sequencing funnels interleavings into the
-    // same state), so it is the bench that exercises the fingerprint cache:
-    // its `dedup_hits` must be non-zero where the FIFO/causal scopes
-    // structurally cannot be.
+    // The agreed-rounds scope re-converges through round-based sequencing,
+    // so it exercises the plain fingerprint cache. The FIFO and causal
+    // scopes never revisit a state *identically* — their dedup hits come
+    // entirely from the certificate-gated renaming quotient, which merges
+    // mirrored schedules (p2 leading instead of p1) that plain
+    // deduplication can never see.
     let agreed_workload = Workload::uniform(2, 1);
     let agreed_property = |e: &Execution| -> SpecResult {
         base::check_all(e)?;
@@ -201,11 +240,12 @@ fn bench_explore(
         )
     };
     let mut agreed_counters = Counters::new();
-    let (agreed_outcome, agreed_stats) = explore_with_obs(
+    let (agreed_outcome, agreed_stats) = explore_with_certs(
         fresh_agreed(),
         &agreed_workload,
         &agreed_property,
         EngineConfig::default(),
+        &certs,
         &mut agreed_counters,
     );
     assert!(
@@ -221,11 +261,12 @@ fn bench_explore(
     agreed_counters.replay_into(totals);
     group.bench_function("explore_agreed_2", |b| {
         b.iter(|| {
-            explore_with_obs(
+            explore_with_certs(
                 fresh_agreed(),
                 &agreed_workload,
                 &agreed_property,
                 EngineConfig::default(),
+                &certs,
                 &mut camp_obs::NoopSink,
             )
         });
@@ -237,6 +278,8 @@ fn bench_explore(
             dedup_hits: agreed_counters.count("modelcheck.dedup_hits"),
             sleep_set_prunes: agreed_counters.count("modelcheck.sleep_set_prunes"),
             max_frontier: agreed_counters.gauge("modelcheck.max_frontier"),
+            canonical_hits: agreed_counters.count("modelcheck.canonical_hits"),
+            cert_loaded: agreed_counters.count("modelcheck.cert_loaded") > 0,
         });
     });
     group.finish();
@@ -245,22 +288,24 @@ fn bench_explore(
     group.sample_size(sample_size);
     let sweep_workload = Workload::uniform(3, 1);
     let sweep = || {
-        crash_point_sweep_obs(
+        crash_point_sweep_certs(
             &|| fresh(EagerReliable::uniform(), 3),
             &sweep_workload,
             &[ProcessId::new(1), ProcessId::new(2)],
             &|e| base::bc_uniform_agreement(e),
             100_000,
+            &certs,
             &mut camp_obs::NoopSink,
         )
     };
     let mut counters = Counters::new();
-    let SweepOutcome::Verified { runs } = crash_point_sweep_obs(
+    let SweepOutcome::Verified { runs } = crash_point_sweep_certs(
         &|| fresh(EagerReliable::uniform(), 3),
         &sweep_workload,
         &[ProcessId::new(1), ProcessId::new(2)],
         &|e| base::bc_uniform_agreement(e),
         100_000,
+        &certs,
         &mut counters,
     ) else {
         panic!("uniform reliable broadcast must survive the crash sweep");
@@ -274,12 +319,16 @@ fn bench_explore(
             // A sweep's unit of work is one fair crash-injected run; report
             // it under both rate fields so the JSON schema stays uniform.
             // The sweep explores one schedule per crash point (no branching
-            // frontier), so the reduction counters are structurally zero.
+            // frontier), so the explorer's reduction counters are
+            // structurally zero; its canonical hits come from the
+            // completed-run dedup of the certificate-gated sweep instead.
             executions: runs,
             nodes: runs,
             dedup_hits: counters.count("modelcheck.dedup_hits"),
             sleep_set_prunes: counters.count("modelcheck.sleep_set_prunes"),
             max_frontier: counters.gauge("modelcheck.max_frontier"),
+            canonical_hits: counters.count("crashsweep.canonical_hits"),
+            cert_loaded: counters.count("crashsweep.cert_loaded") > 0,
         });
     });
     group.finish();
@@ -299,7 +348,7 @@ fn main() {
     let doc = Json::Object(vec![
         (
             "schema".to_string(),
-            Json::Str("camp-bench/explore/v2".to_string()),
+            Json::Str("camp-bench/explore/v3".to_string()),
         ),
         (
             "mode".to_string(),

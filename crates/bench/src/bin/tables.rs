@@ -17,10 +17,11 @@ use camp_broadcast::{
 };
 use camp_impossibility::{adversarial_scheduler, refute_spec, theorem1, verify_lemmas, NSolo};
 use camp_modelcheck::explore::{
-    explore_with_obs, explore_with_stats, EngineConfig, ExploreConfig, ExploreOutcome,
+    explore_with_certs, explore_with_stats, EngineConfig, ExploreConfig, ExploreOutcome,
 };
 use camp_modelcheck::schedules::{is_one_solo_all_own, ScheduleQuery};
 use camp_obs::{Obs, ObsSink};
+use camp_sim::canonical::CertStore;
 use camp_sim::scheduler::{CrashPlan, Workload};
 use camp_sim::{BroadcastAlgorithm, FirstProposalRule, KsaOracle, OwnValueRule, Simulation};
 use camp_specs::symmetry::{check_compositional, check_content_neutral, Closure, SymmetryConfig};
@@ -634,10 +635,16 @@ fn modelcheck(obs: &mut Obs) {
     }
     println!("\nExpected: TO/Mutual/k-BO(2)@n=3 admit NO 1-solo schedule (Lemma 9's shadow); Send-To-All and k-BO(2)@n=2 DO (Lemma 10's shadow).");
 
-    // Algorithm level: implementations verified against their specs.
+    // Algorithm level: implementations verified against their specs. The
+    // dedup column reports total fingerprint-cache hits with the
+    // renaming-quotient (canonical) share in parentheses — the quotient is
+    // enabled per algorithm by the symmetry certificates issued from the
+    // workspace sources, so a `0(0)` here for a certified algorithm on a
+    // symmetric scope is the regression this table used to hide.
+    let certs = camp_bench::workspace_certs();
     println!(
-        "\n{:<26}{:<14}{:<14}{:>14}  {:<10}",
-        "algorithm", "property", "scope", "executions", "verdict"
+        "\n{:<26}{:<14}{:<14}{:>14}  {:<10}{:>14}",
+        "algorithm", "property", "scope", "executions", "verdict", "dedup(canon)"
     );
     mc_row(
         "send-to-all",
@@ -648,6 +655,7 @@ fn modelcheck(obs: &mut Obs) {
         1,
         false,
         &|e| camp_specs::base::check_all(e),
+        &certs,
         obs,
     );
     mc_row(
@@ -662,6 +670,7 @@ fn modelcheck(obs: &mut Obs) {
             camp_specs::base::check_all(e)?;
             FifoSpec::new().admits(e)
         },
+        &certs,
         obs,
     );
     mc_row(
@@ -676,6 +685,7 @@ fn modelcheck(obs: &mut Obs) {
             camp_specs::base::check_all(e)?;
             CausalSpec::new().admits(e)
         },
+        &certs,
         obs,
     );
     mc_row(
@@ -690,6 +700,7 @@ fn modelcheck(obs: &mut Obs) {
             camp_specs::base::check_all(e)?;
             TotalOrderSpec::new().admits(e)
         },
+        &certs,
         obs,
     );
 
@@ -699,8 +710,8 @@ fn modelcheck(obs: &mut Obs) {
     // quickly; "TRUNCATED" means it exhausted that budget without finishing
     // — the scope is out of the baseline's reach but inside the engine's.
     println!(
-        "\n{:<26}{:<14}{:>16}{:>16}{:>9}",
-        "reduction comparison", "scope", "baseline nodes", "reduced nodes", "factor"
+        "\n{:<26}{:<14}{:>16}{:>16}{:>9}{:>12}",
+        "reduction comparison", "scope", "baseline nodes", "reduced nodes", "factor", "canon hits"
     );
     let mut fifo3 = Workload::new(2);
     fifo3.push(ProcessId::new(1), Value::new(10));
@@ -715,6 +726,7 @@ fn modelcheck(obs: &mut Obs) {
             camp_specs::base::check_all(e)?;
             FifoSpec::new().admits(e)
         },
+        &certs,
         obs,
     );
     reduction_row(
@@ -726,6 +738,7 @@ fn modelcheck(obs: &mut Obs) {
             camp_specs::base::check_all(e)?;
             FifoSpec::new().admits(e)
         },
+        &certs,
         obs,
     );
     let mut causal3 = Workload::new(3);
@@ -740,9 +753,10 @@ fn modelcheck(obs: &mut Obs) {
             camp_specs::base::check_all(e)?;
             CausalSpec::new().admits(e)
         },
+        &certs,
         obs,
     );
-    println!("\nExpected: the reduced engine visits >=10x fewer nodes on the FIFO 2x2 scope and finishes the 3-process causal scope the baseline cannot.");
+    println!("\nExpected: the reduced engine visits >=10x fewer nodes on the FIFO 2x2 scope and finishes the 3-process causal scope the baseline cannot; the symmetric FIFO 2x2 and causal scopes show non-zero canonical hits (certificate-gated renaming quotient).");
 
     // Failure-injection sweeps: every joint crash point of (p1, p2) along
     // fair schedules.
@@ -770,6 +784,7 @@ fn reduction_row<B>(
     n: usize,
     workload: &Workload,
     property: &dyn Fn(&Execution) -> camp_specs::SpecResult,
+    certs: &CertStore,
     obs: &mut Obs,
 ) where
     B: BroadcastAlgorithm + Clone,
@@ -796,9 +811,17 @@ fn reduction_row<B>(
             },
             dedup: false,
             sleep_sets: false,
+            canonical: false,
         },
     );
-    let (_, reduced) = explore_with_obs(fresh(), workload, property, EngineConfig::default(), obs);
+    let (_, reduced) = explore_with_certs(
+        fresh(),
+        workload,
+        property,
+        EngineConfig::default(),
+        certs,
+        obs,
+    );
     let baseline_cell = if base.truncated {
         format!(">{} TRUNCATED", base.nodes)
     } else {
@@ -810,12 +833,13 @@ fn reduction_row<B>(
         format!("{:.0}x", base.nodes as f64 / reduced.nodes as f64)
     };
     println!(
-        "{:<26}{:<14}{:>16}{:>16}{:>9}",
+        "{:<26}{:<14}{:>16}{:>16}{:>9}{:>12}",
         name,
         format!("n={n},M={}", workload.total()),
         baseline_cell,
         reduced.nodes,
-        factor
+        factor,
+        reduced.canonical_hits
     );
 }
 
@@ -874,6 +898,7 @@ fn mc_row<B>(
     k: usize,
     own_rule: bool,
     property: &dyn Fn(&Execution) -> camp_specs::SpecResult,
+    certs: &CertStore,
     obs: &mut Obs,
 ) where
     B: BroadcastAlgorithm + Clone,
@@ -885,11 +910,12 @@ fn mc_row<B>(
         Box::new(FirstProposalRule)
     };
     let sim = Simulation::new(algo, n, KsaOracle::new(k, rule));
-    let (outcome, _) = explore_with_obs(
+    let (outcome, stats) = explore_with_certs(
         sim,
         &Workload::uniform(n, m),
         property,
         EngineConfig::default(),
+        certs,
         obs,
     );
     let cell = match &outcome {
@@ -905,12 +931,13 @@ fn mc_row<B>(
         ExploreOutcome::Error(_) => ("-".into(), "ERROR"),
     };
     println!(
-        "{:<26}{:<14}{:<14}{:>14}  {:<10}",
+        "{:<26}{:<14}{:<14}{:>14}  {:<10}{:>14}",
         name,
         prop,
         format!("n={n},m={m}"),
         cell.0,
-        cell.1
+        cell.1,
+        format!("{}({})", stats.dedup_hits, stats.canonical_hits),
     );
 }
 

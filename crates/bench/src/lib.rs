@@ -5,9 +5,26 @@
 #![warn(missing_docs)]
 
 use camp_broadcast::SendToAll;
+use camp_sim::canonical::CertStore;
 use camp_sim::scheduler::{run_fair, Workload};
 use camp_sim::{FirstProposalRule, KsaOracle, Simulation};
 use camp_trace::Execution;
+
+/// Symmetry certificates for the registered algorithms, issued by running
+/// the static analyzer (`camp-lint symmetry`, rules S030–S035) over the
+/// workspace sources. The benchmarks and table generators run from the
+/// repository checkout, so the sources are available; a read failure
+/// degrades to an empty store — renaming-quotient canonicalization stays
+/// off and the engines fall back to plain deduplication — rather than
+/// aborting.
+#[must_use]
+pub fn workspace_certs() -> CertStore {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    match camp_lint::symmetry_check(std::path::Path::new(root), false) {
+        Ok(report) => report.cert_store(),
+        Err(_) => CertStore::new(),
+    }
+}
 
 /// Builds a completed Send-To-All execution over `n` processes with `m`
 /// broadcasts per process — the standard corpus for checker benchmarks.

@@ -88,6 +88,27 @@ impl BroadcastAlgorithm for CausalBroadcast {
         "causal".into()
     }
 
+    // Vector clocks address processes by position, which the default
+    // token-rewriting canonicalization cannot permute: render a clone with
+    // every clock (and the per-origin delivery counters) re-indexed first.
+    fn canonical_state_text(&self, st: &Self::State, perm: &[usize]) -> String {
+        let mut renamed = st.clone();
+        renamed.delivered = crate::permute_positions(&st.delivered, perm);
+        for m in &mut renamed.waiting {
+            m.clock = crate::permute_positions(&m.clock, perm);
+        }
+        for payload in renamed.queue.send_payloads_mut() {
+            payload.clock = crate::permute_positions(&payload.clock, perm);
+        }
+        camp_sim::canonical::rewrite_process_ids(&format!("{renamed:?}"), perm)
+    }
+
+    fn canonical_msg_text(&self, payload: &Self::Msg, perm: &[usize]) -> String {
+        let mut renamed = payload.clone();
+        renamed.clock = crate::permute_positions(&payload.clock, perm);
+        camp_sim::canonical::rewrite_process_ids(&format!("{renamed:?}"), perm)
+    }
+
     fn init(&self, pid: ProcessId, n: usize) -> Self::State {
         CausalState {
             me: pid,

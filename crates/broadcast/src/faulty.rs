@@ -11,6 +11,13 @@
 //! | [`Duplicating`] | BC-No-Duplication | `camp_specs::base::bc_no_duplication` |
 //! | [`Misattributing`] | BC-Validity (wrong origin) | `camp_specs::base::bc_validity` |
 //! | [`Lossy`] | BC-Global-CS-Termination (drops foreign messages) | `camp_specs::base::bc_global_cs_termination` |
+//! | [`RankBiased`] | process-renaming equivariance (fixed id-priority delivery) | `camp-lint symmetry` (S030/S032) |
+//!
+//! [`RankBiased`] is the one defect the dynamic probes of the protocol-graph
+//! rules (S020–S025) cannot see: probed from `p1` — the highest-priority
+//! broadcaster — it behaves exactly like Send-To-All. Only comparing
+//! propagation profiles *across broadcasters* exposes it, which is what the
+//! symmetry analyzer does.
 
 use camp_sim::{AppMessage, BroadcastAlgorithm, BroadcastStep};
 use camp_trace::{KsaId, ProcessId, Value};
@@ -267,6 +274,64 @@ impl BroadcastAlgorithm for Lossy {
     }
 }
 
+/// **Rank-biased broadcast**: Send-To-All, except a foreign message is
+/// delivered only when its broadcaster *outranks* the receiver (has a
+/// strictly smaller process id); receptions from lower-priority peers are
+/// silently dropped. The asymmetry is seeded on purpose: a broadcast from
+/// `p1` reaches everyone (so every per-broadcaster probe rooted at `p1`
+/// looks clean), but a broadcast from `p_n` reaches nobody else — the
+/// algorithm's behaviour depends on concrete process identity, breaking
+/// renaming equivariance without ever inspecting payload contents.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RankBiased;
+
+impl RankBiased {
+    /// Creates the algorithm.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl BroadcastAlgorithm for RankBiased {
+    type State = FaultyState;
+    type Msg = FaultyMsg;
+
+    fn name(&self) -> String {
+        "faulty:rank-biased".into()
+    }
+
+    fn init(&self, pid: ProcessId, n: usize) -> Self::State {
+        base_state(pid, n)
+    }
+
+    fn on_invoke_broadcast(&self, st: &mut Self::State, msg: AppMessage) {
+        for to in ProcessId::all(st.n) {
+            st.queue.push(BroadcastStep::Send {
+                to,
+                payload: FaultyMsg(msg),
+            });
+        }
+        st.queue.push(BroadcastStep::ReturnBroadcast);
+    }
+
+    fn on_receive(&self, st: &mut Self::State, _from: ProcessId, payload: FaultyMsg) {
+        let msg = payload.0;
+        if msg.sender == st.me || msg.sender.id() < st.me.id() {
+            st.queue.push(BroadcastStep::Deliver { msg });
+        }
+        // Lower-priority broadcasters (larger ids): dropped (the bug).
+    }
+
+    fn on_decide(&self, st: &mut Self::State, obj: KsaId, _value: Value) {
+        st.queue.unblock(obj);
+    }
+
+    fn next_step(&self, st: &mut Self::State) -> Option<BroadcastStep<FaultyMsg>> {
+        st.queue.pop()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,6 +365,29 @@ mod tests {
         run_fair(&mut s, &Workload::uniform(3, 1), 10_000).unwrap();
         let trace = s.into_trace();
         base::check_safety(&trace).unwrap(); // safety is intact
+        let err = base::bc_global_cs_termination(&trace).unwrap_err();
+        assert_eq!(err.property(), "BC-Global-CS-Termination");
+    }
+
+    #[test]
+    fn rank_biased_favors_outranking_broadcasters() {
+        // From p1 everything looks healthy: every process delivers p1's
+        // message (that is exactly why the single-broadcaster S02x probes
+        // stay clean on this variant).
+        let mut s = sim(RankBiased::new(), 3);
+        let mut only_p1 = Workload::new(3);
+        only_p1.push(ProcessId::new(1), Value::new(7));
+        run_fair(&mut s, &only_p1, 10_000).unwrap();
+        let trace = s.into_trace();
+        base::check_safety(&trace).unwrap();
+        base::bc_global_cs_termination(&trace).unwrap();
+
+        // A full workload exposes the bias: p3's message is dropped by both
+        // lower-id peers, breaking global termination.
+        let mut s = sim(RankBiased::new(), 3);
+        run_fair(&mut s, &Workload::uniform(3, 1), 10_000).unwrap();
+        let trace = s.into_trace();
+        base::check_safety(&trace).unwrap(); // never delivers wrong data
         let err = base::bc_global_cs_termination(&trace).unwrap_err();
         assert_eq!(err.property(), "BC-Global-CS-Termination");
     }

@@ -67,6 +67,16 @@ impl BroadcastAlgorithm for FifoBroadcast {
         "fifo".into()
     }
 
+    // The per-sender expectation and reorder buffers address processes by
+    // position, which the default token-rewriting canonicalization cannot
+    // permute: render a clone with both vectors re-indexed first.
+    fn canonical_state_text(&self, st: &Self::State, perm: &[usize]) -> String {
+        let mut renamed = st.clone();
+        renamed.expected = crate::permute_positions(&st.expected, perm);
+        renamed.buffered = crate::permute_positions(&st.buffered, perm);
+        camp_sim::canonical::rewrite_process_ids(&format!("{renamed:?}"), perm)
+    }
+
     fn init(&self, pid: ProcessId, n: usize) -> Self::State {
         FifoState {
             me: pid,

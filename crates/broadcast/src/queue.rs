@@ -71,6 +71,16 @@ impl<M> StepQueue<M> {
     pub fn is_idle(&self) -> bool {
         self.queue.is_empty() && self.blocked_on.is_none()
     }
+
+    /// Mutable access to the wire payloads of queued `Send` steps. Used by
+    /// the canonicalization hooks to permute position-indexed payload
+    /// fields (vector clocks) inside a cloned state before rendering it.
+    pub fn send_payloads_mut(&mut self) -> impl Iterator<Item = &mut M> {
+        self.queue.iter_mut().filter_map(|s| match s {
+            BroadcastStep::Send { payload, .. } => Some(payload),
+            _ => None,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -16,12 +16,18 @@
 //!   honestly declares `false`: it is documented as rejected by the
 //!   adversarial scheduler. The faulty [`QuorumBlocking`] claims `true` —
 //!   that mismatch between claim and probe is exactly what convicts it.
+//! * `symmetric` — whether the algorithm *claims* process-renaming
+//!   equivariance (behaviour independent of concrete process identities).
+//!   [`SequencerBroadcast`] honestly declares `false`: all delivery routes
+//!   through the fixed sequencer `p1`. The faulty [`RankBiased`] claims
+//!   `true` — the symmetry analyzer (`camp-lint symmetry`, S03x) convicts
+//!   that claim.
 //! * `file` — the workspace-relative source file defining the algorithm, so
 //!   graph-level findings can be anchored to a real `file:line` span.
 
 use camp_sim::BroadcastAlgorithm;
 
-use crate::faulty::{Duplicating, Lossy, Misattributing, QuorumBlocking};
+use crate::faulty::{Duplicating, Lossy, Misattributing, QuorumBlocking, RankBiased};
 use crate::{
     AgreedBroadcast, CausalBroadcast, EagerReliable, FifoBroadcast, SendToAll, SequencerBroadcast,
     SteppedBroadcast,
@@ -40,6 +46,9 @@ pub struct AlgoSpec {
     pub wait_free: bool,
     /// Does the algorithm use the `[k-SA]` model enrichment?
     pub uses_ksa: bool,
+    /// Does the algorithm claim process-renaming equivariance (no decision
+    /// depends on concrete process identities)?
+    pub symmetric: bool,
 }
 
 /// A callback invoked once per registered algorithm, monomorphised per
@@ -58,6 +67,7 @@ pub fn visit_builtins<V: AlgorithmVisitor>(v: &mut V) {
             file: "crates/broadcast/src/send_to_all.rs",
             wait_free: true,
             uses_ksa: false,
+            symmetric: true,
         },
         SendToAll::new(),
     );
@@ -68,6 +78,7 @@ pub fn visit_builtins<V: AlgorithmVisitor>(v: &mut V) {
             file: "crates/broadcast/src/reliable.rs",
             wait_free: true,
             uses_ksa: false,
+            symmetric: true,
         },
         EagerReliable::uniform(),
     );
@@ -78,6 +89,7 @@ pub fn visit_builtins<V: AlgorithmVisitor>(v: &mut V) {
             file: "crates/broadcast/src/fifo.rs",
             wait_free: true,
             uses_ksa: false,
+            symmetric: true,
         },
         FifoBroadcast::new(),
     );
@@ -88,6 +100,7 @@ pub fn visit_builtins<V: AlgorithmVisitor>(v: &mut V) {
             file: "crates/broadcast/src/causal.rs",
             wait_free: true,
             uses_ksa: false,
+            symmetric: true,
         },
         CausalBroadcast::new(),
     );
@@ -98,6 +111,7 @@ pub fn visit_builtins<V: AlgorithmVisitor>(v: &mut V) {
             file: "crates/broadcast/src/agreed.rs",
             wait_free: true,
             uses_ksa: true,
+            symmetric: true,
         },
         AgreedBroadcast::new(),
     );
@@ -108,12 +122,14 @@ pub fn visit_builtins<V: AlgorithmVisitor>(v: &mut V) {
             file: "crates/broadcast/src/stepped.rs",
             wait_free: true,
             uses_ksa: true,
+            symmetric: true,
         },
         SteppedBroadcast::new(),
     );
-    // Deliberately NOT wait-free: delivery routes through a sequencer
-    // process, so a non-sequencer alone never self-delivers. The lint's
-    // solo rules are informational for algorithms that declare this.
+    // Deliberately NOT wait-free (delivery routes through a sequencer
+    // process, so a non-sequencer alone never self-delivers) and NOT
+    // symmetric (the sequencer role is pinned to p1). The lint's solo and
+    // equivariance rules are informational for algorithms that declare so.
     v.visit(
         AlgoSpec {
             name: "sequencer",
@@ -121,16 +137,17 @@ pub fn visit_builtins<V: AlgorithmVisitor>(v: &mut V) {
             file: "crates/broadcast/src/sequencer.rs",
             wait_free: false,
             uses_ksa: false,
+            symmetric: false,
         },
         SequencerBroadcast::new(),
     );
 }
 
-/// Visits the four deliberately broken algorithms of [`crate::faulty`].
+/// Visits the five deliberately broken algorithms of [`crate::faulty`].
 ///
 /// Each one *claims* the properties of a correct broadcast (in particular
-/// `wait_free: true`) — the claims are what the static analyser convicts
-/// them against.
+/// `wait_free: true` and `symmetric: true`) — the claims are what the
+/// static analyser convicts them against.
 pub fn visit_faulty<V: AlgorithmVisitor>(v: &mut V) {
     const FILE: &str = "crates/broadcast/src/faulty.rs";
     v.visit(
@@ -140,6 +157,7 @@ pub fn visit_faulty<V: AlgorithmVisitor>(v: &mut V) {
             file: FILE,
             wait_free: true,
             uses_ksa: false,
+            symmetric: true,
         },
         QuorumBlocking::new(),
     );
@@ -150,6 +168,7 @@ pub fn visit_faulty<V: AlgorithmVisitor>(v: &mut V) {
             file: FILE,
             wait_free: true,
             uses_ksa: false,
+            symmetric: true,
         },
         Duplicating::new(),
     );
@@ -160,6 +179,7 @@ pub fn visit_faulty<V: AlgorithmVisitor>(v: &mut V) {
             file: FILE,
             wait_free: true,
             uses_ksa: false,
+            symmetric: true,
         },
         Misattributing::new(),
     );
@@ -170,8 +190,20 @@ pub fn visit_faulty<V: AlgorithmVisitor>(v: &mut V) {
             file: FILE,
             wait_free: true,
             uses_ksa: false,
+            symmetric: true,
         },
         Lossy::new(),
+    );
+    v.visit(
+        AlgoSpec {
+            name: "faulty:rank-biased",
+            struct_name: "RankBiased",
+            file: FILE,
+            wait_free: true,
+            uses_ksa: false,
+            symmetric: true,
+        },
+        RankBiased::new(),
     );
 }
 
@@ -179,11 +211,11 @@ pub fn visit_faulty<V: AlgorithmVisitor>(v: &mut V) {
 mod tests {
     use super::*;
 
-    struct Collect(Vec<(String, &'static str, bool)>);
+    struct Collect(Vec<(String, AlgoSpec)>);
 
     impl AlgorithmVisitor for Collect {
         fn visit<B: BroadcastAlgorithm + 'static>(&mut self, spec: AlgoSpec, algo: B) {
-            self.0.push((algo.name(), spec.name, spec.wait_free));
+            self.0.push((algo.name(), spec));
         }
     }
 
@@ -192,9 +224,9 @@ mod tests {
         let mut c = Collect(Vec::new());
         visit_builtins(&mut c);
         visit_faulty(&mut c);
-        assert_eq!(c.0.len(), 11);
-        for (algo_name, spec_name, _) in &c.0 {
-            assert_eq!(algo_name, spec_name, "spec name must match name()");
+        assert_eq!(c.0.len(), 12);
+        for (algo_name, spec) in &c.0 {
+            assert_eq!(algo_name, spec.name, "spec name must match name()");
         }
     }
 
@@ -203,9 +235,24 @@ mod tests {
         let mut c = Collect(Vec::new());
         visit_builtins(&mut c);
         visit_faulty(&mut c);
-        let non_wait_free: Vec<_> = c.0.iter().filter(|(_, _, wf)| !wf).collect();
+        let non_wait_free: Vec<_> = c.0.iter().filter(|(_, s)| !s.wait_free).collect();
         assert_eq!(non_wait_free.len(), 1);
-        assert_eq!(non_wait_free[0].1, "sequencer");
+        assert_eq!(non_wait_free[0].1.name, "sequencer");
+    }
+
+    #[test]
+    fn only_sequencer_declares_non_symmetric() {
+        let mut c = Collect(Vec::new());
+        visit_builtins(&mut c);
+        visit_faulty(&mut c);
+        let asymmetric: Vec<_> = c.0.iter().filter(|(_, s)| !s.symmetric).collect();
+        assert_eq!(asymmetric.len(), 1);
+        assert_eq!(asymmetric[0].1.name, "sequencer");
+        // rank-biased must CLAIM symmetry — the claim is what S03x convicts.
+        assert!(c
+            .0
+            .iter()
+            .any(|(n, s)| n == "faulty:rank-biased" && s.symmetric));
     }
 
     #[test]

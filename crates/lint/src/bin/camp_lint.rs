@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! camp-lint trace <file.json> [--json] [--strict]   lint a JSON execution trace
-//! camp-lint check [--json] [--deny-warnings]        static source + protocol-graph analysis
+//! camp-lint check [--json] [--deny-warnings]        source + protocol-graph + symmetry analysis
+//! camp-lint symmetry [--json] [--certs OUT.json]    symmetry analysis alone, with certificates
 //! camp-lint audit [--seeds N]                       audit the built-in algorithms
 //! camp-lint rules [--json]                          list the rule registry
 //! ```
@@ -30,9 +31,14 @@ const USAGE: &str = "usage:
                                          lint a JSON execution trace (--strict also
                                          re-validates well-formedness on load)
   camp-lint check [--json] [--deny-warnings] [--timings] [--root DIR]
-                  [--metrics OUT.json]   source lints (S0xx) + static protocol-graph
-                                         analysis of the registered broadcast algorithms;
-                                         --metrics writes a camp-obs/v1 counter snapshot
+                  [--metrics OUT.json]   source lints (S0xx) + static protocol-graph (S02x)
+                                         + symmetry (S03x) analysis of the registered
+                                         broadcast algorithms; --metrics writes a
+                                         camp-obs/v1 counter snapshot
+  camp-lint symmetry [--json] [--certs OUT.json] [--deny-warnings] [--timings]
+                     [--root DIR]        symmetry engine alone: S03x rules plus the
+                                         camp-symmetry-cert/v1 certificates that license
+                                         renaming-quotient canonicalization in camp-modelcheck
   camp-lint audit [--seeds N]            determinism + branch audit of the built-in algorithms
   camp-lint rules [--json]               list the rule registry";
 
@@ -42,6 +48,7 @@ fn main() -> ExitCode {
     match argv.split_first() {
         Some((&"trace", rest)) => cmd_trace(rest),
         Some((&"check", rest)) => cmd_check(rest),
+        Some((&"symmetry", rest)) => cmd_symmetry(rest),
         Some((&"audit", rest)) => cmd_audit(rest),
         Some((&"rules", rest)) => cmd_rules(rest),
         _ => {
@@ -113,8 +120,8 @@ fn cmd_trace(args: &[&str]) -> ExitCode {
 
 fn cmd_rules(args: &[&str]) -> ExitCode {
     let rules = default_rules();
-    // The three rule families share one listing: L0xx trace rules, S001-S010
-    // source rules, S020+ protocol-graph rules.
+    // The four rule families share one listing: L0xx trace rules, S001-S010
+    // source rules, S02x protocol-graph rules, S03x symmetry rules.
     let entry = |code: &str, name: &str, severity: &str, summary: &str| {
         serde_json::Value::Object(vec![
             ("code".to_string(), serde_json::Value::Str(code.to_string())),
@@ -138,6 +145,9 @@ fn cmd_rules(args: &[&str]) -> ExitCode {
             entries.push(entry(r.code, r.name, &r.severity.to_string(), r.rationale));
         }
         for (code, name, summary) in camp_lint::graph::GRAPH_RULES {
+            entries.push(entry(code, name, "error", summary));
+        }
+        for (code, name, summary) in camp_lint::symmetry::SYMMETRY_RULES {
             entries.push(entry(code, name, "error", summary));
         }
         match serde_json::to_string_pretty(&serde_json::Value::Array(entries)) {
@@ -167,6 +177,9 @@ fn cmd_rules(args: &[&str]) -> ExitCode {
             ));
         }
         for (code, name, summary) in camp_lint::graph::GRAPH_RULES {
+            emitln(format!("{code} {name:<28} error    {}", compact(summary)));
+        }
+        for (code, name, summary) in camp_lint::symmetry::SYMMETRY_RULES {
             emitln(format!("{code} {name:<28} error    {}", compact(summary)));
         }
     }
@@ -224,6 +237,7 @@ fn cmd_check(args: &[&str]) -> ExitCode {
     } else {
         emit(report.source.render());
         emit(report.graph.render());
+        emit(report.symmetry.render());
         emitln(format!(
             "check: healthy {}, faulty {}",
             if report.healthy_clean {
@@ -239,6 +253,67 @@ fn cmd_check(args: &[&str]) -> ExitCode {
         ));
     }
     if report.failed(deny_warnings) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_symmetry(args: &[&str]) -> ExitCode {
+    let json = args.contains(&"--json");
+    let deny_warnings = args.contains(&"--deny-warnings");
+    let timings = args.contains(&"--timings");
+    let root = match parse_value(args, "--root") {
+        Ok(r) => std::path::PathBuf::from(r.unwrap_or_else(|| ".".to_string())),
+        Err(e) => {
+            eprintln!("camp-lint: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let certs_path = match parse_value(args, "--certs") {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("camp-lint: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match camp_lint::symmetry_check(&root, timings) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "camp-lint: cannot run the symmetry engine at {} (pass --root): {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = certs_path {
+        let store = report.cert_store();
+        let text = match serde_json::to_string_pretty(&store) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("camp-lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("camp-lint: cannot write certificates to {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if json {
+        match serde_json::to_string_pretty(&report) {
+            Ok(s) => emitln(s),
+            Err(e) => {
+                eprintln!("camp-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        emit(report.render());
+    }
+    let warned = deny_warnings && report.warnings > 0;
+    if !report.healthy_clean() || warned {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS
@@ -269,6 +344,12 @@ fn check_metrics(report: &camp_lint::CheckReport) -> camp_obs::Counters {
     c.add("lint.graph.errors", g.errors as u64);
     c.add("lint.graph.warnings", g.warnings as u64);
     c.add("lint.graph.algorithms_probed", g.algorithms.len() as u64);
+    let y = &report.symmetry;
+    c.add("lint.symmetry.rules_checked", y.rules_checked.len() as u64);
+    c.add("lint.symmetry.errors", y.errors as u64);
+    c.add("lint.symmetry.warnings", y.warnings as u64);
+    c.add("lint.symmetry.algorithms_probed", y.algorithms.len() as u64);
+    c.add("lint.symmetry.certs_issued", y.certs.len() as u64);
     c
 }
 

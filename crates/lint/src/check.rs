@@ -1,5 +1,5 @@
 //! The combined `camp-lint check` pass: source lints plus the protocol-graph
-//! engine, joined into one report with the two acceptance verdicts.
+//! and symmetry engines, joined into one report with the acceptance verdicts.
 //!
 //! This lives in the library (rather than the binary) so tests can pin the
 //! exact report the CLI serialises — the workspace golden test compares
@@ -12,19 +12,25 @@ use serde::Serialize;
 
 use crate::graph::{graph_check, GraphReport};
 use crate::source::{scan_workspace, SourceReport};
+use crate::symmetry::{symmetry_check, SymmetryReport};
 
 /// The combined report of `camp-lint check`: the source pass, the
-/// protocol-graph engine, and the two acceptance verdicts.
+/// protocol-graph engine, the symmetry engine, and the acceptance verdicts.
 #[derive(Debug, Serialize)]
 pub struct CheckReport {
     /// The `S0xx` source lint pass over the protocol crates.
     pub source: SourceReport,
     /// The `S02x` protocol-graph pass over the registered algorithms.
     pub graph: GraphReport,
-    /// No source findings anywhere, and no graph findings against any
-    /// algorithm not registered as deliberately faulty.
+    /// The `S03x` symmetry pass over the registered algorithms.
+    pub symmetry: SymmetryReport,
+    /// No source findings anywhere, and no graph or symmetry findings
+    /// against any algorithm not registered as deliberately faulty.
     pub healthy_clean: bool,
-    /// Every algorithm registered as faulty drew at least one graph error.
+    /// Every algorithm registered as faulty drew at least one error from
+    /// *some* behavioural engine (graph or symmetry) — each variant is
+    /// planted for a specific rule family, so conviction is a per-algorithm
+    /// union, not a per-engine blanket.
     pub faulty_convicted: bool,
 }
 
@@ -32,15 +38,18 @@ impl CheckReport {
     /// Should `camp-lint check` exit nonzero for this report?
     #[must_use]
     pub fn failed(&self, deny_warnings: bool) -> bool {
-        let warned = self.source.warnings > 0 || self.graph.warnings > 0;
+        let warned =
+            self.source.warnings > 0 || self.graph.warnings > 0 || self.symmetry.warnings > 0;
         self.source.has_errors()
             || !self.graph.healthy_clean()
+            || !self.symmetry.healthy_clean()
             || !self.faulty_convicted
             || (deny_warnings && warned)
     }
 }
 
-/// Runs both engines over the workspace at `root` and joins the verdicts.
+/// Runs all three engines over the workspace at `root` and joins the
+/// verdicts.
 ///
 /// With `timings: false` (the default), the per-crate and per-pass wall
 /// times are omitted and the report is a pure function of the sources, so
@@ -53,13 +62,23 @@ impl CheckReport {
 pub fn check_workspace(root: &Path, timings: bool) -> io::Result<CheckReport> {
     let source = scan_workspace(root, timings)?;
     let graph = graph_check(root, timings)?;
-    // "Healthy clean" spans both engines: no source findings anywhere, no
-    // graph findings against algorithms not registered as faulty.
-    let healthy_clean = source.is_clean() && graph.healthy_clean();
-    let faulty_convicted = graph.faulty_convicted();
+    let symmetry = symmetry_check(root, timings)?;
+    // "Healthy clean" spans all engines: no source findings anywhere, no
+    // graph or symmetry findings against algorithms not registered as
+    // faulty.
+    let healthy_clean = source.is_clean() && graph.healthy_clean() && symmetry.healthy_clean();
+    // Conviction is per algorithm: the quorum/duplication/attribution/loss
+    // variants are graph business, the rank-biased variant is symmetry
+    // business; each must be caught by at least one engine.
+    let faulty_convicted = graph
+        .algorithms
+        .iter()
+        .filter(|a| a.expected_faulty)
+        .all(|a| a.has_errors() || symmetry.convicted(&a.name));
     Ok(CheckReport {
         source,
         graph,
+        symmetry,
         healthy_clean,
         faulty_convicted,
     })

@@ -51,6 +51,7 @@ mod diagnostics;
 pub mod graph;
 pub mod rules;
 pub mod source;
+pub mod symmetry;
 
 pub use algorithm::{audit_branches, branch_label, BranchReport, ExploreFailed, StuckState};
 pub use check::{check_workspace, CheckReport};
@@ -59,3 +60,4 @@ pub use diagnostics::{Diagnostic, Report, Severity};
 pub use graph::{graph_check, AlgoGraph, GraphReport};
 pub use rules::{default_rules, lint_execution, lint_with, Rule};
 pub use source::{lint_source, scan_workspace, SourceDiagnostic, SourceReport};
+pub use symmetry::{symmetry_check, AlgoSymmetry, SymmetryReport};

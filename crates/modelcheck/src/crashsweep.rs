@@ -15,7 +15,11 @@
 //! exponential, and it is *complete for fair schedules*: every way the
 //! victims can crash along the fair run is covered.
 
+use std::cell::{Cell, RefCell};
+use std::collections::HashSet;
+
 use camp_obs::{NoopSink, ObsSink};
+use camp_sim::canonical::{canonical_execution_digest, CertStore};
 use camp_sim::scheduler::Workload;
 use camp_sim::{BroadcastAlgorithm, KsaOracle, SimError, Simulation};
 use camp_specs::{SpecResult, Violation};
@@ -277,6 +281,51 @@ where
         None => SweepOutcome::Verified { runs },
     };
     sink.end("crashsweep");
+    outcome
+}
+
+/// [`crash_point_sweep_obs`], with completed-run deduplication by
+/// renaming-quotient digest enabled if — and only if — `certs` holds a
+/// valid `camp-symmetry-cert/v1` for the swept algorithm.
+///
+/// The sweep has no state memoization of its own (each run is independent),
+/// but different crash points routinely complete into executions that are
+/// process-renamings of one another (with message ids and contents renamed
+/// injectively). For a certified algorithm the `camp-specs` verdict is
+/// invariant under exactly those renamings, so the property is checked once
+/// per quotient class: later digest-equal runs are counted but not
+/// re-checked. Records `crashsweep.cert_loaded` (0 or 1) and
+/// `crashsweep.canonical_hits` (runs whose check was skipped). Without a
+/// valid certificate this is exactly [`crash_point_sweep_obs`].
+pub fn crash_point_sweep_certs<B, F, S>(
+    make_sim: &dyn Fn() -> Simulation<B>,
+    workload: &Workload,
+    victims: &[ProcessId],
+    property: &F,
+    max_events: usize,
+    certs: &CertStore,
+    sink: &mut S,
+) -> SweepOutcome
+where
+    B: BroadcastAlgorithm,
+    F: Fn(&Execution) -> SpecResult,
+    S: ObsSink,
+{
+    if !certs.valid_for(&make_sim().algorithm().name()) {
+        return crash_point_sweep_obs(make_sim, workload, victims, property, max_events, sink);
+    }
+    sink.inc("crashsweep.cert_loaded");
+    let seen: RefCell<HashSet<u128>> = RefCell::new(HashSet::new());
+    let hits = Cell::new(0u64);
+    let deduped = |exec: &Execution| -> SpecResult {
+        if !seen.borrow_mut().insert(canonical_execution_digest(exec)) {
+            hits.set(hits.get() + 1);
+            return Ok(());
+        }
+        property(exec)
+    };
+    let outcome = crash_point_sweep_obs(make_sim, workload, victims, &deduped, max_events, sink);
+    sink.add("crashsweep.canonical_hits", hits.get());
     outcome
 }
 

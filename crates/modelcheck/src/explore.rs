@@ -48,10 +48,11 @@
 //! A fourth layer, deterministic parallel frontier exploration, lives in
 //! [`crate::explore_parallel`].
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::ops::ControlFlow;
 
 use camp_obs::{NoopSink, ObsSink};
+use camp_sim::canonical::{self, CertStore};
 use camp_sim::fingerprint::StateHasher;
 use camp_sim::scheduler::Workload;
 use camp_sim::{BroadcastAlgorithm, SimError, Simulation};
@@ -93,6 +94,13 @@ pub struct EngineConfig {
     pub dedup: bool,
     /// Partial-order reduction over independent environment events.
     pub sleep_sets: bool,
+    /// Additionally memoize states by their *canonical* fingerprint — the
+    /// minimum over all process renamings (with message ids and contents
+    /// normalized) — so interleavings that re-converge only up to a renaming
+    /// are pruned too. **Sound only for algorithms holding a valid
+    /// [`camp_sim::SymmetryCert`]**; use [`explore_with_certs`] to let a
+    /// certificate store make that decision. Off by default.
+    pub canonical: bool,
 }
 
 impl Default for EngineConfig {
@@ -101,6 +109,7 @@ impl Default for EngineConfig {
             budgets: ExploreConfig::default(),
             dedup: true,
             sleep_sets: true,
+            canonical: false,
         }
     }
 }
@@ -123,6 +132,9 @@ pub struct EngineStats {
     pub completed: usize,
     /// Nodes pruned because their fingerprint was already expanded.
     pub dedup_hits: usize,
+    /// The subset of `dedup_hits` pruned by the *canonical* (renaming-
+    /// quotient) fingerprint rather than the plain one.
+    pub canonical_hits: usize,
     /// Branches skipped because the chosen event was asleep.
     pub sleep_skips: usize,
     /// Whether a budget was hit.
@@ -304,6 +316,47 @@ where
     Ok(1 + drain(sim)?)
 }
 
+/// The canonical memoization fingerprint of a node: the minimum over all
+/// candidate process renamings of the digest of (renamed live state text,
+/// renamed trace text, renamed workload cursors and remaining contents),
+/// with message ids and payload contents normalized by first occurrence.
+///
+/// Unlike [`combined_fingerprint`] this cannot use the per-process
+/// projection hashes (they bake in concrete ids), so it re-renders the
+/// trace; the workload future must be included explicitly because two
+/// renamed states are only interchangeable if their *pending* invocations
+/// also correspond under the renaming.
+pub(crate) fn canonical_combined_fingerprint<B: BroadcastAlgorithm>(
+    sim: &Simulation<B>,
+    workload: &Workload,
+    issued: &[usize],
+) -> u128 {
+    use std::fmt::Write as _;
+    let n = sim.n();
+    canonical::process_permutations(n)
+        .iter()
+        .map(|perm| {
+            let inv = canonical::invert(perm);
+            let mut text = sim.canonical_state_text(perm);
+            text.push_str(&canonical::execution_text(sim.trace(), perm));
+            for new in 1..=n {
+                let old_index = inv[new - 1];
+                let p = ProcessId::new(old_index + 1);
+                let cursor = issued[old_index];
+                let _ = write!(text, "wl[{new}]@{cursor}=");
+                let mut idx = cursor;
+                while let Some(v) = workload.get(p, idx) {
+                    let _ = write!(text, "{v:?},");
+                    idx += 1;
+                }
+                text.push(';');
+            }
+            canonical::digest(&canonical::normalize_ids(&text))
+        })
+        .min()
+        .expect("at least the identity permutation")
+}
+
 /// The memoization fingerprint of a node: live simulation state, workload
 /// cursors, and the per-process projection hashes of the trace so far.
 pub(crate) fn combined_fingerprint<B: BroadcastAlgorithm>(
@@ -339,6 +392,13 @@ pub(crate) struct Engine<'a, S: ObsSink> {
     // `NoopSink` every recording call below monomorphizes to nothing.
     pub sink: &'a mut S,
     visited: HashMap<u128, Vec<Vec<ChoiceKey>>>,
+    // Canonical fingerprints of states expanded with an EMPTY sleep set.
+    // Only those may license a cross-renaming prune: a sleep-set signature
+    // is a set of `ChoiceKey`s, whose process/message ids live in the
+    // namespace of one particular interleaving — comparing signatures
+    // across renamed states would be meaningless, but an empty-sleep
+    // expansion explored everything, which dominates any revisit.
+    canonical_visited: HashSet<u128>,
     scratch: Vec<Vec<Choice>>,
 }
 
@@ -356,6 +416,7 @@ impl<'a, S: ObsSink> Engine<'a, S> {
             stats: EngineStats::default(),
             sink,
             visited: HashMap::new(),
+            canonical_visited: HashSet::new(),
             scratch: Vec::new(),
         }
     }
@@ -422,6 +483,22 @@ impl<'a, S: ObsSink> Engine<'a, S> {
             }
             if sigs.len() < MAX_SLEEP_SIGNATURES {
                 sigs.push(sig);
+            }
+        }
+
+        if self.cfg.canonical {
+            let cfp = canonical_combined_fingerprint(sim, self.workload, issued);
+            self.sink.inc("modelcheck.canonical_fingerprints");
+            if self.canonical_visited.contains(&cfp) {
+                self.stats.dedup_hits += 1;
+                self.stats.canonical_hits += 1;
+                self.sink.inc("modelcheck.dedup_hits");
+                self.sink.inc("modelcheck.canonical_hits");
+                self.scratch.push(choices);
+                return ControlFlow::Continue(());
+            }
+            if sleep.is_empty() {
+                self.canonical_visited.insert(cfp);
             }
         }
 
@@ -537,6 +614,44 @@ where
     outcome
 }
 
+/// [`explore_with_obs`], with the symmetry-canonicalization layer enabled
+/// if — and only if — `certs` holds a valid `camp-symmetry-cert/v1` for the
+/// simulated algorithm.
+///
+/// The certificate (issued by `camp-lint symmetry`) attests that the
+/// algorithm is process-renaming equivariant and statically content-neutral,
+/// which is exactly the hypothesis the renaming-quotient prune needs: every
+/// execution reachable from a pruned state is, up to a process renaming and
+/// an injective message-id/content renaming, also reachable from the state
+/// that was expanded — and the `camp-specs` properties are invariant under
+/// those renamings. Without a valid certificate the engine runs exactly like
+/// [`explore_with_obs`] (the `canonical` flag is forced off, never on).
+///
+/// Records `modelcheck.cert_loaded` (0 or 1) alongside the usual counters.
+pub fn explore_with_certs<B, S>(
+    sim: Simulation<B>,
+    workload: &Workload,
+    property: &dyn Fn(&Execution) -> SpecResult,
+    cfg: EngineConfig,
+    certs: &CertStore,
+    sink: &mut S,
+) -> (ExploreOutcome, EngineStats)
+where
+    B: BroadcastAlgorithm + Clone,
+    B::Msg: Clone,
+    S: ObsSink,
+{
+    let certified = certs.valid_for(&sim.algorithm().name());
+    if certified {
+        sink.inc("modelcheck.cert_loaded");
+    }
+    let cfg = EngineConfig {
+        canonical: certified,
+        ..cfg
+    };
+    explore_with_obs(sim, workload, property, cfg, sink)
+}
+
 /// Explores every environment schedule of `sim` under `workload` with the
 /// full reduction stack (drain + sleep sets + memoization), checking
 /// `property` on each completed execution.
@@ -578,6 +693,7 @@ where
             budgets: cfg,
             dedup: false,
             sleep_sets: false,
+            canonical: false,
         },
     )
     .0

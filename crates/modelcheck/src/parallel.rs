@@ -276,6 +276,7 @@ where
         stats.nodes += unit_stats.nodes;
         stats.completed += unit_stats.completed;
         stats.dedup_hits += unit_stats.dedup_hits;
+        stats.canonical_hits += unit_stats.canonical_hits;
         stats.sleep_skips += unit_stats.sleep_skips;
         stats.truncated |= unit_stats.truncated;
         unit_counters.replay_into(sink);

@@ -1,0 +1,373 @@
+//! Properties of the renaming-quotient canonicalization layer.
+//!
+//! Two families:
+//!
+//! 1. **Fingerprint invariance.** [`Simulation::fingerprint_canonical`] is
+//!    constant across process renamings: driving the same *role-based*
+//!    script through a simulation under every permutation of the concrete
+//!    process ids produces states with equal canonical fingerprints (the
+//!    plain [`Simulation::fingerprint`] legitimately differs — that is the
+//!    blind spot the quotient closes).
+//! 2. **Engine equivalence.** The explorer with `canonical: true` reports
+//!    the same verdict as the plain reduced engine and the naive baseline
+//!    on every scope, for every symmetric algorithm in the pool — pruning
+//!    by renaming only merges schedule classes, never changes the answer.
+//!    Cert gating is checked separately: an empty [`CertStore`] must leave
+//!    the canonical layer off, a valid certificate must switch it on.
+//!
+//! Case counts honour `CAMP_PROPTEST_CASES` like the engine-equivalence
+//! suite.
+
+use camp_broadcast::faulty::{Duplicating, Lossy, QuorumBlocking};
+use camp_broadcast::{CausalBroadcast, EagerReliable, FifoBroadcast, SendToAll};
+use camp_modelcheck::{
+    explore_baseline, explore_with_certs, explore_with_stats, EngineConfig, ExploreConfig,
+    ExploreOutcome,
+};
+use camp_obs::Counters;
+use camp_sim::canonical::{CertStore, SymmetryCert, CERT_SCHEMA};
+use camp_sim::scheduler::Workload;
+use camp_sim::{BroadcastAlgorithm, FirstProposalRule, KsaOracle, Simulation};
+use camp_specs::{base, SpecResult};
+use camp_trace::{Execution, ProcessId, Value};
+use proptest::prelude::*;
+
+fn cases_from_env() -> u32 {
+    std::env::var("CAMP_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16)
+}
+
+fn fresh<B: BroadcastAlgorithm>(algo: B, n: usize) -> Simulation<B> {
+    Simulation::new(algo, n, KsaOracle::new(1, Box::new(FirstProposalRule)))
+}
+
+/// One step of a role-based script. Roles are abstract process names
+/// `1..=n`; a permutation decides which concrete process plays which role.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Role `r` invokes a broadcast with the given content.
+    Invoke(usize, u64),
+    /// The first in-flight message from role `from` to role `to` is
+    /// received (skipped if none is in flight).
+    Receive { from: usize, to: usize },
+}
+
+/// Drains every enabled local step, in *role* order: the canonical
+/// fingerprint quotients by renaming, not by commuting independent events,
+/// so the global event order must be identical across permutations modulo
+/// the relabeling — draining in concrete-pid order would interleave the
+/// renamed runs differently.
+fn drain_all<B: BroadcastAlgorithm>(sim: &mut Simulation<B>, perm: &[usize]) {
+    loop {
+        let mut progressed = false;
+        for role in 1..=sim.n() {
+            let p = ProcessId::new(perm[role - 1]);
+            while sim.has_local_step(p) {
+                sim.step_process(p).expect("scripted step");
+                progressed = true;
+            }
+        }
+        if !progressed {
+            return;
+        }
+    }
+}
+
+/// Runs `ops` with role `r` played by concrete process `perm[r - 1]`.
+fn run_script<B>(algo: B, n: usize, perm: &[usize], ops: &[Op]) -> Simulation<B>
+where
+    B: BroadcastAlgorithm,
+    B::Msg: Clone,
+{
+    let actual = |role: usize| ProcessId::new(perm[role - 1]);
+    let mut sim = fresh(algo, n);
+    for &op in ops {
+        match op {
+            Op::Invoke(role, content) => {
+                // One outstanding invocation per process, as the scheduler
+                // enforces.
+                if sim.pending_broadcast(actual(role)).is_none() {
+                    sim.invoke_broadcast(actual(role), Value::new(content))
+                        .expect("scripted invoke");
+                }
+            }
+            Op::Receive { from, to } => {
+                let slot = sim
+                    .network()
+                    .in_flight()
+                    .iter()
+                    .position(|m| m.from == actual(from) && m.to == actual(to));
+                if let Some(slot) = slot {
+                    sim.receive(slot).expect("scripted receive");
+                }
+            }
+        }
+        drain_all(&mut sim, perm);
+    }
+    sim
+}
+
+/// All six permutations of three concrete process ids.
+const PERMS3: [[usize; 3]; 6] = [
+    [1, 2, 3],
+    [1, 3, 2],
+    [2, 1, 3],
+    [2, 3, 1],
+    [3, 1, 2],
+    [3, 2, 1],
+];
+
+/// The vendored proptest has no `prop_oneof`, so ops are generated as
+/// `(kind, role, extra)` tuples and decoded: even kinds invoke, odd kinds
+/// receive (`extra` picks the sending role).
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec((0u8..4, 1usize..=3, 0usize..40), 1..8).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(kind, role, extra)| {
+                if kind % 2 == 0 {
+                    Op::Invoke(role, extra as u64)
+                } else {
+                    Op::Receive {
+                        from: extra % 3 + 1,
+                        to: role,
+                    }
+                }
+            })
+            .collect()
+    })
+}
+
+fn canonical_fp_under<B>(algo: B, perm: &[usize; 3], ops: &[Op]) -> u128
+where
+    B: BroadcastAlgorithm,
+    B::Msg: Clone,
+{
+    run_script(algo, 3, perm, ops).fingerprint_canonical()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases_from_env()))]
+
+    /// The canonical fingerprint is a true renaming invariant: the same
+    /// role script, played under every permutation of the concrete ids,
+    /// lands on the same canonical fingerprint — for every symmetric
+    /// algorithm in the pool.
+    #[test]
+    fn canonical_fingerprint_is_renaming_invariant(
+        algo in 0usize..4,
+        ops in arb_ops(),
+    ) {
+        let fp_under = |perm: &[usize; 3]| match algo {
+            0 => canonical_fp_under(SendToAll::new(), perm, &ops),
+            1 => canonical_fp_under(FifoBroadcast::new(), perm, &ops),
+            2 => canonical_fp_under(CausalBroadcast::new(), perm, &ops),
+            _ => canonical_fp_under(EagerReliable::uniform(), perm, &ops),
+        };
+        let reference = fp_under(&PERMS3[0]);
+        for perm in &PERMS3[1..] {
+            prop_assert_eq!(
+                fp_under(perm),
+                reference,
+                "canonical fingerprint differs under {:?} (ops {:?})",
+                perm,
+                &ops
+            );
+        }
+    }
+}
+
+/// The plain fingerprint does NOT have the invariance property — that is
+/// the blind spot the canonical quotient closes (if it did, canonical
+/// pruning would be redundant). A broadcast by p1 versus the same role
+/// script played by p2 must produce distinct plain fingerprints but equal
+/// canonical ones.
+#[test]
+fn plain_fingerprint_is_not_renaming_invariant() {
+    let ops = [Op::Invoke(1, 7)];
+    let a = run_script(FifoBroadcast::new(), 3, &PERMS3[0], &ops);
+    let b = run_script(FifoBroadcast::new(), 3, &PERMS3[3], &ops); // role 1 -> p2
+    assert_ne!(
+        a.fingerprint(),
+        b.fingerprint(),
+        "scopes too small to differ"
+    );
+    assert_eq!(a.fingerprint_canonical(), b.fingerprint_canonical());
+}
+
+fn verdict(outcome: &ExploreOutcome) -> String {
+    match outcome {
+        ExploreOutcome::Verified { truncated, .. } => format!("verified(truncated={truncated})"),
+        ExploreOutcome::CounterExample { violation, .. } => {
+            format!("violation({})", violation.property())
+        }
+        ExploreOutcome::Error(e) => format!("error({e:?})"),
+    }
+}
+
+const BUDGETS: ExploreConfig = ExploreConfig {
+    max_depth: 64,
+    max_executions: 5_000_000,
+    max_nodes: 20_000_000,
+};
+
+fn canonical_cfg() -> EngineConfig {
+    EngineConfig {
+        canonical: true,
+        ..EngineConfig::from(BUDGETS)
+    }
+}
+
+/// Baseline / plain-reduced / canonical-reduced verdicts on one scope.
+fn three_verdicts<B>(algo: B, workload: &Workload) -> (String, String, String)
+where
+    B: BroadcastAlgorithm + Clone,
+    B::Msg: Clone,
+{
+    let property = |e: &Execution| -> SpecResult { base::check_all(e) };
+    let baseline = explore_baseline(fresh(algo.clone(), 2), workload, &property, BUDGETS);
+    let (plain, _) = explore_with_stats(
+        fresh(algo.clone(), 2),
+        workload,
+        &property,
+        EngineConfig::from(BUDGETS),
+    );
+    let (canonical, _) = explore_with_stats(fresh(algo, 2), workload, &property, canonical_cfg());
+    (verdict(&baseline), verdict(&plain), verdict(&canonical))
+}
+
+fn workload2(total: usize, first: usize, vals: &[u64]) -> Workload {
+    let first = first.min(total);
+    let mut w = Workload::new(2);
+    for (i, v) in vals.iter().enumerate().take(total) {
+        let pid = if i < first { 1 } else { 2 };
+        w.push(ProcessId::new(pid), Value::new(*v));
+    }
+    w
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases_from_env()))]
+
+    /// The canonical engine agrees with the plain engine and the naive
+    /// baseline on every scope, for symmetric algorithms — correct and
+    /// seeded-faulty alike. (Asymmetric algorithms never reach the
+    /// canonical engine: `explore_with_certs` refuses them without a
+    /// certificate, and `camp-lint symmetry` refuses them a certificate.)
+    #[test]
+    fn canonical_engine_agrees_with_baseline(
+        algo in 0usize..7,
+        total in 2usize..4,
+        first in 0usize..4,
+        vals in proptest::collection::vec(0u64..50, 3),
+    ) {
+        let w = workload2(total, first, &vals);
+        let (b, r, c) = match algo {
+            0 => three_verdicts(SendToAll::new(), &w),
+            1 => three_verdicts(FifoBroadcast::new(), &w),
+            2 => three_verdicts(CausalBroadcast::new(), &w),
+            3 => three_verdicts(EagerReliable::uniform(), &w),
+            4 => three_verdicts(Duplicating::new(), &w),
+            5 => three_verdicts(Lossy::new(), &w),
+            _ => three_verdicts(QuorumBlocking::new(), &w),
+        };
+        prop_assert!(!b.contains("truncated=true"), "baseline truncated: {b}");
+        prop_assert_eq!(&b, &r, "plain reduced engine disagrees with baseline");
+        prop_assert_eq!(&b, &c, "canonical engine disagrees with baseline");
+    }
+}
+
+fn cert_for(name: &str) -> SymmetryCert {
+    SymmetryCert {
+        schema: CERT_SCHEMA.to_string(),
+        algorithm: name.to_string(),
+        probe_n: 3,
+        broadcasters_checked: 3,
+        equivariant: true,
+        content_neutral: true,
+        evidence: "test".to_string(),
+    }
+}
+
+#[test]
+fn cert_gate_controls_the_canonical_layer() {
+    let property = |e: &Execution| -> SpecResult { base::check_all(e) };
+    // The small 2 x 1 scope is enough to observe the layer staying OFF.
+    let small = Workload::uniform(2, 1);
+
+    // Empty store: canonical stays off, no cert loaded, no canonical hits.
+    let mut sink = Counters::new();
+    let (outcome, stats) = explore_with_certs(
+        fresh(FifoBroadcast::new(), 2),
+        &small,
+        &property,
+        EngineConfig::default(),
+        &CertStore::new(),
+        &mut sink,
+    );
+    assert!(outcome.verified(), "{outcome:?}");
+    assert_eq!(stats.canonical_hits, 0);
+    assert_eq!(sink.count("modelcheck.cert_loaded"), 0);
+    assert_eq!(sink.count("modelcheck.canonical_hits"), 0);
+
+    // A stale-schema cert is not valid: the layer stays off.
+    let mut stale = CertStore::new();
+    let mut cert = cert_for("fifo");
+    cert.schema = "camp-symmetry-cert/v0".to_string();
+    stale.insert(cert);
+    let mut sink = Counters::new();
+    let (_, stats) = explore_with_certs(
+        fresh(FifoBroadcast::new(), 2),
+        &small,
+        &property,
+        EngineConfig::default(),
+        &stale,
+        &mut sink,
+    );
+    assert_eq!(sink.count("modelcheck.cert_loaded"), 0);
+    assert_eq!(stats.canonical_hits, 0);
+
+    // Valid cert: the layer switches on, and on the 2 x 2 scope — where
+    // the two processes' schedules mirror each other — it actually fires.
+    // (On the 2 x 1 scope sleep sets already collapse every symmetric
+    // branch, so the quotient needs the larger scope to have work left.)
+    let mut store = CertStore::new();
+    store.insert(cert_for("fifo"));
+    let mut sink = Counters::new();
+    let (outcome, stats) = explore_with_certs(
+        fresh(FifoBroadcast::new(), 2),
+        &Workload::uniform(2, 2),
+        &property,
+        EngineConfig::default(),
+        &store,
+        &mut sink,
+    );
+    assert!(outcome.verified(), "{outcome:?}");
+    assert_eq!(sink.count("modelcheck.cert_loaded"), 1);
+    assert!(
+        stats.canonical_hits > 0,
+        "the symmetric 2x2 scope must have renamed re-convergences: {stats:?}"
+    );
+    assert_eq!(
+        sink.count("modelcheck.canonical_hits"),
+        stats.canonical_hits as u64
+    );
+    assert!(stats.canonical_hits <= stats.dedup_hits);
+}
+
+#[test]
+fn canonical_run_is_deterministic() {
+    let w = Workload::uniform(2, 2);
+    let property = |e: &Execution| -> SpecResult { base::check_all(e) };
+    let run = || {
+        let (outcome, stats) = explore_with_stats(
+            fresh(FifoBroadcast::new(), 2),
+            &w,
+            &property,
+            canonical_cfg(),
+        );
+        format!("{}/{stats:?}", verdict(&outcome))
+    };
+    assert_eq!(run(), run());
+}

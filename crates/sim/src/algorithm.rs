@@ -110,6 +110,29 @@ pub trait BroadcastAlgorithm {
     /// The next local step the process takes, or `None` if it is blocked
     /// waiting for an input event. Taking the step consumes it.
     fn next_step(&self, st: &mut Self::State) -> Option<BroadcastStep<Self::Msg>>;
+
+    /// Structural text of one process's state under the process renaming
+    /// `perm` (`perm[old-1]` = new 1-based id), used by the
+    /// renaming-quotient canonicalization (see [`crate::canonical`]).
+    ///
+    /// The default rewrites the `ProcessId(k)` tokens of the `Debug`
+    /// rendering, which is exact whenever the state refers to processes
+    /// only through `ProcessId` values. Algorithms whose state indexes
+    /// data by process **position** — per-sender counters, vector clocks —
+    /// must override this and permute those positions too; a missing
+    /// override is sound (renamed states simply never canonicalize equal,
+    /// so the quotient degrades to plain deduplication) but defeats the
+    /// reduction.
+    fn canonical_state_text(&self, st: &Self::State, perm: &[usize]) -> String {
+        crate::canonical::rewrite_process_ids(&format!("{st:?}"), perm)
+    }
+
+    /// Structural text of one wire payload under the process renaming
+    /// `perm`; same contract and same default as
+    /// [`canonical_state_text`](BroadcastAlgorithm::canonical_state_text).
+    fn canonical_msg_text(&self, payload: &Self::Msg, perm: &[usize]) -> String {
+        crate::canonical::rewrite_process_ids(&format!("{payload:?}"), perm)
+    }
 }
 
 /// A local step an algorithm solving k-set agreement (`𝒜` role) may take.

@@ -1,0 +1,454 @@
+//! Renaming-quotient canonicalization of simulation state, and the
+//! machine-checked [`SymmetryCert`] that licenses it.
+//!
+//! The paper's content-neutrality property (Definition 3) and its renaming
+//! surgeries say a well-formed broadcast abstraction cannot tell symmetric
+//! executions apart: admissibility is preserved when messages are renamed,
+//! and a process-symmetric algorithm behaves identically when process
+//! identities are permuted. The bounded model checker can therefore merge
+//! states that differ only by such a renaming — *provided* the algorithm
+//! under check really is renaming-equivariant and content-neutral. That
+//! proof obligation is discharged statically by `camp-lint symmetry`
+//! (rules S030–S035), which serializes its verdict as a [`SymmetryCert`];
+//! the engines in `camp-modelcheck` enable the quotient only when a valid
+//! certificate is presented.
+//!
+//! # Canonical form
+//!
+//! States are canonicalized through their `Debug` rendering — the same
+//! structural text [`crate::fingerprint::StateHasher`] already hashes. Three
+//! token families carry run-specific identity:
+//!
+//! * `ProcessId(k)` — rewritten through a candidate permutation `π`;
+//! * `MessageId(k)` — replaced by its first-occurrence index in the text;
+//! * `Value(k)` — replaced by its first-occurrence index in the text.
+//!
+//! For each permutation `π` the per-process components are re-ordered into
+//! `π`-order and every `ProcessId` token is rewritten, then message ids and
+//! values are normalized by first occurrence and the text is digested. The
+//! canonical fingerprint is the **minimum digest over all permutations**:
+//! since the text of a renamed state under `π` equals the text of the
+//! original under the composed permutation, the orbit of texts — and hence
+//! its minimum — is renaming-invariant. The full orbit (`n!` candidates) is
+//! enumerated up to [`MAX_FULL_ORBIT_N`] processes; beyond that only the
+//! identity is tried, which still normalizes message ids and contents.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use camp_trace::{Action, Execution, ProcessId};
+use serde::{Deserialize, Serialize};
+
+use crate::fingerprint::StateHasher;
+
+/// Version tag every serialized certificate carries; consumers reject
+/// certificates with any other schema.
+pub const CERT_SCHEMA: &str = "camp-symmetry-cert/v1";
+
+/// Full-orbit bound: all `n!` process permutations are tried for systems of
+/// at most this many processes (4! = 24 renderings per fingerprint); larger
+/// systems fall back to the identity permutation.
+pub const MAX_FULL_ORBIT_N: usize = 4;
+
+/// A machine-checked symmetry certificate for one registered algorithm,
+/// issued by `camp-lint symmetry` when the static analysis proves both
+/// process-renaming equivariance (S030–S033) and content-neutrality
+/// (S034–S035) of the protocol graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SymmetryCert {
+    /// Certificate format version ([`CERT_SCHEMA`]).
+    pub schema: String,
+    /// Registered display name of the certified algorithm.
+    pub algorithm: String,
+    /// System size the static probes ran with.
+    pub probe_n: usize,
+    /// Number of distinct broadcasters whose propagation profiles were
+    /// compared (equals `probe_n` when equivariance was checked).
+    pub broadcasters_checked: usize,
+    /// Did every broadcaster's canonical propagation profile match?
+    pub equivariant: bool,
+    /// Did payloads flow opaquely from broadcast to delivery?
+    pub content_neutral: bool,
+    /// Digest (hex) of the reference canonical propagation profile the
+    /// verdict was derived from, for audit.
+    pub evidence: String,
+}
+
+impl SymmetryCert {
+    /// Is this certificate one the model checker may act on? Requires the
+    /// exact schema version and both properties proved.
+    #[must_use]
+    pub fn valid(&self) -> bool {
+        self.schema == CERT_SCHEMA && self.equivariant && self.content_neutral
+    }
+}
+
+/// A set of certificates keyed by algorithm name, as produced by
+/// `camp-lint symmetry --certs` and consumed by the cert-gated engine
+/// entry points in `camp-modelcheck`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CertStore {
+    certs: BTreeMap<String, SymmetryCert>,
+}
+
+impl CertStore {
+    /// An empty store (no algorithm is certified).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) the certificate for its algorithm.
+    pub fn insert(&mut self, cert: SymmetryCert) {
+        self.certs.insert(cert.algorithm.clone(), cert);
+    }
+
+    /// The certificate registered for `algorithm`, if any.
+    #[must_use]
+    pub fn get(&self, algorithm: &str) -> Option<&SymmetryCert> {
+        self.certs.get(algorithm)
+    }
+
+    /// Is there a [`SymmetryCert::valid`] certificate for `algorithm`?
+    #[must_use]
+    pub fn valid_for(&self, algorithm: &str) -> bool {
+        self.get(algorithm).is_some_and(SymmetryCert::valid)
+    }
+
+    /// Number of stored certificates.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.certs.len()
+    }
+
+    /// Is the store empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.certs.is_empty()
+    }
+
+    /// Iterates certificates in algorithm-name order.
+    pub fn iter(&self) -> impl Iterator<Item = &SymmetryCert> {
+        self.certs.values()
+    }
+}
+
+/// All candidate process renamings of an `n`-process system, each encoded as
+/// `perm[old_index] = new 1-based id`. The identity comes first; for
+/// `n > MAX_FULL_ORBIT_N` only the identity is returned.
+#[must_use]
+pub fn process_permutations(n: usize) -> Vec<Vec<usize>> {
+    let identity: Vec<usize> = (1..=n).collect();
+    if n > MAX_FULL_ORBIT_N {
+        return vec![identity];
+    }
+    let mut all = Vec::new();
+    let mut current = identity;
+    permute(&mut current, 0, &mut all);
+    all.sort_unstable();
+    all
+}
+
+fn permute(ids: &mut Vec<usize>, at: usize, out: &mut Vec<Vec<usize>>) {
+    if at == ids.len() {
+        out.push(ids.clone());
+        return;
+    }
+    for i in at..ids.len() {
+        ids.swap(at, i);
+        permute(ids, at + 1, out);
+        ids.swap(at, i);
+    }
+}
+
+/// Inverse of a `perm[old_index] = new id` permutation:
+/// `inv[new_index] = old_index`.
+#[must_use]
+pub fn invert(perm: &[usize]) -> Vec<usize> {
+    let mut inv = vec![0usize; perm.len()];
+    for (old, &new_id) in perm.iter().enumerate() {
+        inv[new_id - 1] = old;
+    }
+    inv
+}
+
+/// Rewrites every `<token><digits>)` occurrence in `text` through `map`,
+/// leaving the text untouched where `map` declines. `token` must include the
+/// opening parenthesis (e.g. `"ProcessId("`); an occurrence only matches at
+/// an identifier boundary, so `MyProcessId(3)` is not a `ProcessId(` token.
+fn rewrite_token(text: &str, token: &str, mut map: impl FnMut(u64) -> Option<String>) -> String {
+    let bytes = text.as_bytes();
+    let mut out = String::with_capacity(text.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        let boundary = i == 0 || !(bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
+        if boundary && text[i..].starts_with(token) {
+            let start = i + token.len();
+            let mut j = start;
+            while j < bytes.len() && bytes[j].is_ascii_digit() {
+                j += 1;
+            }
+            if j > start && j < bytes.len() && bytes[j] == b')' {
+                if let Some(repl) = text[start..j].parse::<u64>().ok().and_then(&mut map) {
+                    out.push_str(token);
+                    out.push_str(&repl);
+                    out.push(')');
+                    i = j + 1;
+                    continue;
+                }
+            }
+        }
+        let ch = text[i..].chars().next().expect("i is a char boundary");
+        out.push(ch);
+        i += ch.len_utf8();
+    }
+    out
+}
+
+/// Rewrites every `ProcessId(k)` token through the permutation
+/// (`perm[k-1]` becomes the new id); ids outside `1..=perm.len()` are left
+/// untouched.
+#[must_use]
+pub fn rewrite_process_ids(text: &str, perm: &[usize]) -> String {
+    rewrite_token(text, "ProcessId(", |k| {
+        let k = usize::try_from(k).ok()?;
+        if k == 0 {
+            return None;
+        }
+        perm.get(k - 1).map(usize::to_string)
+    })
+}
+
+/// Replaces every `MessageId(k)` and `Value(k)` token by its first-occurrence
+/// index in `text` (two independent numbering spaces). Two texts that differ
+/// only by an injective renaming of message ids (resp. contents) normalize to
+/// the same string — the textual form of Definition 3's substitution.
+#[must_use]
+pub fn normalize_ids(text: &str) -> String {
+    let mut msgs: BTreeMap<u64, usize> = BTreeMap::new();
+    let pass = rewrite_token(text, "MessageId(", |k| {
+        let next = msgs.len();
+        Some(format!("#{}", *msgs.entry(k).or_insert(next)))
+    });
+    let mut vals: BTreeMap<u64, usize> = BTreeMap::new();
+    rewrite_token(&pass, "Value(", |k| {
+        let next = vals.len();
+        Some(format!("#{}", *vals.entry(k).or_insert(next)))
+    })
+}
+
+/// Masks every `MessageId(k)` token to `MessageId(#)`: a sort key that
+/// ignores concrete message identities (used to order in-flight slots before
+/// normalization assigns canonical ids).
+#[must_use]
+pub fn mask_message_ids(text: &str) -> String {
+    rewrite_token(text, "MessageId(", |_| Some("#".to_string()))
+}
+
+/// The 128-bit digest of a canonical text.
+#[must_use]
+pub fn digest(text: &str) -> u128 {
+    let mut h = StateHasher::new();
+    h.write_bytes(text.as_bytes());
+    h.finish()
+}
+
+/// Structural text of an execution under the process renaming `perm`:
+/// per-process step sequences in renamed order, every action rendered with
+/// `ProcessId` tokens rewritten and its referenced message's table entry
+/// (sender, kind, content) inlined, so two executions produce equal
+/// text exactly when one is the `perm`-renaming of the other (up to message
+/// ids and contents, which [`normalize_ids`] erases afterwards).
+///
+/// Runs of consecutive `Send` steps are emitted **sorted** (by their
+/// message-id-masked renamed text): a send burst iterates destinations in
+/// absolute process-id order, so its emission order encodes the identity of
+/// the sender and differs across renamings even for an equivariant
+/// algorithm. The asynchronous network erases that order — only the
+/// multiset of sends is observable — and the S03x equivariance probes
+/// compare per-activation send *multisets* for the same reason, so the
+/// canonical text must quotient it too. The sort is stable and the key
+/// masks message ids, so two sends to the same destination keep their
+/// emission order (which *is* renaming-invariant per sender/destination
+/// pair, while their raw id numerals are not).
+#[must_use]
+pub fn execution_text(exec: &Execution, perm: &[usize]) -> String {
+    let inv = invert(perm);
+    let mut out = String::new();
+    for (new_index, &old_index) in inv.iter().enumerate() {
+        let old = ProcessId::new(old_index + 1);
+        let _ = write!(out, "proc[{}]:", new_index + 1);
+        let mut burst: Vec<String> = Vec::new();
+        for step in exec.steps_of(old) {
+            let mut line = format!("{:?}", step.action);
+            if let Some(m) = step.action.message() {
+                if let Some(info) = exec.message(m) {
+                    // The free-form `label` is deliberately omitted: it is a
+                    // raw `Debug` snapshot of the wire payload, whose
+                    // position-indexed fields (vector clocks) cannot be
+                    // permuted textually. The specs only ever read actions,
+                    // senders, kinds and contents, and payload differences
+                    // that matter for the future are visible in the live
+                    // state text, so dropping it loses no distinctions the
+                    // quotient is allowed to keep.
+                    let _ = write!(
+                        line,
+                        "[{:?}|{:?}|{:?}]",
+                        info.sender, info.kind, info.content
+                    );
+                }
+            }
+            let line = rewrite_process_ids(&line, perm);
+            if matches!(step.action, Action::Send { .. }) {
+                burst.push(line);
+            } else {
+                flush_send_burst(&mut out, &mut burst);
+                out.push_str(&line);
+                out.push(';');
+            }
+        }
+        flush_send_burst(&mut out, &mut burst);
+    }
+    out
+}
+
+/// Emits a buffered send burst in masked-text order (see
+/// [`execution_text`]).
+fn flush_send_burst(out: &mut String, burst: &mut Vec<String>) {
+    let mut keyed: Vec<(String, String)> = burst
+        .drain(..)
+        .map(|line| (mask_message_ids(&line), line))
+        .collect();
+    keyed.sort_by(|a, b| a.0.cmp(&b.0));
+    for (_, line) in keyed {
+        out.push_str(&line);
+        out.push(';');
+    }
+}
+
+/// Renaming-invariant digest of an execution: the minimum of
+/// `digest(normalize_ids(execution_text(exec, π)))` over all candidate
+/// permutations. Two executions that are process-renamings of one another
+/// (with message ids and contents renamed injectively) digest equal — the
+/// quotient the crash-sweep engine dedups completed runs by when a
+/// [`SymmetryCert`] licenses it.
+#[must_use]
+pub fn canonical_execution_digest(exec: &Execution) -> u128 {
+    process_permutations(exec.process_count())
+        .iter()
+        .map(|perm| digest(&normalize_ids(&execution_text(exec, perm))))
+        .min()
+        .expect("at least the identity permutation")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutations_enumerate_the_orbit() {
+        assert_eq!(process_permutations(1), vec![vec![1]]);
+        assert_eq!(process_permutations(3).len(), 6);
+        let perms = process_permutations(3);
+        assert!(perms.contains(&vec![3, 1, 2]));
+        // Above the bound: identity only.
+        assert_eq!(process_permutations(5), vec![vec![1, 2, 3, 4, 5]]);
+    }
+
+    #[test]
+    fn invert_round_trips() {
+        let perm = vec![3, 1, 2]; // p1->3, p2->1, p3->2
+        let inv = invert(&perm);
+        assert_eq!(inv, vec![1, 2, 0]);
+        for (old, &new_id) in perm.iter().enumerate() {
+            assert_eq!(inv[new_id - 1], old);
+        }
+    }
+
+    #[test]
+    fn rewrite_respects_token_boundaries() {
+        let perm = vec![2, 1];
+        let text = "ProcessId(1) MyProcessId(1) ProcessId(2)x ProcessId(9)";
+        assert_eq!(
+            rewrite_process_ids(text, &perm),
+            // Out-of-range ProcessId(9) untouched; prefixed identifier untouched.
+            "ProcessId(2) MyProcessId(1) ProcessId(1)x ProcessId(9)"
+        );
+    }
+
+    #[test]
+    fn normalization_is_first_occurrence() {
+        let text = "MessageId(7) Value(100) MessageId(3) MessageId(7) Value(2)";
+        assert_eq!(
+            normalize_ids(text),
+            "MessageId(#0) Value(#0) MessageId(#1) MessageId(#0) Value(#1)"
+        );
+    }
+
+    #[test]
+    fn normalization_quotients_injective_renamings() {
+        let a = "state: MessageId(0) then Value(12) and MessageId(4)";
+        let b = "state: MessageId(9) then Value(55) and MessageId(2)";
+        assert_eq!(normalize_ids(a), normalize_ids(b));
+        let c = "state: MessageId(9) then Value(55) and MessageId(9)"; // not injective
+        assert_ne!(normalize_ids(a), normalize_ids(c));
+    }
+
+    #[test]
+    fn masking_erases_message_identity() {
+        assert_eq!(
+            mask_message_ids("MessageId(12)+MessageId(3)"),
+            "MessageId(#)+MessageId(#)"
+        );
+    }
+
+    #[test]
+    fn cert_validity_requires_schema_and_both_properties() {
+        let mut cert = SymmetryCert {
+            schema: CERT_SCHEMA.to_string(),
+            algorithm: "flood".to_string(),
+            probe_n: 3,
+            broadcasters_checked: 3,
+            equivariant: true,
+            content_neutral: true,
+            evidence: "deadbeef".to_string(),
+        };
+        assert!(cert.valid());
+        cert.equivariant = false;
+        assert!(!cert.valid());
+        cert.equivariant = true;
+        cert.schema = "camp-symmetry-cert/v0".to_string();
+        assert!(!cert.valid());
+    }
+
+    #[test]
+    fn cert_store_round_trips_and_gates() {
+        let mut store = CertStore::new();
+        assert!(store.is_empty());
+        store.insert(SymmetryCert {
+            schema: CERT_SCHEMA.to_string(),
+            algorithm: "fifo".to_string(),
+            probe_n: 3,
+            broadcasters_checked: 3,
+            equivariant: true,
+            content_neutral: true,
+            evidence: String::new(),
+        });
+        store.insert(SymmetryCert {
+            schema: CERT_SCHEMA.to_string(),
+            algorithm: "faulty:rank-biased".to_string(),
+            probe_n: 3,
+            broadcasters_checked: 3,
+            equivariant: false,
+            content_neutral: true,
+            evidence: String::new(),
+        });
+        assert_eq!(store.len(), 2);
+        assert!(store.valid_for("fifo"));
+        assert!(!store.valid_for("faulty:rank-biased"));
+        assert!(!store.valid_for("unknown"));
+        let json = serde_json::to_string(&store).unwrap();
+        let back: CertStore = serde_json::from_str(&json).unwrap();
+        assert_eq!(store, back);
+    }
+}

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 mod algorithm;
+pub mod canonical;
 mod error;
 pub mod fingerprint;
 mod network;
@@ -47,6 +48,7 @@ mod simulation;
 pub use algorithm::{
     AgreementAlgorithm, AgreementStep, AppMessage, BroadcastAlgorithm, BroadcastStep,
 };
+pub use canonical::{CertStore, SymmetryCert};
 pub use error::SimError;
 pub use network::{InFlight, Network};
 pub use oracle::{

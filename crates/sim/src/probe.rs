@@ -126,8 +126,8 @@ pub struct ProbeReport {
 /// algorithm cannot tell them apart.
 #[must_use]
 pub fn probe_broadcast<B: BroadcastAlgorithm>(algo: &B, n: usize) -> ProbeReport {
-    let run_a = propagate(algo, n, Value::new(12));
-    let run_b = propagate(algo, n, Value::new(73));
+    let run_a = probe_propagation(algo, n, 1, Value::new(12));
+    let run_b = probe_propagation(algo, n, 1, Value::new(73));
     let divergence = diff_runs(&run_a.activations, &run_b.activations);
     let solo = (1..=n).map(|p| solo_probe(algo, n, p)).collect();
     ProbeReport {
@@ -218,21 +218,47 @@ fn drain<B: BroadcastAlgorithm>(
     out
 }
 
-struct PropagationRun {
-    sends: BTreeMap<String, BTreeSet<usize>>,
-    foreign_handled: BTreeSet<String>,
-    foreign_received: BTreeSet<String>,
-    activations: Vec<Activation>,
-    deliveries: Vec<DeliveryRecord>,
+/// Everything one propagation probe observed, for one choice of
+/// broadcaster. The per-broadcaster entry point of the symmetry analysis
+/// (`camp-lint symmetry`): comparing these across broadcasters — after
+/// relabeling process ids — is its equivariance check.
+#[derive(Debug, Clone)]
+pub struct PropagationProbe {
+    /// 1-based id of the process that invoked `B.broadcast`.
+    pub broadcaster: usize,
+    /// Message kinds sent, with the destinations each kind was sent to.
+    pub sends: BTreeMap<String, BTreeSet<usize>>,
+    /// Kinds for which a foreign reception produced steps or changed state.
+    pub foreign_handled: BTreeSet<String>,
+    /// Kinds delivered to at least one foreign receiver.
+    pub foreign_received: BTreeSet<String>,
+    /// Every activation, in feed order.
+    pub activations: Vec<Activation>,
+    /// Every `Deliver` step.
+    pub deliveries: Vec<DeliveryRecord>,
 }
 
-/// Invokes `B.broadcast` at `p1` and feeds each captured send to its
-/// destination, once per `(receiver, kind)`, breadth-first.
-fn propagate<B: BroadcastAlgorithm>(algo: &B, n: usize, content: Value) -> PropagationRun {
-    let broadcaster = 1usize;
+/// Invokes `B.broadcast` at `broadcaster` (1-based) and feeds each captured
+/// send to its destination, once per `(receiver, kind)`, breadth-first.
+///
+/// # Panics
+///
+/// Panics unless `1 <= broadcaster <= n`.
+#[must_use]
+pub fn probe_propagation<B: BroadcastAlgorithm>(
+    algo: &B,
+    n: usize,
+    broadcaster: usize,
+    content: Value,
+) -> PropagationProbe {
+    assert!(
+        (1..=n).contains(&broadcaster),
+        "broadcaster must be a 1-based process id"
+    );
     let mut states: Vec<B::State> = (1..=n).map(|p| algo.init(ProcessId::new(p), n)).collect();
     let mut oracle = BTreeMap::new();
-    let mut run = PropagationRun {
+    let mut run = PropagationProbe {
+        broadcaster,
         sends: BTreeMap::new(),
         foreign_handled: BTreeSet::new(),
         foreign_received: BTreeSet::new(),
@@ -265,7 +291,7 @@ fn propagate<B: BroadcastAlgorithm>(algo: &B, n: usize, content: Value) -> Propa
 
     let mut queue: VecDeque<(usize, usize, B::Msg)> = VecDeque::new();
     let mut seen: BTreeSet<(usize, String)> = BTreeSet::new();
-    let push_sends = |run: &mut PropagationRun,
+    let push_sends = |run: &mut PropagationProbe,
                       queue: &mut VecDeque<(usize, usize, B::Msg)>,
                       sends: Vec<(usize, usize, B::Msg)>| {
         for (from, to, payload) in sends {
@@ -378,6 +404,14 @@ fn solo_probe<B: BroadcastAlgorithm>(algo: &B, n: usize, p: usize) -> SoloProbe 
         delivered_own_solo,
         foreign_needed,
     }
+}
+
+/// First index where two activation sequences differ, if any (the
+/// differential content probe's comparator, public for `camp-lint
+/// symmetry`'s per-broadcaster content checks).
+#[must_use]
+pub fn diff_activations(a: &[Activation], b: &[Activation]) -> Option<Divergence> {
+    diff_runs(a, b)
 }
 
 /// First index where two activation sequences differ, if any.

@@ -425,6 +425,116 @@ impl<B: BroadcastAlgorithm> Simulation<B> {
         h.finish()
     }
 
+    /// Structural text of the live state under the process renaming `perm`
+    /// (`perm[old_index] = new 1-based id`): the same components as
+    /// [`Simulation::fingerprint`], with per-process arrays re-ordered into
+    /// `perm`-order and every `ProcessId` token inside `Debug` renderings
+    /// rewritten. Message ids and contents are left raw here; callers
+    /// normalize them with [`crate::canonical::normalize_ids`] before
+    /// digesting.
+    ///
+    /// In-flight slots are ordered by their message-id-masked text (raw text
+    /// as tiebreak) rather than by raw id, so the multiset ordering does not
+    /// leak allocation order. The oracle's per-object proposal lists keep
+    /// their arrival order — it is semantic (first-proposal rules read it) —
+    /// with only the proposer ids rewritten.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `1..=n`.
+    #[must_use]
+    pub fn canonical_state_text(&self, perm: &[usize]) -> String {
+        use std::fmt::Write as _;
+        assert_eq!(perm.len(), self.n, "permutation arity must match n");
+        let inv = crate::canonical::invert(perm);
+        let rewrite = |v: &dyn std::fmt::Debug| {
+            crate::canonical::rewrite_process_ids(&format!("{v:?}"), perm)
+        };
+        let mut out = String::new();
+        let _ = write!(out, "n={};", self.n);
+        for (new_index, &old) in inv.iter().enumerate() {
+            let _ = write!(
+                out,
+                "state[{}]={};",
+                new_index + 1,
+                self.algo.canonical_state_text(&self.states[old], perm)
+            );
+            let _ = write!(
+                out,
+                "pending[{}]={:?};crashed[{}]={};",
+                new_index + 1,
+                self.pending_broadcast[old],
+                new_index + 1,
+                self.crashed[old],
+            );
+        }
+        let _ = write!(out, "alloc={};", self.next_msg);
+        let mut slots: Vec<String> = self
+            .network
+            .in_flight()
+            .iter()
+            .map(|m| {
+                format!(
+                    "from=ProcessId({}) to=ProcessId({}) id=MessageId({}) payload={}",
+                    perm[m.from.index()],
+                    perm[m.to.index()],
+                    m.id.raw(),
+                    self.algo.canonical_msg_text(&m.payload, perm),
+                )
+            })
+            .collect();
+        slots.sort_by_cached_key(|s| (crate::canonical::mask_message_ids(s), s.clone()));
+        let _ = write!(out, "wire={};", slots.len());
+        for slot in slots {
+            out.push_str(&slot);
+            out.push(';');
+        }
+        let _ = write!(out, "k={};rule={:?};", self.oracle.k(), self.oracle.rule());
+        for obj in self.oracle.objects() {
+            let _ = write!(
+                out,
+                "obj[{}]={};",
+                obj.raw(),
+                rewrite(&self.oracle.object(obj))
+            );
+        }
+        let mut pending: Vec<(u64, usize)> = self
+            .oracle
+            .pending()
+            .iter()
+            .map(|(obj, p)| (obj.raw(), perm[p.index()]))
+            .collect();
+        pending.sort_unstable();
+        let _ = write!(out, "ksa-pending={pending:?};");
+        out
+    }
+
+    /// The renaming-quotient companion of [`Simulation::fingerprint`]: the
+    /// minimum, over every candidate process permutation, of the digest of
+    /// the normalized [`Simulation::canonical_state_text`]. Two live states
+    /// that differ only by a permutation of process identities (plus the
+    /// induced injective renaming of message ids and contents) fingerprint
+    /// equal.
+    ///
+    /// The quotient is **only sound to dedup by** for algorithms that are
+    /// renaming-equivariant and content-neutral, checked against properties
+    /// with the same invariance — exactly what a valid
+    /// [`crate::canonical::SymmetryCert`] attests; `camp-modelcheck` gates
+    /// the reduction on one. The full `n!` orbit is enumerated up to
+    /// [`crate::canonical::MAX_FULL_ORBIT_N`] processes.
+    #[must_use]
+    pub fn fingerprint_canonical(&self) -> u128 {
+        crate::canonical::process_permutations(self.n)
+            .iter()
+            .map(|perm| {
+                crate::canonical::digest(&crate::canonical::normalize_ids(
+                    &self.canonical_state_text(perm),
+                ))
+            })
+            .min()
+            .expect("at least the identity permutation")
+    }
+
     /// Is the simulation quiescent — no local steps available, no in-flight
     /// message addressed to a live process, no pending k-SA response for a
     /// live process, and no pending broadcast invocation of a live process?

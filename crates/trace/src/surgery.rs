@@ -347,4 +347,56 @@ mod tests {
         let renamed = e.rename_messages(&Renaming::new()).unwrap();
         assert_eq!(e, renamed);
     }
+
+    /// Renaming away and back is the identity: `r⁻¹ ∘ r = id`. This is the
+    /// group-theoretic core of the renaming quotient — every injective
+    /// renaming is invertible on the execution it acts on, so executions
+    /// related by a renaming form an equivalence class.
+    #[test]
+    fn renaming_round_trips_through_its_inverse() {
+        let (e, m0, w0) = mixed_execution();
+        let orig_m0 = e.message(m0).unwrap().content;
+        let orig_w0 = e.message(w0).unwrap().content;
+
+        let mut fwd = Renaming::new();
+        fwd.rename(m0, MessageId::new(1000), Value::new(7));
+        fwd.rename(w0, MessageId::new(1001), Value::new(8));
+        let there = e.rename_messages(&fwd).unwrap();
+        assert_ne!(there, e);
+
+        let mut inv = Renaming::new();
+        inv.rename(MessageId::new(1000), m0, orig_m0);
+        inv.rename(MessageId::new(1001), w0, orig_w0);
+        let back = there.rename_messages(&inv).unwrap();
+        assert_eq!(back, e, "r⁻¹ ∘ r must be the identity on α");
+    }
+
+    /// Applying `r1` then `r2` equals applying the composed renaming
+    /// `r2 ∘ r1` in one substitution — Definition 3's substitutions compose,
+    /// which is what lets a canonicalizer pick any representative of the
+    /// equivalence class instead of enumerating chains of renamings.
+    #[test]
+    fn sequential_renamings_equal_their_composition() {
+        let (e, m0, w0) = mixed_execution();
+
+        // r1: m0 → 1000 (content 7). r2: 1000 → 2000 (content 9), w0 → 2001.
+        let mut r1 = Renaming::new();
+        r1.rename(m0, MessageId::new(1000), Value::new(7));
+        let mut r2 = Renaming::new();
+        r2.rename(MessageId::new(1000), MessageId::new(2000), Value::new(9));
+        r2.rename(w0, MessageId::new(2001), Value::new(10));
+        let stepwise = e
+            .rename_messages(&r1)
+            .unwrap()
+            .rename_messages(&r2)
+            .unwrap();
+
+        // r2 ∘ r1: follow each source through both maps, final content wins.
+        let mut composed = Renaming::new();
+        composed.rename(m0, MessageId::new(2000), Value::new(9));
+        composed.rename(w0, MessageId::new(2001), Value::new(10));
+        let direct = e.rename_messages(&composed).unwrap();
+
+        assert_eq!(stepwise, direct, "substitutions must compose");
+    }
 }

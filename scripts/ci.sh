@@ -11,6 +11,12 @@ cd "$(dirname "$0")/.."
 echo "==> camp-lint: static source + protocol-graph check (deny warnings)"
 cargo run --release -q -p camp-lint --bin camp-lint -- check --deny-warnings
 
+# The symmetry engine must certify every healthy equivariant algorithm and
+# convict the seeded asymmetric variant — the certificates it issues are
+# what arm the model checker's renaming-quotient canonicalization below.
+echo "==> camp-lint: symmetry engine (S030-S035, deny warnings)"
+cargo run --release -q -p camp-lint --bin camp-lint -- symmetry --deny-warnings
+
 echo "==> tier-1: cargo build --release"
 cargo build --release
 
@@ -37,19 +43,23 @@ CAMP_PROPTEST_CASES=6 cargo test -q --release -p camp-modelcheck --test engine_e
 
 # The smoke run writes to a scratch path so it never clobbers the committed
 # full-mode BENCH_explore.json; regenerate that one with scripts/bench.sh.
-echo "==> bench smoke: exploration benches produce a well-formed v2 report"
+echo "==> bench smoke: exploration benches produce a well-formed v3 report"
 smoke_out="$PWD/target/BENCH_explore.smoke.json"
 smoke_metrics="$PWD/target/BENCH_explore.smoke.metrics.json"
 CAMP_BENCH_OUT="$smoke_out" scripts/bench.sh --quick --metrics "$smoke_metrics" >/dev/null
-for key in '"schema"' '"camp-bench/explore/v2"' '"explore_fifo_2x2"' \
+for key in '"schema"' '"camp-bench/explore/v3"' '"explore_fifo_2x2"' \
            '"explore_causal_3"' '"explore_agreed_2"' '"crashsweep_reliable"' \
            '"ns_per_op"' '"executions_per_sec"' '"nodes_per_sec"' \
-           '"dedup_hits"' '"sleep_set_prunes"' '"max_frontier"'; do
+           '"dedup_hits"' '"sleep_set_prunes"' '"max_frontier"' \
+           '"canonical_hits"' '"cert_loaded"'; do
   grep -q -- "$key" "$smoke_out" \
     || { echo "$smoke_out malformed: missing $key" >&2; exit 1; }
 done
-# The v2 reduction counters must be live, not decorative: the FIFO scope
-# prunes through sleep sets, the agreed-rounds scope hits the dedup cache.
+# The v3 reduction counters must be live, not decorative: the FIFO scope
+# prunes through sleep sets, the agreed-rounds scope hits the dedup cache,
+# and the symmetric FIFO/causal scopes — whose plain dedup_hits used to be
+# zero, hiding any canonicalization regression — must show hits from the
+# certificate-gated renaming quotient.
 python3 - "$smoke_out" <<'PY'
 import json, sys
 rows = {b["name"]: b for b in json.load(open(sys.argv[1]))["benches"]}
@@ -57,7 +67,11 @@ assert rows["explore_fifo_2x2"]["sleep_set_prunes"] > 0, "fifo sleep_set_prunes 
 assert rows["explore_fifo_2x2"]["max_frontier"] > 0, "fifo max_frontier is zero"
 assert rows["explore_causal_3"]["sleep_set_prunes"] > 0, "causal sleep_set_prunes is zero"
 assert rows["explore_agreed_2"]["dedup_hits"] > 0, "agreed dedup_hits is zero"
-print("bench smoke: v2 reduction counters live")
+for name in ("explore_fifo_2x2", "explore_causal_3"):
+    assert rows[name]["cert_loaded"], f"{name}: symmetry certificate not loaded"
+    assert rows[name]["canonical_hits"] > 0, f"{name}: canonical_hits is zero"
+    assert rows[name]["dedup_hits"] > 0, f"{name}: dedup_hits is zero"
+print("bench smoke: v3 reduction + canonicalization counters live")
 PY
 grep -q '"camp-obs/v1"' "$smoke_metrics" \
   || { echo "$smoke_metrics malformed: missing camp-obs/v1 schema" >&2; exit 1; }

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# The static-analysis gate on its own: source lints (S0xx) + protocol-graph
-# analysis (S02x) over the whole workspace, warnings promoted to failures.
+# The static-analysis gate on its own: source lints (S0xx), protocol-graph
+# analysis (S02x), and the symmetry engine (S03x, certificate issuance)
+# over the whole workspace, warnings promoted to failures.
 # Extra flags are passed through, e.g.:
 #
 #   scripts/lint.sh --json              machine-readable CheckReport
