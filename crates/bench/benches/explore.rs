@@ -20,16 +20,20 @@
 //! report files, so this harness owns `main` (instead of `criterion_main!`)
 //! and writes the JSON itself: per bench, the median ns/op together with the
 //! work rates (completed executions/sec and visited nodes/sec) and the
-//! reduction counters (dedup hits, sleep-set prunes, widest frontier, and
-//! since v3 the certificate-gated canonical hits plus a cert-loaded flag)
-//! derived from one instrumented run. Set `CAMP_BENCH_QUICK=1` for a
-//! low-sample CI smoke run, `CAMP_BENCH_OUT` to redirect the JSON, and
-//! `CAMP_BENCH_METRICS` to additionally write the raw `camp-obs/v1` counter
-//! snapshot accumulated across the instrumented runs.
+//! reduction counters (dedup hits, sleep-set prunes, widest frontier, the
+//! certificate-gated canonical hits plus a cert-loaded flag since v3, and
+//! since v4 the independence-widened sleep-set prunes plus an
+//! independence-cert flag) derived from one instrumented run. Set
+//! `CAMP_BENCH_QUICK=1` for a low-sample CI smoke run, `CAMP_BENCH_OUT` to
+//! redirect the JSON, and `CAMP_BENCH_METRICS` to additionally write the raw
+//! `camp-obs/v1` counter snapshot accumulated across the instrumented runs.
 
 use camp_broadcast::{CausalBroadcast, EagerReliable, FifoBroadcast};
 use camp_modelcheck::crashsweep::{crash_point_sweep_certs, SweepOutcome};
-use camp_modelcheck::{explore_with_certs, EngineConfig, EngineStats, ExploreOutcome};
+use camp_modelcheck::{
+    explore_with_certs, explore_with_independence, EngineConfig, EngineStats, ExploreOutcome,
+    Sensitivity,
+};
 use camp_obs::Counters;
 use camp_sim::canonical::CertStore;
 use camp_sim::scheduler::Workload;
@@ -51,6 +55,8 @@ struct Record {
     max_frontier: u64,
     canonical_hits: u64,
     cert_loaded: bool,
+    independence_prunes: u64,
+    independence_cert: bool,
 }
 
 impl Record {
@@ -91,6 +97,18 @@ impl Record {
                 Json::Int(i128::from(self.canonical_hits)),
             ),
             ("cert_loaded".to_string(), Json::Bool(self.cert_loaded)),
+            // v4 fields: the independence-widened sleep sets. A per-sender
+            // scope run with a loaded camp-independence-cert/v1 must show
+            // non-zero independence prunes — CI asserts this for the FIFO
+            // bench.
+            (
+                "independence_prunes".to_string(),
+                Json::Int(i128::from(self.independence_prunes)),
+            ),
+            (
+                "independence_cert".to_string(),
+                Json::Bool(self.independence_cert),
+            ),
         ])
     }
 }
@@ -101,25 +119,30 @@ fn fresh<B: BroadcastAlgorithm>(algo: B, n: usize) -> Simulation<B> {
 
 /// Runs one full exploration with the default reduction stack and asserts
 /// the verdict, returning the engine counters for the rate computation and
-/// the per-run observability registry for the v2 reduction fields.
+/// the per-run observability registry for the v2/v4 reduction fields. The
+/// caller declares the property's order sensitivity: per-sender scopes get
+/// the certificate-widened independence relation, full-order scopes get the
+/// classic stack.
 fn explore_once<B>(
     algo: B,
     n: usize,
     workload: &Workload,
     property: &dyn Fn(&Execution) -> SpecResult,
     certs: &CertStore,
+    sensitivity: Sensitivity,
 ) -> (EngineStats, Counters)
 where
     B: BroadcastAlgorithm + Clone,
     B::Msg: Clone,
 {
     let mut counters = Counters::new();
-    let (outcome, stats) = explore_with_certs(
+    let (outcome, stats) = explore_with_independence(
         fresh(algo, n),
         workload,
         property,
         EngineConfig::default(),
         certs,
+        sensitivity,
         &mut counters,
     );
     assert!(
@@ -152,12 +175,16 @@ fn bench_explore(
         base::check_all(e)?;
         FifoSpec::new().admits(e)
     };
+    // The base properties and the FIFO spec each constrain deliveries of
+    // one broadcaster at a time, so the scope qualifies as per-sender and
+    // the independence certificate widens the sleep sets.
     let (stats, counters) = explore_once(
         FifoBroadcast::new(),
         2,
         &fifo_workload,
         &fifo_property,
         &certs,
+        Sensitivity::PerSender,
     );
     counters.replay_into(totals);
     group.bench_function("explore_fifo_2x2", |b| {
@@ -168,6 +195,7 @@ fn bench_explore(
                 &fifo_workload,
                 &fifo_property,
                 &certs,
+                Sensitivity::PerSender,
             )
         });
         records.push(Record {
@@ -180,6 +208,8 @@ fn bench_explore(
             max_frontier: counters.gauge("modelcheck.max_frontier"),
             canonical_hits: counters.count("modelcheck.canonical_hits"),
             cert_loaded: counters.count("modelcheck.cert_loaded") > 0,
+            independence_prunes: counters.count("modelcheck.independence_prunes"),
+            independence_cert: counters.count("modelcheck.independence_cert_loaded") > 0,
         });
     });
 
@@ -190,12 +220,17 @@ fn bench_explore(
         base::check_all(e)?;
         CausalSpec::new().admits(e)
     };
+    // The causal spec reads cross-broadcaster delivery order, so the scope
+    // stays full-order: no widening, only the classic reduction stack (and
+    // the dataflow engine issues causal no certificate anyway — its
+    // delivery scan reads the whole waiting buffer).
     let (stats, counters) = explore_once(
         CausalBroadcast::new(),
         3,
         &causal_workload,
         &causal_property,
         &certs,
+        Sensitivity::FullOrder,
     );
     counters.replay_into(totals);
     group.bench_function("explore_causal_3", |b| {
@@ -206,6 +241,7 @@ fn bench_explore(
                 &causal_workload,
                 &causal_property,
                 &certs,
+                Sensitivity::FullOrder,
             )
         });
         records.push(Record {
@@ -218,6 +254,8 @@ fn bench_explore(
             max_frontier: counters.gauge("modelcheck.max_frontier"),
             canonical_hits: counters.count("modelcheck.canonical_hits"),
             cert_loaded: counters.count("modelcheck.cert_loaded") > 0,
+            independence_prunes: counters.count("modelcheck.independence_prunes"),
+            independence_cert: counters.count("modelcheck.independence_cert_loaded") > 0,
         });
     });
 
@@ -280,6 +318,8 @@ fn bench_explore(
             max_frontier: agreed_counters.gauge("modelcheck.max_frontier"),
             canonical_hits: agreed_counters.count("modelcheck.canonical_hits"),
             cert_loaded: agreed_counters.count("modelcheck.cert_loaded") > 0,
+            independence_prunes: agreed_counters.count("modelcheck.independence_prunes"),
+            independence_cert: agreed_counters.count("modelcheck.independence_cert_loaded") > 0,
         });
     });
     group.finish();
@@ -329,6 +369,8 @@ fn bench_explore(
             max_frontier: counters.gauge("modelcheck.max_frontier"),
             canonical_hits: counters.count("crashsweep.canonical_hits"),
             cert_loaded: counters.count("crashsweep.cert_loaded") > 0,
+            independence_prunes: counters.count("modelcheck.independence_prunes"),
+            independence_cert: counters.count("modelcheck.independence_cert_loaded") > 0,
         });
     });
     group.finish();
@@ -348,7 +390,7 @@ fn main() {
     let doc = Json::Object(vec![
         (
             "schema".to_string(),
-            Json::Str("camp-bench/explore/v3".to_string()),
+            Json::Str("camp-bench/explore/v4".to_string()),
         ),
         (
             "mode".to_string(),

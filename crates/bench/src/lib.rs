@@ -10,20 +10,28 @@ use camp_sim::scheduler::{run_fair, Workload};
 use camp_sim::{FirstProposalRule, KsaOracle, Simulation};
 use camp_trace::Execution;
 
-/// Symmetry certificates for the registered algorithms, issued by running
-/// the static analyzer (`camp-lint symmetry`, rules S030–S035) over the
-/// workspace sources. The benchmarks and table generators run from the
-/// repository checkout, so the sources are available; a read failure
-/// degrades to an empty store — renaming-quotient canonicalization stays
-/// off and the engines fall back to plain deduplication — rather than
-/// aborting.
+/// Static-analysis certificates for the registered algorithms, issued by
+/// running `camp-lint`'s symmetry engine (rules S030–S035, symmetry
+/// certificates licensing renaming-quotient canonicalization) and dataflow
+/// engine (rules S040–S048, independence certificates licensing widened
+/// sleep-set POR) over the workspace sources. The benchmarks and table
+/// generators run from the repository checkout, so the sources are
+/// available; a read failure degrades to an empty store — both reductions
+/// stay off and the engines fall back to their unassisted behaviour —
+/// rather than aborting.
 #[must_use]
 pub fn workspace_certs() -> CertStore {
-    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
-    match camp_lint::symmetry_check(std::path::Path::new(root), false) {
+    let root = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let mut store = match camp_lint::symmetry_check(root, false) {
         Ok(report) => report.cert_store(),
         Err(_) => CertStore::new(),
+    };
+    if let Ok(report) = camp_lint::dataflow_check(root, false) {
+        for cert in &report.certs {
+            store.insert_independence(cert.clone());
+        }
     }
+    store
 }
 
 /// Builds a completed Send-To-All execution over `n` processes with `m`

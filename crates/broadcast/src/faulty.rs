@@ -12,6 +12,7 @@
 //! | [`Misattributing`] | BC-Validity (wrong origin) | `camp_specs::base::bc_validity` |
 //! | [`Lossy`] | BC-Global-CS-Termination (drops foreign messages) | `camp_specs::base::bc_global_cs_termination` |
 //! | [`RankBiased`] | process-renaming equivariance (fixed id-priority delivery) | `camp-lint symmetry` (S030/S032) |
+//! | [`ContentGated`] | content-neutrality (delivery branches on payload content) | `camp-lint dataflow` (S043), `camp-lint symmetry` (S034) |
 //!
 //! [`RankBiased`] is the one defect the dynamic probes of the protocol-graph
 //! rules (S020–S025) cannot see: probed from `p1` — the highest-priority
@@ -332,6 +333,72 @@ impl BroadcastAlgorithm for RankBiased {
     }
 }
 
+/// **Content-gated broadcast**: Send-To-All, except a reception is
+/// B-delivered only when the *application content* of the message is even —
+/// odd contents are silently dropped. The invocation side is flawless
+/// (sends to all, returns immediately), so the variant passes every solo
+/// phase; what it breaks is Definition 3's content-neutrality: the
+/// abstraction's behaviour is a function of the payload value, so two runs
+/// differing only in the broadcast contents diverge.
+///
+/// This is the dataflow engine's target: the gate is a *taint-lattice* fact
+/// — `payload.0.content` flows through a local binding into a branch
+/// condition — visible statically (S043) without running a single schedule.
+/// Dynamically the divergence also surfaces in the graph engine's
+/// content-swap probe (S025) and the symmetry engine's neutrality probe
+/// (S034).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ContentGated;
+
+impl ContentGated {
+    /// Creates the algorithm.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl BroadcastAlgorithm for ContentGated {
+    type State = FaultyState;
+    type Msg = FaultyMsg;
+
+    fn name(&self) -> String {
+        "faulty:content-gated".into()
+    }
+
+    fn init(&self, pid: ProcessId, n: usize) -> Self::State {
+        base_state(pid, n)
+    }
+
+    fn on_invoke_broadcast(&self, st: &mut Self::State, msg: AppMessage) {
+        for to in ProcessId::all(st.n) {
+            st.queue.push(BroadcastStep::Send {
+                to,
+                payload: FaultyMsg(msg),
+            });
+        }
+        st.queue.push(BroadcastStep::ReturnBroadcast);
+    }
+
+    fn on_receive(&self, st: &mut Self::State, _from: ProcessId, payload: FaultyMsg) {
+        let gate = payload.0.content;
+        // The spelled-out comparison is the pinned S043 witness text.
+        #[allow(clippy::manual_is_multiple_of)]
+        if gate.raw() % 2 == 0 {
+            st.queue.push(BroadcastStep::Deliver { msg: payload.0 });
+        }
+        // Odd contents: dropped (the bug — delivery depends on the payload).
+    }
+
+    fn on_decide(&self, st: &mut Self::State, obj: KsaId, _value: Value) {
+        st.queue.unblock(obj);
+    }
+
+    fn next_step(&self, st: &mut Self::State) -> Option<BroadcastStep<FaultyMsg>> {
+        st.queue.pop()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -388,6 +455,31 @@ mod tests {
         run_fair(&mut s, &Workload::uniform(3, 1), 10_000).unwrap();
         let trace = s.into_trace();
         base::check_safety(&trace).unwrap(); // never delivers wrong data
+        let err = base::bc_global_cs_termination(&trace).unwrap_err();
+        assert_eq!(err.property(), "BC-Global-CS-Termination");
+    }
+
+    #[test]
+    fn content_gated_delivery_depends_on_payload() {
+        // Even content: behaves exactly like Send-To-All.
+        let mut s = sim(ContentGated::new(), 3);
+        let mut even = Workload::new(3);
+        even.push(ProcessId::new(1), Value::new(12));
+        run_fair(&mut s, &even, 10_000).unwrap();
+        let trace = s.into_trace();
+        base::check_all(&trace).unwrap();
+        for p in ProcessId::all(3) {
+            assert_eq!(trace.delivery_order(p).len(), 1, "{p}");
+        }
+
+        // Odd content: dropped everywhere, breaking global termination —
+        // the run differs from the even one in nothing but the payload.
+        let mut s = sim(ContentGated::new(), 3);
+        let mut odd = Workload::new(3);
+        odd.push(ProcessId::new(1), Value::new(73));
+        run_fair(&mut s, &odd, 10_000).unwrap();
+        let trace = s.into_trace();
+        base::check_safety(&trace).unwrap();
         let err = base::bc_global_cs_termination(&trace).unwrap_err();
         assert_eq!(err.property(), "BC-Global-CS-Termination");
     }

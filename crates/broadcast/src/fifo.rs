@@ -124,6 +124,14 @@ impl BroadcastAlgorithm for FifoBroadcast {
     fn next_step(&self, st: &mut Self::State) -> Option<BroadcastStep<FifoMsg>> {
         st.queue.pop()
     }
+
+    // Every field `on_receive` touches is either keyed by the unique message
+    // id (`seen`), sliced by the originating broadcaster (`expected`,
+    // `buffered`) or drained between environment events (`queue`), so the
+    // payload's B-broadcaster is a faithful slice key.
+    fn receive_origin(&self, payload: &FifoMsg) -> Option<ProcessId> {
+        Some(payload.msg.sender)
+    }
 }
 
 #[cfg(test)]

@@ -15,8 +15,9 @@
 //! | [`SequencerBroadcast`] | no | Total Order with a correct leader — but **not wait-free**: the adversarial scheduler rejects it (`BlockedSolo`) |
 //!
 //! The [`faulty`] module additionally ships deliberately broken candidates
-//! (quorum-blocking, duplicating, misattributing, lossy) used to prove that
-//! the checkers and the adversarial scheduler catch each failure mode.
+//! (quorum-blocking, duplicating, misattributing, lossy, rank-biased,
+//! content-gated) used to prove that the checkers and the adversarial
+//! scheduler catch each failure mode.
 //!
 //! Every algorithm implements [`camp_sim::BroadcastAlgorithm`] and therefore
 //! runs unchanged under the fair/random schedulers of `camp-sim`, under the

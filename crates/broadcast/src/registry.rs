@@ -27,7 +27,7 @@
 
 use camp_sim::BroadcastAlgorithm;
 
-use crate::faulty::{Duplicating, Lossy, Misattributing, QuorumBlocking, RankBiased};
+use crate::faulty::{ContentGated, Duplicating, Lossy, Misattributing, QuorumBlocking, RankBiased};
 use crate::{
     AgreedBroadcast, CausalBroadcast, EagerReliable, FifoBroadcast, SendToAll, SequencerBroadcast,
     SteppedBroadcast,
@@ -143,7 +143,7 @@ pub fn visit_builtins<V: AlgorithmVisitor>(v: &mut V) {
     );
 }
 
-/// Visits the five deliberately broken algorithms of [`crate::faulty`].
+/// Visits the six deliberately broken algorithms of [`crate::faulty`].
 ///
 /// Each one *claims* the properties of a correct broadcast (in particular
 /// `wait_free: true` and `symmetric: true`) — the claims are what the
@@ -205,6 +205,17 @@ pub fn visit_faulty<V: AlgorithmVisitor>(v: &mut V) {
         },
         RankBiased::new(),
     );
+    v.visit(
+        AlgoSpec {
+            name: "faulty:content-gated",
+            struct_name: "ContentGated",
+            file: FILE,
+            wait_free: true,
+            uses_ksa: false,
+            symmetric: true,
+        },
+        ContentGated::new(),
+    );
 }
 
 #[cfg(test)]
@@ -224,7 +235,7 @@ mod tests {
         let mut c = Collect(Vec::new());
         visit_builtins(&mut c);
         visit_faulty(&mut c);
-        assert_eq!(c.0.len(), 12);
+        assert_eq!(c.0.len(), 13);
         for (algo_name, spec) in &c.0 {
             assert_eq!(algo_name, spec.name, "spec name must match name()");
         }

@@ -125,6 +125,13 @@ impl BroadcastAlgorithm for EagerReliable {
     fn next_step(&self, st: &mut Self::State) -> Option<BroadcastStep<ReliableMsg>> {
         st.queue.pop()
     }
+
+    // `on_receive` only inserts the unique message id into `seen` and pushes
+    // onto the drained `queue`; the carried B-broadcaster is a sound slice
+    // key for cross-origin commutation.
+    fn receive_origin(&self, payload: &ReliableMsg) -> Option<ProcessId> {
+        Some(payload.0.sender)
+    }
 }
 
 #[cfg(test)]

@@ -72,6 +72,12 @@ impl BroadcastAlgorithm for SendToAll {
     fn next_step(&self, st: &mut Self::State) -> Option<BroadcastStep<SendToAllMsg>> {
         st.queue.pop()
     }
+
+    // `on_receive` only pushes onto the drained `queue`: receives from
+    // distinct B-broadcasters commute, keyed by the carried sender.
+    fn receive_origin(&self, payload: &SendToAllMsg) -> Option<ProcessId> {
+        Some(payload.0.sender)
+    }
 }
 
 #[cfg(test)]

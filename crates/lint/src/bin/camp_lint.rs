@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! camp-lint trace <file.json> [--json] [--strict]   lint a JSON execution trace
-//! camp-lint check [--json] [--deny-warnings]        source + protocol-graph + symmetry analysis
+//! camp-lint check [--json] [--deny-warnings]        source + graph + symmetry + dataflow analysis
 //! camp-lint symmetry [--json] [--certs OUT.json]    symmetry analysis alone, with certificates
-//! camp-lint audit [--seeds N]                       audit the built-in algorithms
+//! camp-lint dataflow [--json] [--certs OUT.json]    dataflow analysis alone, with certificates
+//! camp-lint audit [--seeds N] [--metrics OUT.json]  audit the built-in algorithms
 //! camp-lint rules [--json]                          list the rule registry
 //! ```
 //!
@@ -32,14 +33,22 @@ const USAGE: &str = "usage:
                                          re-validates well-formedness on load)
   camp-lint check [--json] [--deny-warnings] [--timings] [--root DIR]
                   [--metrics OUT.json]   source lints (S0xx) + static protocol-graph (S02x)
-                                         + symmetry (S03x) analysis of the registered
-                                         broadcast algorithms; --metrics writes a
+                                         + symmetry (S03x) + dataflow (S04x) analysis of the
+                                         registered broadcast algorithms; --metrics writes a
                                          camp-obs/v1 counter snapshot
   camp-lint symmetry [--json] [--certs OUT.json] [--deny-warnings] [--timings]
                      [--root DIR]        symmetry engine alone: S03x rules plus the
                                          camp-symmetry-cert/v1 certificates that license
                                          renaming-quotient canonicalization in camp-modelcheck
-  camp-lint audit [--seeds N]            determinism + branch audit of the built-in algorithms
+  camp-lint dataflow [--json] [--certs OUT.json] [--deny-warnings] [--timings]
+                     [--root DIR]        dataflow engine alone: S04x rules (quorum bounds,
+                                         content taint, handler footprints) plus the
+                                         camp-independence-cert/v1 certificates that widen
+                                         sleep-set POR in camp-modelcheck
+  camp-lint audit [--seeds N] [--metrics OUT.json]
+                                         determinism + branch audit of the built-in
+                                         algorithms; --metrics writes a camp-obs/v1
+                                         counter snapshot
   camp-lint rules [--json]               list the rule registry";
 
 fn main() -> ExitCode {
@@ -49,6 +58,7 @@ fn main() -> ExitCode {
         Some((&"trace", rest)) => cmd_trace(rest),
         Some((&"check", rest)) => cmd_check(rest),
         Some((&"symmetry", rest)) => cmd_symmetry(rest),
+        Some((&"dataflow", rest)) => cmd_dataflow(rest),
         Some((&"audit", rest)) => cmd_audit(rest),
         Some((&"rules", rest)) => cmd_rules(rest),
         _ => {
@@ -120,8 +130,9 @@ fn cmd_trace(args: &[&str]) -> ExitCode {
 
 fn cmd_rules(args: &[&str]) -> ExitCode {
     let rules = default_rules();
-    // The four rule families share one listing: L0xx trace rules, S001-S010
-    // source rules, S02x protocol-graph rules, S03x symmetry rules.
+    // The five rule families share one listing: L0xx trace rules, S001-S011
+    // source rules, S02x protocol-graph rules, S03x symmetry rules, S04x
+    // dataflow rules.
     let entry = |code: &str, name: &str, severity: &str, summary: &str| {
         serde_json::Value::Object(vec![
             ("code".to_string(), serde_json::Value::Str(code.to_string())),
@@ -148,6 +159,9 @@ fn cmd_rules(args: &[&str]) -> ExitCode {
             entries.push(entry(code, name, "error", summary));
         }
         for (code, name, summary) in camp_lint::symmetry::SYMMETRY_RULES {
+            entries.push(entry(code, name, "error", summary));
+        }
+        for (code, name, summary) in camp_lint::DATAFLOW_RULES {
             entries.push(entry(code, name, "error", summary));
         }
         match serde_json::to_string_pretty(&serde_json::Value::Array(entries)) {
@@ -180,6 +194,9 @@ fn cmd_rules(args: &[&str]) -> ExitCode {
             emitln(format!("{code} {name:<28} error    {}", compact(summary)));
         }
         for (code, name, summary) in camp_lint::symmetry::SYMMETRY_RULES {
+            emitln(format!("{code} {name:<28} error    {}", compact(summary)));
+        }
+        for (code, name, summary) in camp_lint::DATAFLOW_RULES {
             emitln(format!("{code} {name:<28} error    {}", compact(summary)));
         }
     }
@@ -238,6 +255,7 @@ fn cmd_check(args: &[&str]) -> ExitCode {
         emit(report.source.render());
         emit(report.graph.render());
         emit(report.symmetry.render());
+        emit(report.dataflow.render());
         emitln(format!(
             "check: healthy {}, faulty {}",
             if report.healthy_clean {
@@ -320,6 +338,67 @@ fn cmd_symmetry(args: &[&str]) -> ExitCode {
     }
 }
 
+fn cmd_dataflow(args: &[&str]) -> ExitCode {
+    let json = args.contains(&"--json");
+    let deny_warnings = args.contains(&"--deny-warnings");
+    let timings = args.contains(&"--timings");
+    let root = match parse_value(args, "--root") {
+        Ok(r) => std::path::PathBuf::from(r.unwrap_or_else(|| ".".to_string())),
+        Err(e) => {
+            eprintln!("camp-lint: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let certs_path = match parse_value(args, "--certs") {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("camp-lint: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match camp_lint::dataflow_check(&root, timings) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "camp-lint: cannot run the dataflow engine at {} (pass --root): {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = certs_path {
+        let store = report.cert_store();
+        let text = match serde_json::to_string_pretty(&store) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("camp-lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("camp-lint: cannot write certificates to {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if json {
+        match serde_json::to_string_pretty(&report) {
+            Ok(s) => emitln(s),
+            Err(e) => {
+                eprintln!("camp-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        emit(report.render());
+    }
+    let warned = deny_warnings && report.warnings > 0;
+    if !report.healthy_clean() || warned {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 /// Distills a [`camp_lint::CheckReport`] into the `lint.*` counter
 /// namespace of a `camp-obs/v1` snapshot. All values are derived from the
 /// (deterministic) report, so the snapshot is byte-identical across runs.
@@ -350,6 +429,19 @@ fn check_metrics(report: &camp_lint::CheckReport) -> camp_obs::Counters {
     c.add("lint.symmetry.warnings", y.warnings as u64);
     c.add("lint.symmetry.algorithms_probed", y.algorithms.len() as u64);
     c.add("lint.symmetry.certs_issued", y.certs.len() as u64);
+    let d = &report.dataflow;
+    c.add("lint.dataflow.rules_checked", d.rules_checked.len() as u64);
+    c.add("lint.dataflow.errors", d.errors as u64);
+    c.add("lint.dataflow.warnings", d.warnings as u64);
+    c.add(
+        "lint.dataflow.algorithms_analyzed",
+        d.algorithms.len() as u64,
+    );
+    c.add("lint.dataflow.certs_issued", d.certs.len() as u64);
+    c.add(
+        "lint.dataflow.receives_commute",
+        d.algorithms.iter().filter(|a| a.receives_commute).count() as u64,
+    );
     c
 }
 
@@ -385,6 +477,7 @@ fn oracle() -> KsaOracle {
 }
 
 fn cmd_audit(args: &[&str]) -> ExitCode {
+    use camp_obs::ObsSink;
     let seed_count = match parse_flag(args, "--seeds", 5) {
         Ok(n) => n.max(1),
         Err(e) => {
@@ -392,8 +485,20 @@ fn cmd_audit(args: &[&str]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let metrics_path = match parse_value(args, "--metrics") {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("camp-lint: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
     let seeds: Vec<u64> = (1..=seed_count as u64).collect();
     let mut failed = false;
+    // The audit's own telemetry, exported as a camp-obs/v1 snapshot with
+    // --metrics. Every counter is derived from the deterministic audit, so
+    // the snapshot is byte-identical across runs.
+    let mut counters = camp_obs::Counters::new();
+    counters.add("audit.seeds_per_algorithm", seed_count as u64);
 
     const COMMON: &[&str] = &["broadcast", "return", "deliver", "send", "receive"];
     const WITH_KSA: &[&str] = &[
@@ -418,6 +523,7 @@ fn cmd_audit(args: &[&str]) -> ExitCode {
                 80,
                 CrashPlan::up_to(1, 0.1),
             );
+            counters.add("audit.algorithms", 1);
             match outcome {
                 Ok(o) if o.is_deterministic() => {
                     emitln(format!(
@@ -428,11 +534,13 @@ fn cmd_audit(args: &[&str]) -> ExitCode {
                 }
                 Ok(camp_lint::DeterminismOutcome::Diverged(failure)) => {
                     emitln(format!("determinism {:<16} FAILED: {failure}", $name));
+                    counters.add("audit.determinism_divergences", 1);
                     failed = true;
                 }
                 Ok(_) => unreachable!(),
                 Err(e) => {
                     emitln(format!("determinism {:<16} ERROR: {e}", $name));
+                    counters.add("audit.errors", 1);
                     failed = true;
                 }
             }
@@ -446,9 +554,22 @@ fn cmd_audit(args: &[&str]) -> ExitCode {
                 $declared,
                 ExploreConfig::default(),
             ) {
-                Ok(report) => emit(report),
+                Ok(report) => {
+                    counters.add("audit.branch_nodes", report.nodes as u64);
+                    counters.add("audit.completed_executions", report.completed as u64);
+                    counters.add(
+                        "audit.unreachable_branches",
+                        report.unreachable.len() as u64,
+                    );
+                    counters.add("audit.stuck_states", report.stuck_total as u64);
+                    if report.truncated {
+                        counters.add("audit.truncated_explorations", 1);
+                    }
+                    emit(report);
+                }
                 Err(e) => {
                     emitln(format!("branches    {:<16} ERROR: {e}", $name));
+                    counters.add("audit.errors", 1);
                     failed = true;
                 }
             }
@@ -463,6 +584,13 @@ fn cmd_audit(args: &[&str]) -> ExitCode {
     audit!("stepped", SteppedBroadcast::new(), WITH_KSA);
     audit!("sequencer", SequencerBroadcast::new(), COMMON);
 
+    if let Some(path) = metrics_path {
+        let snapshot = counters.snapshot();
+        if let Err(e) = std::fs::write(&path, snapshot.to_json_string()) {
+            eprintln!("camp-lint: cannot write metrics to {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
     if failed {
         ExitCode::from(1)
     } else {

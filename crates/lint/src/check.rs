@@ -1,5 +1,6 @@
-//! The combined `camp-lint check` pass: source lints plus the protocol-graph
-//! and symmetry engines, joined into one report with the acceptance verdicts.
+//! The combined `camp-lint check` pass: source lints plus the protocol-graph,
+//! symmetry, and dataflow engines, joined into one report with the
+//! acceptance verdicts.
 //!
 //! This lives in the library (rather than the binary) so tests can pin the
 //! exact report the CLI serialises — the workspace golden test compares
@@ -10,12 +11,14 @@ use std::path::Path;
 
 use serde::Serialize;
 
+use crate::dataflow::{dataflow_check, DataflowReport};
 use crate::graph::{graph_check, GraphReport};
 use crate::source::{scan_workspace, SourceReport};
 use crate::symmetry::{symmetry_check, SymmetryReport};
 
 /// The combined report of `camp-lint check`: the source pass, the
-/// protocol-graph engine, the symmetry engine, and the acceptance verdicts.
+/// protocol-graph, symmetry, and dataflow engines, and the acceptance
+/// verdicts.
 #[derive(Debug, Serialize)]
 pub struct CheckReport {
     /// The `S0xx` source lint pass over the protocol crates.
@@ -24,13 +27,15 @@ pub struct CheckReport {
     pub graph: GraphReport,
     /// The `S03x` symmetry pass over the registered algorithms.
     pub symmetry: SymmetryReport,
-    /// No source findings anywhere, and no graph or symmetry findings
-    /// against any algorithm not registered as deliberately faulty.
+    /// The `S04x` dataflow pass over the registered algorithms.
+    pub dataflow: DataflowReport,
+    /// No source findings anywhere, and no graph, symmetry, or dataflow
+    /// findings against any algorithm not registered as deliberately faulty.
     pub healthy_clean: bool,
     /// Every algorithm registered as faulty drew at least one error from
-    /// *some* behavioural engine (graph or symmetry) — each variant is
-    /// planted for a specific rule family, so conviction is a per-algorithm
-    /// union, not a per-engine blanket.
+    /// *some* behavioural engine (graph, symmetry, or dataflow) — each
+    /// variant is planted for a specific rule family, so conviction is a
+    /// per-algorithm union, not a per-engine blanket.
     pub faulty_convicted: bool,
 }
 
@@ -38,17 +43,20 @@ impl CheckReport {
     /// Should `camp-lint check` exit nonzero for this report?
     #[must_use]
     pub fn failed(&self, deny_warnings: bool) -> bool {
-        let warned =
-            self.source.warnings > 0 || self.graph.warnings > 0 || self.symmetry.warnings > 0;
+        let warned = self.source.warnings > 0
+            || self.graph.warnings > 0
+            || self.symmetry.warnings > 0
+            || self.dataflow.warnings > 0;
         self.source.has_errors()
             || !self.graph.healthy_clean()
             || !self.symmetry.healthy_clean()
+            || !self.dataflow.healthy_clean()
             || !self.faulty_convicted
             || (deny_warnings && warned)
     }
 }
 
-/// Runs all three engines over the workspace at `root` and joins the
+/// Runs all four engines over the workspace at `root` and joins the
 /// verdicts.
 ///
 /// With `timings: false` (the default), the per-crate and per-pass wall
@@ -63,22 +71,28 @@ pub fn check_workspace(root: &Path, timings: bool) -> io::Result<CheckReport> {
     let source = scan_workspace(root, timings)?;
     let graph = graph_check(root, timings)?;
     let symmetry = symmetry_check(root, timings)?;
+    let dataflow = dataflow_check(root, timings)?;
     // "Healthy clean" spans all engines: no source findings anywhere, no
-    // graph or symmetry findings against algorithms not registered as
-    // faulty.
-    let healthy_clean = source.is_clean() && graph.healthy_clean() && symmetry.healthy_clean();
+    // graph, symmetry, or dataflow findings against algorithms not
+    // registered as faulty.
+    let healthy_clean = source.is_clean()
+        && graph.healthy_clean()
+        && symmetry.healthy_clean()
+        && dataflow.healthy_clean();
     // Conviction is per algorithm: the quorum/duplication/attribution/loss
     // variants are graph business, the rank-biased variant is symmetry
-    // business; each must be caught by at least one engine.
+    // business, the content-gated variant is dataflow business; each must
+    // be caught by at least one engine.
     let faulty_convicted = graph
         .algorithms
         .iter()
         .filter(|a| a.expected_faulty)
-        .all(|a| a.has_errors() || symmetry.convicted(&a.name));
+        .all(|a| a.has_errors() || symmetry.convicted(&a.name) || dataflow.convicted(&a.name));
     Ok(CheckReport {
         source,
         graph,
         symmetry,
+        dataflow,
         healthy_clean,
         faulty_convicted,
     })

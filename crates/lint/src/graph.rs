@@ -418,7 +418,7 @@ mod tests {
                 );
             }
         }
-        assert_eq!(report.algorithms.len(), 12);
+        assert_eq!(report.algorithms.len(), 13);
     }
 
     #[test]

@@ -46,6 +46,7 @@
 
 mod algorithm;
 pub mod check;
+pub mod dataflow;
 mod determinism;
 mod diagnostics;
 pub mod graph;
@@ -55,6 +56,7 @@ pub mod symmetry;
 
 pub use algorithm::{audit_branches, branch_label, BranchReport, ExploreFailed, StuckState};
 pub use check::{check_workspace, CheckReport};
+pub use dataflow::{dataflow_check, AlgoDataflow, DataflowReport, DATAFLOW_RULES};
 pub use determinism::{audit_determinism, AuditError, DeterminismFailure, DeterminismOutcome};
 pub use diagnostics::{Diagnostic, Report, Severity};
 pub use graph::{graph_check, AlgoGraph, GraphReport};

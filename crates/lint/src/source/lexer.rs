@@ -32,6 +32,31 @@ pub struct Token {
     pub col: usize,
 }
 
+/// One `camp-lint: allow(CODE)` occurrence, recorded individually so the
+/// walker can tell which suppression comments actually silenced something
+/// (rule `S011` warns on the ones that did not).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// The rule code the comment names, e.g. `"S002"`.
+    pub code: String,
+    /// 1-based line of the comment's first character.
+    pub line: usize,
+    /// 1-based column of the comment's first character.
+    pub col: usize,
+    /// Was this a doc comment (`///`, `//!`, `/**`, `/*!`)? Doc comments
+    /// *mention* suppressions without using them, so the unused-suppression
+    /// rule skips them.
+    pub doc: bool,
+}
+
+impl Allow {
+    /// The lines this comment suppresses: its own and the one below it.
+    #[must_use]
+    pub fn covers(&self, line: usize) -> bool {
+        line == self.line || line == self.line + 1
+    }
+}
+
 /// The result of scanning one file.
 #[derive(Debug, Clone, Default)]
 pub struct ScannedFile {
@@ -39,6 +64,8 @@ pub struct ScannedFile {
     pub tokens: Vec<Token>,
     /// Lines on which each rule code is suppressed (`line → {codes}`).
     pub suppressions: BTreeMap<usize, BTreeSet<String>>,
+    /// Every `allow(...)` comment individually, in source order.
+    pub allows: Vec<Allow>,
     /// Number of lines in the file (for reporting).
     pub lines: usize,
 }
@@ -52,6 +79,7 @@ pub fn scan(source: &str) -> ScannedFile {
     ScannedFile {
         tokens,
         suppressions: lx.suppressions,
+        allows: lx.allows,
         lines: lx.line,
     }
 }
@@ -62,6 +90,7 @@ struct Lexer<'a> {
     col: usize,
     tokens: Vec<Token>,
     suppressions: BTreeMap<usize, BTreeSet<String>>,
+    allows: Vec<Allow>,
 }
 
 impl<'a> Lexer<'a> {
@@ -72,6 +101,7 @@ impl<'a> Lexer<'a> {
             col: 1,
             tokens: Vec::new(),
             suppressions: BTreeMap::new(),
+            allows: Vec::new(),
         }
     }
 
@@ -120,6 +150,8 @@ impl<'a> Lexer<'a> {
         self.bump();
         match self.peek() {
             Some('/') => {
+                self.bump(); // the second '/'
+                let doc = matches!(self.peek(), Some('/' | '!'));
                 let mut text = String::new();
                 while let Some(c) = self.peek() {
                     if c == '\n' {
@@ -128,10 +160,11 @@ impl<'a> Lexer<'a> {
                     text.push(c);
                     self.bump();
                 }
-                self.comment_suppressions(&text, line);
+                self.comment_suppressions(&text, line, col, doc);
             }
             Some('*') => {
                 self.bump();
+                let doc = matches!(self.peek(), Some('*' | '!'));
                 let mut depth = 1usize;
                 let mut text = String::new();
                 while depth > 0 {
@@ -148,7 +181,7 @@ impl<'a> Lexer<'a> {
                         None => break,
                     }
                 }
-                self.comment_suppressions(&text, line);
+                self.comment_suppressions(&text, line, col, doc);
             }
             _ => self.tokens.push(Token {
                 text: "/".to_string(),
@@ -159,7 +192,7 @@ impl<'a> Lexer<'a> {
     }
 
     /// Parses `camp-lint: allow(CODE, …)` out of a comment body.
-    fn comment_suppressions(&mut self, text: &str, line: usize) {
+    fn comment_suppressions(&mut self, text: &str, line: usize, col: usize, doc: bool) {
         let Some(at) = text.find("camp-lint:") else {
             return;
         };
@@ -179,6 +212,12 @@ impl<'a> Lexer<'a> {
             for l in [line, line + 1] {
                 self.suppressions.entry(l).or_default().insert(code.clone());
             }
+            self.allows.push(Allow {
+                code,
+                line,
+                col,
+                doc,
+            });
         }
     }
 

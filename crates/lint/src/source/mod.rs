@@ -14,6 +14,7 @@
 
 pub mod lexer;
 pub mod rules;
+pub mod tree;
 
 use std::fmt;
 use std::fs;
@@ -189,11 +190,16 @@ pub fn lint_source(crate_name: &str, file: &str, source: &str) -> FileOutcome {
         lines: scanned.lines,
         ..FileOutcome::default()
     };
+    // Raw `(code, line)` pairs of every finding *before* suppression: a
+    // suppression comment is "used" exactly when such a pair falls on a line
+    // it covers (rule S011 below).
+    let mut raw: Vec<(String, usize)> = Vec::new();
     for rule in source_rules() {
         if !rule.applies_to(crate_name) {
             continue;
         }
         for finding in rule.check(&scanned.tokens) {
+            raw.push((rule.code.to_string(), finding.line));
             let suppressed = scanned
                 .suppressions
                 .get(&finding.line)
@@ -211,6 +217,49 @@ pub fn lint_source(crate_name: &str, file: &str, source: &str) -> FileOutcome {
                     col: finding.col,
                 });
             }
+        }
+    }
+    // S011: every non-doc `allow(CODE)` comment must have matched at least
+    // one CODE finding on the lines it covers. `allow(S011)` comments are
+    // exempt (they exist to silence this rule, and warning on them would
+    // make the rule unsuppressible).
+    let s011 = source_rules()
+        .into_iter()
+        .find(|r| r.code == "S011")
+        .expect("S011 is registered");
+    for allow in &scanned.allows {
+        if allow.doc || allow.code == "S011" {
+            continue;
+        }
+        let used = raw
+            .iter()
+            .any(|(code, line)| *code == allow.code && allow.covers(*line));
+        if used {
+            continue;
+        }
+        let suppressed = scanned
+            .suppressions
+            .get(&allow.line)
+            .is_some_and(|codes| codes.contains("S011"));
+        if suppressed {
+            out.suppressed += 1;
+        } else {
+            out.diagnostics.push(SourceDiagnostic {
+                code: s011.code.to_string(),
+                name: s011.name.to_string(),
+                severity: s011.severity,
+                message: format!(
+                    "`allow({})` suppresses nothing: no {} finding on line {} or {} — \
+                     remove the stale comment (or fix its placement)",
+                    allow.code,
+                    allow.code,
+                    allow.line,
+                    allow.line + 1
+                ),
+                file: file.to_string(),
+                line: allow.line,
+                col: allow.col,
+            });
         }
     }
     out.diagnostics
@@ -316,6 +365,7 @@ mod tests {
         ("S008", "std::process::exit(1);"),
         ("S009", "if msg.content == flag { f(); }"),
         ("S010", "let home = std::env::var(\"HOME\");"),
+        ("S011", "// camp-lint: allow(S001) -- stale\nlet x = 1;"),
     ];
 
     #[test]
@@ -358,6 +408,49 @@ mod tests {
         let out = lint_source("broadcast", "clean.rs", clean);
         assert!(out.diagnostics.is_empty(), "got {:?}", out.diagnostics);
         assert_eq!(out.suppressed, 0);
+    }
+
+    #[test]
+    fn used_suppressions_do_not_warn() {
+        // The allow comment matches the S002 finding on the next line, so
+        // S011 stays silent and the suppression is counted.
+        let src = "// camp-lint: allow(S002) -- measuring wall time on purpose\n\
+                   let t0 = Instant::now();\n";
+        let out = lint_source("broadcast", "x.rs", src);
+        assert!(out.diagnostics.is_empty(), "got {:?}", out.diagnostics);
+        assert_eq!(out.suppressed, 1);
+    }
+
+    #[test]
+    fn unused_suppression_warns_at_the_comment() {
+        let src = "let x = 1;\n// camp-lint: allow(S004) -- nothing random here\nlet y = 2;\n";
+        let out = lint_source("broadcast", "x.rs", src);
+        assert_eq!(out.diagnostics.len(), 1, "got {:?}", out.diagnostics);
+        let d = &out.diagnostics[0];
+        assert_eq!(d.code, "S011");
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!((d.line, d.col), (2, 1));
+        assert!(d.message.contains("allow(S004)"), "got {}", d.message);
+    }
+
+    #[test]
+    fn doc_comment_mentions_of_allow_are_exempt() {
+        // Doc text *describing* the allow syntax is not a suppression site.
+        let src = "//! Silence a rule with `camp-lint: allow(S002)` comments.\n\
+                   /// Same goes for `camp-lint: allow(S003)` in item docs.\n\
+                   let x = 1;\n";
+        let out = lint_source("broadcast", "x.rs", src);
+        assert!(out.diagnostics.is_empty(), "got {:?}", out.diagnostics);
+    }
+
+    #[test]
+    fn allow_s011_is_exempt_and_silences_the_warning() {
+        let src = "// camp-lint: allow(S011) -- keep the stale allow for the test below\n\
+                   // camp-lint: allow(S004) -- nothing random here\n\
+                   let x = 1;\n";
+        let out = lint_source("broadcast", "x.rs", src);
+        assert!(out.diagnostics.is_empty(), "got {:?}", out.diagnostics);
+        assert_eq!(out.suppressed, 1);
     }
 
     #[test]

@@ -230,6 +230,22 @@ pub fn source_rules() -> Vec<SourceRule> {
                 out
             },
         },
+        SourceRule {
+            code: "S011",
+            name: "unused-suppression",
+            severity: Severity::Warning,
+            crates: None,
+            rationale: "A `camp-lint: allow(...)` comment that silences nothing is a stale \
+                        exemption: the offending code moved or was fixed, and the comment now \
+                        documents a hole that is not there — or worse, masks a future \
+                        regression on the wrong line. Suppressions must stay attached to the \
+                        findings they discharge.",
+            // The matcher is empty on purpose: unused suppressions are a
+            // property of the *whole file's* findings, not of the token
+            // stream, so the walker in `super::lint_source` implements this
+            // rule after every other rule has run.
+            check: |_| Vec::new(),
+        },
     ]
 }
 

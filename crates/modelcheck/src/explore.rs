@@ -45,6 +45,14 @@
 //!    than the current one, the classic side condition for combining state
 //!    caching with sleep sets.
 //!
+//! Layer 2 admits a certificate-licensed **widening**: with a valid
+//! `camp-independence-cert/v1` (issued by `camp-lint dataflow`, stating that
+//! the receive handler's state footprint is sliced by the *originating
+//! broadcaster*) and a caller-declared [`Sensitivity::PerSender`] property,
+//! two receptions at the *same* process whose carried B-broadcasters differ
+//! are also treated as commuting — see [`explore_with_independence`] and the
+//! "layer 3¾" section of `docs/MODELCHECK.md` for the soundness argument.
+//!
 //! A fourth layer, deterministic parallel frontier exploration, lives in
 //! [`crate::explore_parallel`].
 
@@ -101,6 +109,18 @@ pub struct EngineConfig {
     /// [`camp_sim::SymmetryCert`]**; use [`explore_with_certs`] to let a
     /// certificate store make that decision. Off by default.
     pub canonical: bool,
+    /// Widen the sleep-set independence relation: receptions at the *same*
+    /// process commute when their carried B-broadcasters differ. **Sound
+    /// only** for algorithms holding a valid
+    /// [`camp_sim::IndependenceCert`] *and* properties declared
+    /// [`Sensitivity::PerSender`]; use [`explore_with_independence`] to let
+    /// a certificate store make that decision. Off by default.
+    pub widen_receives: bool,
+    /// Additionally treat an invocation at `p` as commuting with receptions
+    /// at `p` whose carried B-broadcaster is not `p`. Requires the
+    /// certificate's `invoke_commutes` attestation on top of everything
+    /// `widen_receives` requires. Off by default.
+    pub widen_invokes: bool,
 }
 
 impl Default for EngineConfig {
@@ -110,6 +130,8 @@ impl Default for EngineConfig {
             dedup: true,
             sleep_sets: true,
             canonical: false,
+            widen_receives: false,
+            widen_invokes: false,
         }
     }
 }
@@ -137,8 +159,35 @@ pub struct EngineStats {
     pub canonical_hits: usize,
     /// Branches skipped because the chosen event was asleep.
     pub sleep_skips: usize,
+    /// The subset of `sleep_skips` whose sleep entry was only admitted by
+    /// the certificate-widened independence relation (same-process,
+    /// cross-origin) — zero unless widening is enabled.
+    pub independence_prunes: usize,
     /// Whether a budget was hit.
     pub truncated: bool,
+}
+
+/// How much of the event ordering a property reads — the caller's half of
+/// the widened-independence soundness obligation.
+///
+/// [`explore_with_independence`] only widens the sleep-set relation when the
+/// property is declared [`PerSender`](Sensitivity::PerSender) *and* the
+/// algorithm holds a valid independence certificate: the certificate attests
+/// that swapping two same-process receptions with distinct origins leaves
+/// the final local states unchanged, and the declaration attests that no
+/// property verdict reads the relative order of events the swap permutes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sensitivity {
+    /// The property may read the full per-process event order (e.g. causal
+    /// or total-order specs). No widening — identical to
+    /// [`explore_with_certs`].
+    FullOrder,
+    /// Property verdicts depend only on per-(process, origin) delivery
+    /// subsequences plus order-insensitive facts (sets of broadcasts,
+    /// returns, decides, crash status). The four base properties and the
+    /// FIFO spec qualify: each constrains deliveries of *one* broadcaster
+    /// at a time, never the interleaving across broadcasters.
+    PerSender,
 }
 
 /// The outcome of an exploration.
@@ -183,10 +232,19 @@ pub(crate) enum Choice {
 /// A stable identity for a [`Choice`], independent of network slot indices
 /// (slots shift as messages are consumed; message ids never do). Sleep sets
 /// and memoization signatures are keyed by `ChoiceKey`.
+///
+/// `Receive::class` is the payload's **origin class** — the B-broadcaster
+/// reported by [`BroadcastAlgorithm::receive_origin`] — a deterministic
+/// function of the in-flight message, carried here so the widened
+/// independence relation can compare origins without re-resolving payloads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub(crate) enum ChoiceKey {
     Invoke(ProcessId),
-    Receive { msg: MessageId, to: ProcessId },
+    Receive {
+        msg: MessageId,
+        to: ProcessId,
+        class: Option<ProcessId>,
+    },
     Respond(ProcessId),
 }
 
@@ -217,6 +275,71 @@ pub(crate) fn independent(a: ChoiceKey, b: ChoiceKey) -> bool {
         (Some(p), Some(q)) => p != q,
         _ => false,
     }
+}
+
+/// The certificate-widened extension of [`independent`]: events at the
+/// *same* subject process also commute when their origin classes provably
+/// differ. Only consulted when the engine was handed a valid
+/// [`camp_sim::IndependenceCert`] and a [`Sensitivity::PerSender`] property:
+///
+/// * two receptions at `p` with distinct `Some` origins (`receives`) — the
+///   certificate attests the handler's state footprint is sliced by origin
+///   (origin-keyed slices, unique-id-keyed inserts, or the drained step
+///   queue), so the two handler runs touch disjoint state;
+/// * an invocation at `p` and a reception at `p` whose origin is not `p`
+///   (`invokes`) — additionally needs the certificate's `invoke_commutes`
+///   attestation that the invoke path writes no origin-sliced receive state.
+///
+/// A `None` class means the algorithm did not vouch for the payload: the
+/// pair stays dependent.
+pub(crate) fn widened_independent(
+    a: ChoiceKey,
+    b: ChoiceKey,
+    receives: bool,
+    invokes: bool,
+) -> bool {
+    use ChoiceKey::{Invoke, Receive};
+    match (a, b) {
+        (
+            Receive {
+                to: p,
+                class: Some(ca),
+                ..
+            },
+            Receive {
+                to: q,
+                class: Some(cb),
+                ..
+            },
+        ) => receives && p == q && ca != cb,
+        (
+            Invoke(p),
+            Receive {
+                to: q,
+                class: Some(c),
+                ..
+            },
+        )
+        | (
+            Receive {
+                to: q,
+                class: Some(c),
+                ..
+            },
+            Invoke(p),
+        ) => invokes && p == q && c != p,
+        _ => false,
+    }
+}
+
+/// One sleep-set entry: the asleep event plus whether its admission into
+/// the set ever relied on the *widened* independence relation. The flag is
+/// pure attribution — it never changes what is explored, only which counter
+/// a prune lands in (`independence_prunes` vs plain `sleep_skips`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SleepEntry {
+    pub key: ChoiceKey,
+    pub widened: bool,
 }
 
 /// Drains all local steps of all processes (reduction layer 1), responding
@@ -279,6 +402,7 @@ pub(crate) fn key_of<B: BroadcastAlgorithm>(choice: Choice, sim: &Simulation<B>)
             ChoiceKey::Receive {
                 msg: m.id,
                 to: m.to,
+                class: sim.algorithm().receive_origin(&m.payload),
             }
         }
     }
@@ -428,7 +552,7 @@ impl<'a, S: ObsSink> Engine<'a, S> {
         sim: &Simulation<B>,
         issued: &mut [usize],
         depth: usize,
-        sleep: Vec<ChoiceKey>,
+        sleep: Vec<SleepEntry>,
     ) -> ControlFlow<ExploreOutcome>
     where
         B: BroadcastAlgorithm + Clone,
@@ -471,7 +595,10 @@ impl<'a, S: ObsSink> Engine<'a, S> {
 
         if self.cfg.dedup {
             let fp = combined_fingerprint(sim, issued);
-            let mut sig = sleep.clone();
+            // Signatures are keyed by the asleep events alone: the widened
+            // flag is counter attribution and does not affect what a visit
+            // explored, so it must not split otherwise-identical signatures.
+            let mut sig: Vec<ChoiceKey> = sleep.iter().map(|e| e.key).collect();
             sig.sort_unstable();
             self.sink.inc("modelcheck.fingerprints_checked");
             let sigs = self.visited.entry(fp).or_default();
@@ -506,17 +633,46 @@ impl<'a, S: ObsSink> Engine<'a, S> {
         let mut outcome = ControlFlow::Continue(());
         for &choice in &choices {
             let key = key_of(choice, sim);
-            if sleep.contains(&key) {
+            if let Some(entry) = sleep.iter().find(|e| e.key == key) {
                 self.stats.sleep_skips += 1;
                 self.sink.inc("modelcheck.sleep_set_prunes");
+                if entry.widened {
+                    self.stats.independence_prunes += 1;
+                    self.sink.inc("modelcheck.independence_prunes");
+                }
                 continue;
             }
-            let child_sleep: Vec<ChoiceKey> = if self.cfg.sleep_sets {
+            let widening = self.cfg.widen_receives || self.cfg.widen_invokes;
+            let child_sleep: Vec<SleepEntry> = if self.cfg.sleep_sets {
                 sleep
                     .iter()
-                    .chain(done.iter())
-                    .filter(|k| independent(**k, key))
                     .copied()
+                    .chain(done.iter().map(|&k| SleepEntry {
+                        key: k,
+                        widened: false,
+                    }))
+                    .filter_map(|e| {
+                        if independent(e.key, key) {
+                            Some(e)
+                        } else if widening
+                            && widened_independent(
+                                e.key,
+                                key,
+                                self.cfg.widen_receives,
+                                self.cfg.widen_invokes,
+                            )
+                        {
+                            // Surviving only via the widened relation marks
+                            // the entry: a later skip of this event is a
+                            // prune the certificate alone made possible.
+                            Some(SleepEntry {
+                                key: e.key,
+                                widened: true,
+                            })
+                        } else {
+                            None
+                        }
+                    })
                     .collect()
             } else {
                 Vec::new()
@@ -641,12 +797,63 @@ where
     B::Msg: Clone,
     S: ObsSink,
 {
-    let certified = certs.valid_for(&sim.algorithm().name());
+    explore_with_independence(
+        sim,
+        workload,
+        property,
+        cfg,
+        certs,
+        Sensitivity::FullOrder,
+        sink,
+    )
+}
+
+/// [`explore_with_certs`], additionally arming the certificate-widened
+/// independence relation when *both* halves of its soundness obligation are
+/// met: `certs` holds a valid `camp-independence-cert/v1` for the simulated
+/// algorithm (issued by `camp-lint dataflow`, attesting that the receive
+/// handler's state footprint is sliced by the originating broadcaster), and
+/// the caller declares the property [`Sensitivity::PerSender`].
+///
+/// When armed, two receptions at the same process whose carried
+/// B-broadcasters differ become sleep-set independent — and, if the
+/// certificate also attests `invoke_commutes`, so do an invocation and a
+/// foreign-origin reception at the same process. Prunes enabled only by the
+/// widening are counted in [`EngineStats::independence_prunes`] and the
+/// `modelcheck.independence_prunes` counter; loading the certificate records
+/// `modelcheck.independence_cert_loaded`. With [`Sensitivity::FullOrder`] or
+/// without a valid certificate the call is exactly [`explore_with_certs`].
+#[allow(clippy::too_many_arguments)]
+pub fn explore_with_independence<B, S>(
+    sim: Simulation<B>,
+    workload: &Workload,
+    property: &dyn Fn(&Execution) -> SpecResult,
+    cfg: EngineConfig,
+    certs: &CertStore,
+    sensitivity: Sensitivity,
+    sink: &mut S,
+) -> (ExploreOutcome, EngineStats)
+where
+    B: BroadcastAlgorithm + Clone,
+    B::Msg: Clone,
+    S: ObsSink,
+{
+    let name = sim.algorithm().name();
+    let certified = certs.valid_for(&name);
     if certified {
         sink.inc("modelcheck.cert_loaded");
     }
+    let independence = certs
+        .independence(&name)
+        .filter(|cert| cert.valid())
+        .filter(|_| sensitivity == Sensitivity::PerSender);
+    if independence.is_some() {
+        sink.inc("modelcheck.independence_cert_loaded");
+    }
     let cfg = EngineConfig {
         canonical: certified,
+        widen_receives: independence.is_some(),
+        widen_invokes: independence.is_some_and(|cert| cert.invoke_commutes),
         ..cfg
     };
     explore_with_obs(sim, workload, property, cfg, sink)
@@ -694,6 +901,8 @@ where
             dedup: false,
             sleep_sets: false,
             canonical: false,
+            widen_receives: false,
+            widen_invokes: false,
         },
     )
     .0

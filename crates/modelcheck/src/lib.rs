@@ -36,8 +36,9 @@ pub use crashsweep::{
     crash_point_sweep, crash_point_sweep_certs, crash_point_sweep_obs, SweepOutcome,
 };
 pub use explore::{
-    explore, explore_baseline, explore_collect, explore_with_certs, explore_with_obs,
-    explore_with_stats, EngineConfig, EngineStats, ExploreConfig, ExploreOutcome,
+    explore, explore_baseline, explore_collect, explore_with_certs, explore_with_independence,
+    explore_with_obs, explore_with_stats, EngineConfig, EngineStats, ExploreConfig, ExploreOutcome,
+    Sensitivity,
 };
 pub use parallel::{explore_parallel, explore_parallel_obs};
 pub use schedules::{for_each_complete_schedule, ScheduleQuery, ScheduleStats};

@@ -42,8 +42,8 @@ use camp_specs::SpecResult;
 use camp_trace::Execution;
 
 use crate::explore::{
-    apply_choice, collect_choices, drain, independent, key_of, ChoiceKey, Engine, EngineConfig,
-    EngineStats, ExploreOutcome,
+    apply_choice, collect_choices, drain, independent, key_of, widened_independent, ChoiceKey,
+    Engine, EngineConfig, EngineStats, ExploreOutcome, SleepEntry,
 };
 
 /// How many work units the frontier expansion aims to produce per thread.
@@ -57,7 +57,7 @@ struct Unit<B: BroadcastAlgorithm> {
     sim: Simulation<B>,
     issued: Vec<usize>,
     depth: usize,
-    sleep: Vec<ChoiceKey>,
+    sleep: Vec<SleepEntry>,
 }
 
 /// Explores like [`crate::explore_with_stats`], but splits the tree across
@@ -163,17 +163,46 @@ where
         let mut done: Vec<ChoiceKey> = Vec::new();
         for &choice in &choices {
             let key = key_of(choice, &unit.sim);
-            if unit.sleep.contains(&key) {
+            if let Some(entry) = unit.sleep.iter().find(|e| e.key == key) {
                 stats.sleep_skips += 1;
                 sink.inc("modelcheck.sleep_set_prunes");
+                if entry.widened {
+                    stats.independence_prunes += 1;
+                    sink.inc("modelcheck.independence_prunes");
+                }
                 continue;
             }
-            let child_sleep: Vec<ChoiceKey> = if cfg.sleep_sets {
+            // Same inheritance rule as the sequential engine, widened flag
+            // included, so a parallel run with equal config explores (and
+            // attributes) exactly the same reduced tree.
+            let widening = cfg.widen_receives || cfg.widen_invokes;
+            let child_sleep: Vec<SleepEntry> = if cfg.sleep_sets {
                 unit.sleep
                     .iter()
-                    .chain(done.iter())
-                    .filter(|k| independent(**k, key))
                     .copied()
+                    .chain(done.iter().map(|&k| SleepEntry {
+                        key: k,
+                        widened: false,
+                    }))
+                    .filter_map(|e| {
+                        if independent(e.key, key) {
+                            Some(e)
+                        } else if widening
+                            && widened_independent(
+                                e.key,
+                                key,
+                                cfg.widen_receives,
+                                cfg.widen_invokes,
+                            )
+                        {
+                            Some(SleepEntry {
+                                key: e.key,
+                                widened: true,
+                            })
+                        } else {
+                            None
+                        }
+                    })
                     .collect()
             } else {
                 Vec::new()
@@ -278,6 +307,7 @@ where
         stats.dedup_hits += unit_stats.dedup_hits;
         stats.canonical_hits += unit_stats.canonical_hits;
         stats.sleep_skips += unit_stats.sleep_skips;
+        stats.independence_prunes += unit_stats.independence_prunes;
         stats.truncated |= unit_stats.truncated;
         unit_counters.replay_into(sink);
         if first_bad.is_none() && !outcome.verified() {

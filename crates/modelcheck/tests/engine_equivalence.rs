@@ -18,11 +18,15 @@
 use camp_broadcast::faulty::{Duplicating, Lossy, Misattributing, QuorumBlocking};
 use camp_broadcast::{AgreedBroadcast, CausalBroadcast, EagerReliable, FifoBroadcast, SendToAll};
 use camp_modelcheck::{
-    explore_baseline, explore_parallel, explore_with_stats, EngineConfig, ExploreConfig,
-    ExploreOutcome,
+    explore_baseline, explore_parallel, explore_with_independence, explore_with_stats,
+    EngineConfig, ExploreConfig, ExploreOutcome, Sensitivity,
 };
+use camp_obs::NoopSink;
+use camp_sim::canonical::INDEPENDENCE_CERT_SCHEMA;
 use camp_sim::scheduler::Workload;
-use camp_sim::{BroadcastAlgorithm, FirstProposalRule, KsaOracle, Simulation};
+use camp_sim::{
+    BroadcastAlgorithm, CertStore, FirstProposalRule, IndependenceCert, KsaOracle, Simulation,
+};
 use camp_specs::{base, SpecResult};
 use camp_trace::{Execution, ProcessId, Value};
 use proptest::prelude::*;
@@ -86,6 +90,63 @@ where
         threads,
     );
     (verdict(&baseline), verdict(&reduced), verdict(&parallel))
+}
+
+/// A hand-built independence certificate store for `algo` — the engine-side
+/// soundness test deliberately bypasses `camp-lint dataflow` (whose issuance
+/// is tested separately) so that *any* algorithm can be forced through the
+/// widened engine and checked against the baseline.
+fn hand_cert(algo: &str, invoke_commutes: bool) -> CertStore {
+    let mut store = CertStore::new();
+    store.insert_independence(IndependenceCert {
+        schema: INDEPENDENCE_CERT_SCHEMA.to_string(),
+        algorithm: algo.to_string(),
+        handlers_analyzed: 2,
+        receives_commute: true,
+        invoke_commutes,
+        evidence: "hand-built for engine-equivalence testing".to_string(),
+    });
+    store
+}
+
+/// Runs the baseline, the plain reduced engine, and the widened engine
+/// (hand-built certificate, `PerSender`) on one scope; returns the three
+/// collapsed verdicts plus (plain nodes, widened nodes, widened prunes).
+fn widened_verdicts<B>(
+    algo: B,
+    workload: &Workload,
+    invoke_commutes: bool,
+) -> (String, String, String, usize, usize, usize)
+where
+    B: BroadcastAlgorithm + Clone,
+    B::Msg: Clone,
+{
+    let property = |e: &Execution| -> SpecResult { base::check_all(e) };
+    let name = algo.name();
+    let baseline = explore_baseline(fresh(algo.clone(), 2), workload, &property, BUDGETS);
+    let (plain, plain_stats) = explore_with_stats(
+        fresh(algo.clone(), 2),
+        workload,
+        &property,
+        EngineConfig::from(BUDGETS),
+    );
+    let (widened, widened_stats) = explore_with_independence(
+        fresh(algo, 2),
+        workload,
+        &property,
+        EngineConfig::from(BUDGETS),
+        &hand_cert(&name, invoke_commutes),
+        Sensitivity::PerSender,
+        &mut NoopSink,
+    );
+    (
+        verdict(&baseline),
+        verdict(&plain),
+        verdict(&widened),
+        plain_stats.nodes,
+        widened_stats.nodes,
+        widened_stats.independence_prunes,
+    )
 }
 
 /// A random 2-process workload with `total` messages split `first` /
@@ -176,4 +237,94 @@ proptest! {
         };
         prop_assert_eq!(run(), run());
     }
+
+    /// The certificate-widened sleep sets never change the verdict on the
+    /// origin-sliced algorithms: the widened engine agrees with both the
+    /// plain reduced engine and the unreduced baseline on every scope, and
+    /// never visits more nodes than the plain engine.
+    #[test]
+    fn widened_engine_agrees_with_baseline(
+        algo in 0usize..3,
+        total in 2usize..4,
+        first in 0usize..4,
+        vals in proptest::collection::vec(0u64..50, 3),
+        invoke_commutes in any::<bool>(),
+    ) {
+        let w = workload(total, first, &vals);
+        let (b, plain, widened, pn, wn, _) = match algo {
+            0 => widened_verdicts(SendToAll::new(), &w, invoke_commutes),
+            1 => widened_verdicts(FifoBroadcast::new(), &w, invoke_commutes),
+            _ => widened_verdicts(EagerReliable::uniform(), &w, invoke_commutes),
+        };
+        prop_assert!(
+            !b.contains("truncated=true"),
+            "baseline truncated — widen BUDGETS: {b}"
+        );
+        prop_assert_eq!(&b, &plain, "plain engine disagrees with baseline");
+        prop_assert_eq!(&b, &widened, "widened engine disagrees with baseline");
+        prop_assert!(wn <= pn, "widening grew the tree: {wn} vs {pn}");
+    }
+}
+
+/// On a scope with two same-process receptions of distinct origins enabled
+/// side by side, the widening must actually fire — and a `FullOrder`
+/// declaration (or a missing certificate) must leave the exploration
+/// byte-identical to the plain engine.
+#[test]
+fn widening_prunes_iff_licensed() {
+    let w = workload(2, 1, &[7, 8]); // one broadcast per process
+    let property = |e: &Execution| -> SpecResult { base::check_all(e) };
+    let (_, plain) = explore_with_stats(
+        fresh(FifoBroadcast::new(), 2),
+        &w,
+        &property,
+        EngineConfig::from(BUDGETS),
+    );
+
+    let certs = hand_cert("fifo", true);
+    let (outcome, widened) = explore_with_independence(
+        fresh(FifoBroadcast::new(), 2),
+        &w,
+        &property,
+        EngineConfig::from(BUDGETS),
+        &certs,
+        Sensitivity::PerSender,
+        &mut NoopSink,
+    );
+    assert!(outcome.verified(), "{outcome:?}");
+    assert!(
+        widened.independence_prunes > 0,
+        "widening idle on a cross-origin scope: {widened:?}"
+    );
+    assert!(
+        widened.nodes < plain.nodes,
+        "no node reduction: {} vs {}",
+        widened.nodes,
+        plain.nodes
+    );
+
+    // FullOrder: the certificate is present but the property declaration
+    // withholds the licence — the run must match the plain engine exactly.
+    let (_, full_order) = explore_with_independence(
+        fresh(FifoBroadcast::new(), 2),
+        &w,
+        &property,
+        EngineConfig::from(BUDGETS),
+        &certs,
+        Sensitivity::FullOrder,
+        &mut NoopSink,
+    );
+    assert_eq!(full_order, plain, "FullOrder must not widen");
+
+    // No certificate: PerSender alone licenses nothing.
+    let (_, uncertified) = explore_with_independence(
+        fresh(FifoBroadcast::new(), 2),
+        &w,
+        &property,
+        EngineConfig::from(BUDGETS),
+        &CertStore::new(),
+        Sensitivity::PerSender,
+        &mut NoopSink,
+    );
+    assert_eq!(uncertified, plain, "missing certificate must not widen");
 }

@@ -133,6 +133,22 @@ pub trait BroadcastAlgorithm {
     fn canonical_msg_text(&self, payload: &Self::Msg, perm: &[usize]) -> String {
         crate::canonical::rewrite_process_ids(&format!("{payload:?}"), perm)
     }
+
+    /// The **origin class** of a wire payload: the B-broadcaster whose
+    /// message this payload carries, when the algorithm's receive handler
+    /// only touches state sliced by that origin (the field an
+    /// [`crate::canonical::IndependenceCert`] names as the slice key).
+    ///
+    /// The model checker's certificate-gated sleep sets treat two receives
+    /// at the same process as commuting only when both report `Some` origin
+    /// and the origins differ. The default `None` opts out: without a class
+    /// every same-process pair stays dependent, which is always sound.
+    /// Implementations must return the origin *broadcaster* recorded in the
+    /// payload (`msg.sender`), never the network-level relayer.
+    fn receive_origin(&self, payload: &Self::Msg) -> Option<ProcessId> {
+        let _ = payload;
+        None
+    }
 }
 
 /// A local step an algorithm solving k-set agreement (`𝒜` role) may take.

@@ -45,6 +45,10 @@ use crate::fingerprint::StateHasher;
 /// certificates with any other schema.
 pub const CERT_SCHEMA: &str = "camp-symmetry-cert/v1";
 
+/// Version tag of [`IndependenceCert`]; consumers reject certificates with
+/// any other schema.
+pub const INDEPENDENCE_CERT_SCHEMA: &str = "camp-independence-cert/v1";
+
 /// Full-orbit bound: all `n!` process permutations are tried for systems of
 /// at most this many processes (4! = 24 renderings per fingerprint); larger
 /// systems fall back to the identity permutation.
@@ -83,12 +87,56 @@ impl SymmetryCert {
     }
 }
 
+/// A machine-checked handler-independence certificate for one registered
+/// algorithm, issued by `camp-lint dataflow` (rules S045–S048) when the
+/// static read/write-set analysis proves that the algorithm's environment
+/// handlers commute whenever they concern **different origin broadcasters**:
+/// every state field written by `on_receive` is either sliced by the
+/// payload's origin sender, a commutative insert keyed by the (unique)
+/// message identity, or a step buffer that the engine drains between
+/// environment events.
+///
+/// The model checker's sleep-set POR consumes the certificate to treat two
+/// same-process environment events with distinct origin classes as
+/// independent — see `camp-modelcheck`'s `Sensitivity` for the property-side
+/// obligation that completes the soundness argument.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndependenceCert {
+    /// Certificate format version ([`INDEPENDENCE_CERT_SCHEMA`]).
+    pub schema: String,
+    /// Registered display name of the certified algorithm.
+    pub algorithm: String,
+    /// Number of handlers whose footprints were fully classified.
+    pub handlers_analyzed: usize,
+    /// Do two receives of messages with distinct origin broadcasters
+    /// commute as state transformers at every process?
+    pub receives_commute: bool,
+    /// Does a broadcast invocation commute with a receive whose origin is a
+    /// *different* process than the invoker?
+    pub invoke_commutes: bool,
+    /// Human-auditable footprint summary the verdict was derived from:
+    /// one `handler: field=class, …` line per handler.
+    pub evidence: String,
+}
+
+impl IndependenceCert {
+    /// Is this certificate one the model checker may act on? Requires the
+    /// exact schema version and the receive-commutation proof (the
+    /// invoke-commutation flag is an optional refinement the engine reads
+    /// separately).
+    #[must_use]
+    pub fn valid(&self) -> bool {
+        self.schema == INDEPENDENCE_CERT_SCHEMA && self.receives_commute
+    }
+}
+
 /// A set of certificates keyed by algorithm name, as produced by
-/// `camp-lint symmetry --certs` and consumed by the cert-gated engine
-/// entry points in `camp-modelcheck`.
+/// `camp-lint symmetry --certs` / `camp-lint dataflow --certs` and consumed
+/// by the cert-gated engine entry points in `camp-modelcheck`.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CertStore {
     certs: BTreeMap<String, SymmetryCert>,
+    independence: BTreeMap<String, IndependenceCert>,
 }
 
 impl CertStore {
@@ -130,6 +178,35 @@ impl CertStore {
     /// Iterates certificates in algorithm-name order.
     pub fn iter(&self) -> impl Iterator<Item = &SymmetryCert> {
         self.certs.values()
+    }
+
+    /// Adds (or replaces) the independence certificate for its algorithm.
+    pub fn insert_independence(&mut self, cert: IndependenceCert) {
+        self.independence.insert(cert.algorithm.clone(), cert);
+    }
+
+    /// The independence certificate registered for `algorithm`, if any.
+    #[must_use]
+    pub fn independence(&self, algorithm: &str) -> Option<&IndependenceCert> {
+        self.independence.get(algorithm)
+    }
+
+    /// Is there an [`IndependenceCert::valid`] certificate for `algorithm`?
+    #[must_use]
+    pub fn independence_valid_for(&self, algorithm: &str) -> bool {
+        self.independence(algorithm)
+            .is_some_and(IndependenceCert::valid)
+    }
+
+    /// Number of stored independence certificates.
+    #[must_use]
+    pub fn independence_len(&self) -> usize {
+        self.independence.len()
+    }
+
+    /// Iterates independence certificates in algorithm-name order.
+    pub fn iter_independence(&self) -> impl Iterator<Item = &IndependenceCert> {
+        self.independence.values()
     }
 }
 
@@ -447,6 +524,48 @@ mod tests {
         assert!(store.valid_for("fifo"));
         assert!(!store.valid_for("faulty:rank-biased"));
         assert!(!store.valid_for("unknown"));
+        let json = serde_json::to_string(&store).unwrap();
+        let back: CertStore = serde_json::from_str(&json).unwrap();
+        assert_eq!(store, back);
+    }
+
+    #[test]
+    fn independence_cert_validity_and_store_round_trip() {
+        let cert = IndependenceCert {
+            schema: INDEPENDENCE_CERT_SCHEMA.to_string(),
+            algorithm: "fifo".to_string(),
+            handlers_analyzed: 2,
+            receives_commute: true,
+            invoke_commutes: true,
+            evidence: "on_receive: seen=keyed-insert buffered=origin-sliced".to_string(),
+        };
+        assert!(cert.valid());
+        let mut stale = cert.clone();
+        stale.schema = "camp-independence-cert/v0".to_string();
+        assert!(!stale.valid());
+        let mut refuted = cert.clone();
+        refuted.receives_commute = false;
+        assert!(!refuted.valid());
+
+        let mut store = CertStore::new();
+        assert_eq!(store.independence_len(), 0);
+        store.insert_independence(cert);
+        store.insert_independence(IndependenceCert {
+            schema: INDEPENDENCE_CERT_SCHEMA.to_string(),
+            algorithm: "causal".to_string(),
+            handlers_analyzed: 2,
+            receives_commute: false,
+            invoke_commutes: false,
+            evidence: "on_receive: waiting=global".to_string(),
+        });
+        assert_eq!(store.independence_len(), 2);
+        assert!(store.independence_valid_for("fifo"));
+        assert!(store.independence("fifo").unwrap().invoke_commutes);
+        assert!(!store.independence_valid_for("causal"));
+        assert!(!store.independence_valid_for("unknown"));
+        // Independence and symmetry certificates live in separate key
+        // spaces: an independence cert never licenses the renaming quotient.
+        assert!(!store.valid_for("fifo"));
         let json = serde_json::to_string(&store).unwrap();
         let back: CertStore = serde_json::from_str(&json).unwrap();
         assert_eq!(store, back);

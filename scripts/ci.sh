@@ -17,6 +17,24 @@ cargo run --release -q -p camp-lint --bin camp-lint -- check --deny-warnings
 echo "==> camp-lint: symmetry engine (S030-S035, deny warnings)"
 cargo run --release -q -p camp-lint --bin camp-lint -- symmetry --deny-warnings
 
+# The dataflow engine must certify the commuting receive handlers and
+# convict the quorum-blocked, content-gated, and misattributing variants —
+# the camp-independence-cert/v1 certificates it issues are what widen the
+# model checker's sleep sets below. The committed golden pins the whole
+# report byte for byte, so any drift in a conviction witness or a
+# certificate footprint fails here, not in production.
+echo "==> camp-lint: dataflow engine (S040-S048, deny warnings, golden)"
+cargo run --release -q -p camp-lint --bin camp-lint -- dataflow --deny-warnings
+dataflow_out="$PWD/target/ci.dataflow.json"
+cargo run --release -q -p camp-lint --bin camp-lint -- dataflow --json > "$dataflow_out"
+python3 - "$dataflow_out" tests/golden/dataflow.json <<'PY'
+import json, sys
+live = json.load(open(sys.argv[1]))
+golden = json.load(open(sys.argv[2]))
+assert live == golden, "camp-lint dataflow drifted from tests/golden/dataflow.json; regenerate with scripts/regen-goldens.sh"
+print("dataflow report matches the committed golden")
+PY
+
 echo "==> tier-1: cargo build --release"
 cargo build --release
 
@@ -43,23 +61,25 @@ CAMP_PROPTEST_CASES=6 cargo test -q --release -p camp-modelcheck --test engine_e
 
 # The smoke run writes to a scratch path so it never clobbers the committed
 # full-mode BENCH_explore.json; regenerate that one with scripts/bench.sh.
-echo "==> bench smoke: exploration benches produce a well-formed v3 report"
+echo "==> bench smoke: exploration benches produce a well-formed v4 report"
 smoke_out="$PWD/target/BENCH_explore.smoke.json"
 smoke_metrics="$PWD/target/BENCH_explore.smoke.metrics.json"
 CAMP_BENCH_OUT="$smoke_out" scripts/bench.sh --quick --metrics "$smoke_metrics" >/dev/null
-for key in '"schema"' '"camp-bench/explore/v3"' '"explore_fifo_2x2"' \
+for key in '"schema"' '"camp-bench/explore/v4"' '"explore_fifo_2x2"' \
            '"explore_causal_3"' '"explore_agreed_2"' '"crashsweep_reliable"' \
            '"ns_per_op"' '"executions_per_sec"' '"nodes_per_sec"' \
            '"dedup_hits"' '"sleep_set_prunes"' '"max_frontier"' \
-           '"canonical_hits"' '"cert_loaded"'; do
+           '"canonical_hits"' '"cert_loaded"' \
+           '"independence_prunes"' '"independence_cert"'; do
   grep -q -- "$key" "$smoke_out" \
     || { echo "$smoke_out malformed: missing $key" >&2; exit 1; }
 done
-# The v3 reduction counters must be live, not decorative: the FIFO scope
+# The v3/v4 reduction counters must be live, not decorative: the FIFO scope
 # prunes through sleep sets, the agreed-rounds scope hits the dedup cache,
-# and the symmetric FIFO/causal scopes — whose plain dedup_hits used to be
+# the symmetric FIFO/causal scopes — whose plain dedup_hits used to be
 # zero, hiding any canonicalization regression — must show hits from the
-# certificate-gated renaming quotient.
+# certificate-gated renaming quotient, and the per-sender FIFO scope must
+# show prunes from the certificate-widened independence relation (v4).
 python3 - "$smoke_out" <<'PY'
 import json, sys
 rows = {b["name"]: b for b in json.load(open(sys.argv[1]))["benches"]}
@@ -71,12 +91,19 @@ for name in ("explore_fifo_2x2", "explore_causal_3"):
     assert rows[name]["cert_loaded"], f"{name}: symmetry certificate not loaded"
     assert rows[name]["canonical_hits"] > 0, f"{name}: canonical_hits is zero"
     assert rows[name]["dedup_hits"] > 0, f"{name}: dedup_hits is zero"
-print("bench smoke: v3 reduction + canonicalization counters live")
+assert rows["explore_fifo_2x2"]["independence_cert"], "fifo: independence certificate not loaded"
+assert rows["explore_fifo_2x2"]["independence_prunes"] > 0, "fifo independence_prunes is zero"
+assert not rows["explore_causal_3"]["independence_cert"], "causal must stay unwidened (full-order spec)"
+assert rows["explore_causal_3"]["independence_prunes"] == 0, "causal independence_prunes must be zero"
+print("bench smoke: v4 reduction + canonicalization + independence counters live")
 PY
 grep -q '"camp-obs/v1"' "$smoke_metrics" \
   || { echo "$smoke_metrics malformed: missing camp-obs/v1 schema" >&2; exit 1; }
 
 echo "==> metrics goldens: camp-lint check --metrics matches tests/golden"
 cargo test -q --release -p campkit --test metrics
+
+echo "==> independence differential: lint-issued certs vs plain engine (release)"
+CAMP_PROPTEST_CASES=6 cargo test -q --release -p campkit --test independence
 
 echo "CI OK"

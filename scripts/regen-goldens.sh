@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Regenerates every committed golden file that pins a deterministic report
+# byte for byte, in one command:
+#
+#   tests/golden/check.json            camp-lint check --json (all four engines)
+#   tests/golden/symmetry.json         camp-lint symmetry --json
+#   tests/golden/dataflow.json         camp-lint dataflow --json
+#   tests/golden/metrics_figure1.json  the figure-1 camp-obs/v1 snapshot
+#
+# Run after any intentional change to a lint rule, a registered algorithm,
+# or a handler the static engines read (the reports embed file:line:col
+# witnesses, so even moving a struct shifts them). CI compares each golden
+# byte for byte; a stale one fails `scripts/ci.sh`, never production.
+#
+# The figure-1 trace goldens (figure1.json, figure1_lint.json) are inputs,
+# not reports — they are hand-pinned and never regenerated here.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+for t in check symmetry dataflow metrics; do
+  echo "==> regenerating golden via tests/$t.rs"
+  cargo test -q -p campkit --test "$t" -- --ignored regenerate
+done
+
+echo "==> verifying the regenerated goldens round-trip"
+cargo test -q -p campkit --test check --test symmetry --test dataflow --test metrics
+
+git --no-pager diff --stat -- tests/golden/ || true
+echo "goldens regenerated"
