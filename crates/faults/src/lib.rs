@@ -1,0 +1,28 @@
+//! # camp-faults — deterministic adversaries for the threaded runtime
+//!
+//! The paper's model is crash-prone asynchronous message passing: up to `t`
+//! processes crash, and the network may delay, reorder, duplicate — and, at
+//! the *fair-lossy* layer below perfect links, drop — messages arbitrarily.
+//! The simulator and model checker explore those behaviours symbolically;
+//! this crate makes them happen **for real** inside `camp-runtime`, while
+//! keeping every injected fault replayable.
+//!
+//! The central type is [`FaultPlan`]: a seed, per-link fault rates, and
+//! explicit per-process crash points ("p3 crashes after its 5th send").
+//! Every fault decision is a **pure function** of the plan and the frame
+//! coordinates (link, sequence number, retransmission attempt) — no hidden
+//! RNG state, no dependence on thread timing. Two runs under the same plan
+//! make identical per-frame decisions even though the OS schedules their
+//! threads differently. Plans serialize to JSON, so a failing soak seed is
+//! a one-line artifact anyone can replay.
+//!
+//! The runtime consumes plans in its lossy-link shim; the retransmitting
+//! perfect-link layer above it (see `camp-runtime`) is what turns "drops
+//! happen" back into "every message between correct processes is
+//! eventually delivered".
+
+pub mod plan;
+
+pub use plan::{
+    CrashPoint, CrashTrigger, FaultDecision, FaultPlan, FrameClass, LinkFaultSpec, LinkOverride,
+};

@@ -1,0 +1,485 @@
+//! [`FaultPlan`]: seeded, replayable fault schedules.
+//!
+//! A plan answers two questions the runtime's network shim asks:
+//!
+//! 1. *What happens to this frame?* — [`FaultPlan::decide`] maps the frame's
+//!    coordinates (link, sequence number, retransmission attempt, frame
+//!    class) to a [`FaultDecision`]. The answer is a pure hash of the plan
+//!    seed and those coordinates: deterministic under thread-schedule
+//!    nondeterminism, and different per attempt so a retransmission of a
+//!    dropped frame is a fresh coin flip (fair-lossy, not dead, links).
+//! 2. *When does this process crash?* — [`FaultPlan::crash_for`] returns
+//!    the process's [`CrashTrigger`], an explicit event count matching the
+//!    model checker's `crash_point_sweep` notion of a crash point.
+//!
+//! Rates are integer **permille** (`250` = 25.0%), never floats, so plans
+//! hash, compare, and serialize exactly.
+
+use camp_trace::ProcessId;
+use serde::{Deserialize, Serialize};
+
+/// Per-link fault rates, in permille (out of 1000).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkFaultSpec {
+    /// Probability a transmission attempt is silently dropped.
+    pub drop_permille: u16,
+    /// Probability a transmitted frame is sent twice back-to-back.
+    pub dup_permille: u16,
+    /// Probability a transmitted frame is held for [`Self::delay_ms`].
+    pub delay_permille: u16,
+    /// Hold time for delayed frames, in milliseconds.
+    pub delay_ms: u64,
+    /// Probability a data frame is held and released after the *next*
+    /// frame on the same link (an adjacent-pair swap).
+    pub reorder_permille: u16,
+}
+
+impl LinkFaultSpec {
+    /// The lossless, undelayed link: every decision is a no-op.
+    #[must_use]
+    pub const fn reliable() -> Self {
+        Self {
+            drop_permille: 0,
+            dup_permille: 0,
+            delay_permille: 0,
+            delay_ms: 0,
+            reorder_permille: 0,
+        }
+    }
+
+    /// Drops `drop_permille`‰ of attempts, nothing else.
+    #[must_use]
+    pub const fn dropping(drop_permille: u16) -> Self {
+        Self {
+            drop_permille,
+            dup_permille: 0,
+            delay_permille: 0,
+            delay_ms: 0,
+            reorder_permille: 0,
+        }
+    }
+
+    /// Does this spec ever inject anything?
+    #[must_use]
+    pub const fn is_reliable(&self) -> bool {
+        self.drop_permille == 0
+            && self.dup_permille == 0
+            && self.delay_permille == 0
+            && self.reorder_permille == 0
+    }
+}
+
+/// Fault rates for one directed link, overriding the plan default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkOverride {
+    /// Sending endpoint.
+    pub from: ProcessId,
+    /// Receiving endpoint.
+    pub to: ProcessId,
+    /// Rates for this link.
+    pub spec: LinkFaultSpec,
+}
+
+/// When a process crashes, counted in its own events — the same crash-point
+/// vocabulary `camp_modelcheck::crash_point_sweep` sweeps over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrashTrigger {
+    /// Crash immediately after the process's `count`-th point-to-point send.
+    AfterSends {
+        /// Sends completed before the crash.
+        count: u64,
+    },
+    /// Crash immediately after the process's `count`-th B-delivery.
+    AfterDeliveries {
+        /// Deliveries completed before the crash.
+        count: u64,
+    },
+    /// Crash immediately after the process's `count`-th message receipt.
+    AfterReceipts {
+        /// Receipts completed before the crash.
+        count: u64,
+    },
+}
+
+/// One scheduled crash: `process` stops mid-run once `trigger` fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashPoint {
+    /// The crashing process.
+    pub process: ProcessId,
+    /// When it crashes.
+    pub trigger: CrashTrigger,
+}
+
+/// What kind of frame a decision is being made for. Data and ACK frames on
+/// the same link draw from independent streams, so an ACK is not fate-bound
+/// to the data frame it answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameClass {
+    /// A payload-carrying frame (retransmitted until acknowledged).
+    Data,
+    /// An acknowledgment (fire-and-forget; the sender re-elicits it).
+    Ack,
+}
+
+/// The verdict for one transmission attempt.
+///
+/// `drop` excludes everything else; `delay_ms > 0` and `reorder` are
+/// mutually exclusive (a frame is either timed or swapped, not both);
+/// `duplicate` composes with either.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultDecision {
+    /// Do not transmit this attempt at all.
+    pub drop: bool,
+    /// Transmit the frame twice back-to-back.
+    pub duplicate: bool,
+    /// Hold the frame this long before transmitting (0 = immediately).
+    pub delay_ms: u64,
+    /// Hold the frame until the next frame on this link overtakes it.
+    pub reorder: bool,
+}
+
+impl FaultDecision {
+    /// The no-op decision: transmit once, immediately, in order.
+    #[must_use]
+    pub const fn transmit() -> Self {
+        Self {
+            drop: false,
+            duplicate: false,
+            delay_ms: 0,
+            reorder: false,
+        }
+    }
+
+    /// Is this the no-op decision?
+    #[must_use]
+    pub const fn is_transmit(&self) -> bool {
+        !self.drop && !self.duplicate && self.delay_ms == 0 && !self.reorder
+    }
+}
+
+/// A complete, replayable fault schedule for one runtime execution.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed for the per-frame decision hash.
+    pub seed: u64,
+    /// Rates applied to every link without an override.
+    pub default_link: LinkFaultSpec,
+    /// Per-link rate overrides (first match wins).
+    pub overrides: Vec<LinkOverride>,
+    /// Scheduled crashes (at most one per process is honored).
+    pub crashes: Vec<CrashPoint>,
+}
+
+/// `splitmix64` — the same finalizer the vendored `StdRng` uses; one
+/// application per draw is enough to decorrelate neighbouring coordinates.
+const fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// The do-nothing plan: reliable links, no crashes. Running the
+    /// runtime under this plan behaves exactly like the unfaulted runtime
+    /// (modulo the ACK traffic of the perfect-link layer).
+    #[must_use]
+    pub fn healthy() -> Self {
+        Self {
+            seed: 0,
+            default_link: LinkFaultSpec::reliable(),
+            overrides: Vec::new(),
+            crashes: Vec::new(),
+        }
+    }
+
+    /// Uniformly lossy links (`drop_permille`‰ per attempt), no crashes.
+    #[must_use]
+    pub fn lossy(seed: u64, drop_permille: u16) -> Self {
+        Self {
+            seed,
+            default_link: LinkFaultSpec::dropping(drop_permille),
+            overrides: Vec::new(),
+            crashes: Vec::new(),
+        }
+    }
+
+    /// A seed-derived chaos plan: moderate drop plus duplication, delay,
+    /// and reordering, all derived deterministically from `seed` so a soak
+    /// over seeds covers a spread of adversaries. Crash-free; compose
+    /// crashes with [`Self::with_crash`].
+    #[must_use]
+    pub fn chaos(seed: u64) -> Self {
+        let d =
+            |salt: u64, lo: u64, hi: u64| -> u64 { lo + splitmix64(seed ^ salt) % (hi - lo + 1) };
+        #[allow(clippy::cast_possible_truncation)]
+        let default_link = LinkFaultSpec {
+            drop_permille: d(0x01, 50, 250) as u16,
+            dup_permille: d(0x02, 0, 150) as u16,
+            delay_permille: d(0x03, 0, 200) as u16,
+            delay_ms: d(0x04, 1, 6),
+            reorder_permille: d(0x05, 0, 120) as u16,
+        };
+        Self {
+            seed,
+            default_link,
+            overrides: Vec::new(),
+            crashes: Vec::new(),
+        }
+    }
+
+    /// Adds a crash point for `process`.
+    #[must_use]
+    pub fn with_crash(mut self, process: ProcessId, trigger: CrashTrigger) -> Self {
+        self.crashes.push(CrashPoint { process, trigger });
+        self
+    }
+
+    /// Adds a per-link override.
+    #[must_use]
+    pub fn with_link(mut self, from: ProcessId, to: ProcessId, spec: LinkFaultSpec) -> Self {
+        self.overrides.push(LinkOverride { from, to, spec });
+        self
+    }
+
+    /// The rates governing the directed link `from → to`.
+    #[must_use]
+    pub fn link(&self, from: ProcessId, to: ProcessId) -> LinkFaultSpec {
+        self.overrides
+            .iter()
+            .find(|o| o.from == from && o.to == to)
+            .map_or(self.default_link, |o| o.spec)
+    }
+
+    /// The crash trigger scheduled for `process`, if any.
+    #[must_use]
+    pub fn crash_for(&self, process: ProcessId) -> Option<CrashTrigger> {
+        self.crashes
+            .iter()
+            .find(|c| c.process == process)
+            .map(|c| c.trigger)
+    }
+
+    /// Do the links inject any fault at all? (Crashes may still be
+    /// scheduled.)
+    #[must_use]
+    pub fn links_reliable(&self) -> bool {
+        self.default_link.is_reliable() && self.overrides.iter().all(|o| o.spec.is_reliable())
+    }
+
+    /// Decides the fate of one transmission attempt.
+    ///
+    /// `seq` is the per-link sequence number of the frame, `attempt` the
+    /// retransmission attempt (0 = first transmission). The decision is a
+    /// pure function of `(plan, from, to, seq, attempt, class)`.
+    #[must_use]
+    pub fn decide(
+        &self,
+        from: ProcessId,
+        to: ProcessId,
+        seq: u64,
+        attempt: u32,
+        class: FrameClass,
+    ) -> FaultDecision {
+        let spec = self.link(from, to);
+        if spec.is_reliable() {
+            return FaultDecision::transmit();
+        }
+        let class_salt: u64 = match class {
+            FrameClass::Data => 0x0D,
+            FrameClass::Ack => 0xAC,
+        };
+        let base = splitmix64(
+            self.seed
+                ^ ((from.index() as u64) << 48)
+                ^ ((to.index() as u64) << 40)
+                ^ (u64::from(attempt) << 32)
+                ^ (class_salt << 24)
+                ^ seq.wrapping_mul(0x9E37),
+        );
+        let draw = |lane: u64| splitmix64(base ^ lane) % 1000;
+
+        if draw(1) < u64::from(spec.drop_permille) {
+            return FaultDecision {
+                drop: true,
+                ..FaultDecision::transmit()
+            };
+        }
+        let duplicate = draw(2) < u64::from(spec.dup_permille);
+        // Reordering a frame only makes sense for data (ACKs carry no
+        // ordering obligations), and excludes a timed delay.
+        let reorder = class == FrameClass::Data && draw(3) < u64::from(spec.reorder_permille);
+        let delay_ms = if !reorder && draw(4) < u64::from(spec.delay_permille) {
+            spec.delay_ms
+        } else {
+            0
+        };
+        FaultDecision {
+            drop: false,
+            duplicate,
+            delay_ms,
+            reorder,
+        }
+    }
+
+    /// Serializes the plan as a replayable JSON artifact.
+    ///
+    /// # Panics
+    ///
+    /// Never: every plan field is JSON-representable.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("plans are always representable")
+    }
+
+    /// Parses a plan back from [`Self::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying parse error for malformed input.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let plan = FaultPlan::chaos(42);
+        for seq in 0..200 {
+            for attempt in 0..4 {
+                let a = plan.decide(p(1), p(2), seq, attempt, FrameClass::Data);
+                let b = plan.decide(p(1), p(2), seq, attempt, FrameClass::Data);
+                assert_eq!(a, b, "decision must be a pure function");
+            }
+        }
+    }
+
+    #[test]
+    fn healthy_plan_never_injects() {
+        let plan = FaultPlan::healthy();
+        assert!(plan.links_reliable());
+        for seq in 0..500 {
+            let d = plan.decide(p(1), p(3), seq, 0, FrameClass::Data);
+            assert!(d.is_transmit());
+        }
+    }
+
+    #[test]
+    fn attempts_redraw_the_coin() {
+        // A fair-lossy link must not drop the same frame forever: across
+        // attempts the drop decision must eventually flip for some frame.
+        let plan = FaultPlan::lossy(7, 500);
+        let mut saw_flip = false;
+        for seq in 0..50 {
+            let d0 = plan.decide(p(1), p(2), seq, 0, FrameClass::Data).drop;
+            let d1 = plan.decide(p(1), p(2), seq, 1, FrameClass::Data).drop;
+            if d0 != d1 {
+                saw_flip = true;
+            }
+        }
+        assert!(saw_flip, "attempt index must enter the decision hash");
+    }
+
+    #[test]
+    fn drop_rate_is_in_the_ballpark() {
+        let plan = FaultPlan::lossy(3, 250);
+        let trials = 10_000;
+        let drops = (0..trials)
+            .filter(|&seq| plan.decide(p(2), p(3), seq, 0, FrameClass::Data).drop)
+            .count();
+        // 25% ± 5 points over 10k draws.
+        assert!((2_000..=3_000).contains(&drops), "drops = {drops}");
+    }
+
+    #[test]
+    fn drop_excludes_everything_else() {
+        let plan = FaultPlan::chaos(99);
+        for seq in 0..2_000 {
+            let d = plan.decide(p(1), p(2), seq, 0, FrameClass::Data);
+            if d.drop {
+                assert!(!d.duplicate && d.delay_ms == 0 && !d.reorder);
+            }
+            assert!(
+                !(d.reorder && d.delay_ms > 0),
+                "reorder and delay are exclusive"
+            );
+        }
+    }
+
+    #[test]
+    fn acks_draw_independently_of_data() {
+        let plan = FaultPlan::lossy(11, 500);
+        let differs = (0..200).any(|seq| {
+            plan.decide(p(1), p(2), seq, 0, FrameClass::Data).drop
+                != plan.decide(p(1), p(2), seq, 0, FrameClass::Ack).drop
+        });
+        assert!(differs, "frame class must salt the decision");
+    }
+
+    #[test]
+    fn overrides_shadow_the_default() {
+        let plan = FaultPlan::lossy(5, 900).with_link(p(1), p(2), LinkFaultSpec::reliable());
+        assert!(plan
+            .decide(p(1), p(2), 0, 0, FrameClass::Data)
+            .is_transmit());
+        assert_eq!(plan.link(p(1), p(2)), LinkFaultSpec::reliable());
+        assert_eq!(plan.link(p(2), p(1)), LinkFaultSpec::dropping(900));
+    }
+
+    #[test]
+    fn crash_lookup_finds_the_first_match() {
+        let plan = FaultPlan::healthy()
+            .with_crash(p(3), CrashTrigger::AfterSends { count: 5 })
+            .with_crash(p(1), CrashTrigger::AfterDeliveries { count: 2 });
+        assert_eq!(
+            plan.crash_for(p(3)),
+            Some(CrashTrigger::AfterSends { count: 5 })
+        );
+        assert_eq!(
+            plan.crash_for(p(1)),
+            Some(CrashTrigger::AfterDeliveries { count: 2 })
+        );
+        assert_eq!(plan.crash_for(p(2)), None);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_plan() {
+        let plan = FaultPlan::chaos(1234)
+            .with_crash(p(2), CrashTrigger::AfterReceipts { count: 3 })
+            .with_link(p(1), p(3), LinkFaultSpec::dropping(333));
+        let json = plan.to_json();
+        let back = FaultPlan::from_json(&json).expect("round trip");
+        assert_eq!(plan, back);
+        // And the replay makes identical decisions.
+        for seq in 0..100 {
+            assert_eq!(
+                plan.decide(p(1), p(3), seq, 0, FrameClass::Data),
+                back.decide(p(1), p(3), seq, 0, FrameClass::Data)
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_plans_vary_with_the_seed() {
+        let a = FaultPlan::chaos(1);
+        let b = FaultPlan::chaos(2);
+        assert_ne!(a.default_link, b.default_link);
+        // Rates stay inside the documented envelopes.
+        for seed in 0..64 {
+            let c = FaultPlan::chaos(seed);
+            assert!((50..=250).contains(&c.default_link.drop_permille));
+            assert!(c.default_link.dup_permille <= 150);
+            assert!(c.default_link.delay_permille <= 200);
+            assert!((1..=6).contains(&c.default_link.delay_ms));
+            assert!(c.default_link.reorder_permille <= 120);
+        }
+    }
+}

@@ -1,10 +1,10 @@
 //! The trace collector: merges per-node event streams into one
 //! [`Execution`], repairing cross-thread arrival races.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 use camp_obs::{Counters, ObsSink};
-use camp_trace::{Action, Execution, MessageId, MessageInfo, Step};
+use camp_trace::{Action, Execution, MessageId, MessageInfo, ProcessId, Step};
 
 /// An event reported by a node to the collector.
 #[derive(Debug)]
@@ -13,6 +13,9 @@ pub(crate) enum TraceEvent {
     Register(MessageId, MessageInfo),
     /// A step taken by a process.
     Step(Step),
+    /// A node's local `faults.*` / `perflink.*` counters, reported once as
+    /// the node exits (normally, or by crashing).
+    NodeCounters(Counters),
 }
 
 /// Builds an [`Execution`] from a stream of [`TraceEvent`]s.
@@ -24,6 +27,12 @@ pub(crate) enum TraceEvent {
 /// step that references a not-yet-registered message and retries deferred
 /// steps after every insertion — producing a valid linearization in which
 /// registration precedes use.
+///
+/// Deferral never reorders one process's own steps: while any step of
+/// process `p` sits in the deferred queue, every later step of `p` queues
+/// behind it. This matters under crash injection — a process's
+/// [`Action::Crash`] must remain its final step even if an earlier receive
+/// of the same process is still waiting for its matching send.
 #[derive(Debug)]
 pub(crate) struct Collector {
     exec: Execution,
@@ -31,7 +40,8 @@ pub(crate) struct Collector {
     counters: Counters,
     /// Point-to-point messages sent but not yet received, per the trace
     /// stream seen so far (pure bookkeeping for the gauge; the value can
-    /// lag the wire by however far the collector queue is behind).
+    /// lag the wire by however far the collector queue is behind — and
+    /// under faults a dropped frame's send legitimately never drains).
     in_flight: u64,
 }
 
@@ -68,23 +78,31 @@ impl Collector {
                     }
                     Action::Broadcast { .. } => self.counters.inc("runtime.broadcasts"),
                     Action::Deliver { .. } => self.counters.inc("runtime.deliveries"),
+                    Action::Crash => self.counters.inc("runtime.crashes"),
                     _ => {}
                 }
                 self.push_or_defer(step);
                 self.counters
                     .record_max("runtime.collector_deferred_max", self.deferred.len() as u64);
             }
+            TraceEvent::NodeCounters(c) => {
+                self.counters.merge(&c);
+            }
         }
     }
 
-    fn push_or_defer(&mut self, step: Step) {
+    /// May `step` be appended to the execution right now? (Its message must
+    /// be registered, and a receive/deliver must follow the matching
+    /// send/broadcast in the built trace.)
+    fn can_append(&self, step: &Step) -> bool {
         let known = step
             .action
             .message()
             .is_none_or(|m| self.exec.message(m).is_some());
-        // A receive must also come after its send within the built trace;
-        // defer receives whose send step has not been appended yet.
-        let ordered = match step.action {
+        if !known {
+            return false;
+        }
+        match step.action {
             Action::Receive { from, msg } => self.exec.steps().iter().any(|s| {
                 s.process == from
                     && s.action
@@ -99,8 +117,14 @@ impl Collector {
                 .iter()
                 .any(|s| s.process == from && s.action == Action::Broadcast { msg }),
             _ => true,
-        };
-        if known && ordered {
+        }
+    }
+
+    fn push_or_defer(&mut self, step: Step) {
+        // Program order: if any earlier step of this process is still
+        // deferred, this one queues behind it regardless of eligibility.
+        let blocked = self.deferred.iter().any(|s| s.process == step.process);
+        if !blocked && self.can_append(&step) {
             self.exec.push(step).expect("validated above");
             self.retry_deferred();
         } else {
@@ -109,19 +133,27 @@ impl Collector {
     }
 
     fn retry_deferred(&mut self) {
-        let mut progress = true;
-        while progress {
-            progress = false;
-            for _ in 0..self.deferred.len() {
-                let step = self.deferred.pop_front().expect("len checked");
-                let before = self.exec.len();
-                self.push_or_defer(step);
-                if self.exec.len() > before {
-                    progress = true;
-                    // push_or_defer may have recursed through retry_deferred
-                    // already; restart the scan.
+        loop {
+            // Pick the first queued step that is appendable and not behind
+            // an earlier (still-stuck) step of its own process.
+            let mut stuck: BTreeSet<ProcessId> = BTreeSet::new();
+            let mut chosen = None;
+            for (i, step) in self.deferred.iter().enumerate() {
+                if stuck.contains(&step.process) {
+                    continue;
+                }
+                if self.can_append(step) {
+                    chosen = Some(i);
                     break;
                 }
+                stuck.insert(step.process);
+            }
+            match chosen {
+                Some(i) => {
+                    let step = self.deferred.remove(i).expect("index in range");
+                    self.exec.push(step).expect("validated above");
+                }
+                None => return,
             }
         }
     }
@@ -142,7 +174,7 @@ impl Collector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use camp_trace::{MessageKind, ProcessId, Value};
+    use camp_trace::{MessageKind, Value};
 
     fn p(i: usize) -> ProcessId {
         ProcessId::new(i)
@@ -238,6 +270,53 @@ mod tests {
         assert_eq!(counters.count("runtime.broadcasts"), 0);
         assert_eq!(counters.gauge("runtime.collector_deferred_max"), 1);
         assert_eq!(counters.gauge("runtime.net_in_flight_max"), 1);
+    }
+
+    #[test]
+    fn deferral_preserves_program_order_across_a_crash() {
+        // p2's receive races ahead of p1's send while p2 then crashes: the
+        // crash step must stay AFTER the deferred receive in the final
+        // trace, or the execution would show a post-crash step.
+        let mut c = Collector::new(2);
+        let m = MessageId::new(0);
+        c.handle(TraceEvent::Step(Step::new(
+            p(2),
+            Action::Receive { from: p(1), msg: m },
+        )));
+        // Crash arrives while the receive is still deferred.
+        c.handle(TraceEvent::Step(Step::new(p(2), Action::Crash)));
+        c.handle(TraceEvent::Register(m, info(1)));
+        c.handle(TraceEvent::Step(Step::new(
+            p(1),
+            Action::Send { to: p(2), msg: m },
+        )));
+        let (e, counters) = c.finish();
+        assert_eq!(e.len(), 3);
+        let p2_steps: Vec<_> = e.steps_of(p(2)).map(|s| s.action).collect();
+        assert_eq!(
+            p2_steps,
+            vec![Action::Receive { from: p(1), msg: m }, Action::Crash]
+        );
+        assert_eq!(counters.count("runtime.crashes"), 1);
+        camp_specs::wellformed::check_structure(&e).unwrap();
+    }
+
+    #[test]
+    fn node_counters_merge_into_the_collector_totals() {
+        let mut c = Collector::new(1);
+        let mut a = Counters::new();
+        a.inc("faults.drops_injected");
+        a.inc("perflink.retransmits");
+        a.record_max("perflink.unacked_max", 4);
+        let mut b = Counters::new();
+        b.inc("faults.drops_injected");
+        b.record_max("perflink.unacked_max", 2);
+        c.handle(TraceEvent::NodeCounters(a));
+        c.handle(TraceEvent::NodeCounters(b));
+        let (_, counters) = c.finish();
+        assert_eq!(counters.count("faults.drops_injected"), 2);
+        assert_eq!(counters.count("perflink.retransmits"), 1);
+        assert_eq!(counters.gauge("perflink.unacked_max"), 4);
     }
 
     #[test]

@@ -1,31 +1,31 @@
 //! The per-process node loop: an event-driven host for one
-//! [`BroadcastAlgorithm`] automaton.
+//! [`BroadcastAlgorithm`] automaton, speaking the retransmitting
+//! perfect-link protocol of [`crate::perflink`] and honoring the crash
+//! schedule of its [`FaultPlan`].
 
+use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
+use camp_faults::{CrashTrigger, FaultPlan};
+use camp_obs::ObsSink;
 use camp_sim::{AppMessage, BroadcastAlgorithm, BroadcastStep, KsaOracle};
 use camp_trace::{Action, MessageId, MessageInfo, MessageKind, ProcessId, Step, Value};
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
 use crate::collector::TraceEvent;
-use crate::runtime::Delivery;
+use crate::perflink::{Frame, PerfectLink};
+use crate::runtime::{CrashBoard, Delivery};
 
 /// A message another node (or the runtime front-end) sends to a node.
 #[derive(Debug)]
 pub(crate) enum NodeMsg<M> {
     /// The upper layer invokes `B.broadcast(content)`.
     Invoke(Value),
-    /// The network delivers a low-level message.
-    Net {
-        /// Sender.
-        from: ProcessId,
-        /// Trace identity.
-        id: MessageId,
-        /// Protocol payload.
-        payload: M,
-    },
+    /// A link-layer frame from a peer (data or acknowledgment).
+    Frame(Frame<M>),
     /// Stop the node loop.
     Shutdown,
 }
@@ -41,16 +41,69 @@ pub(crate) struct NodeCtx<B: BroadcastAlgorithm> {
     pub trace: Sender<TraceEvent>,
     pub deliveries: Sender<Delivery>,
     pub msg_ids: Arc<AtomicU64>,
+    pub plan: Arc<FaultPlan>,
+    pub crashes: Arc<CrashBoard>,
 }
 
-/// Runs the node loop until `Shutdown`.
+/// The node's crash fuse: counts the events named by the plan's trigger
+/// and reports when the scheduled crash point is reached.
+struct CrashFuse {
+    trigger: Option<CrashTrigger>,
+    sends: u64,
+    deliveries: u64,
+    receipts: u64,
+}
+
+impl CrashFuse {
+    fn new(trigger: Option<CrashTrigger>) -> Self {
+        Self {
+            trigger,
+            sends: 0,
+            deliveries: 0,
+            receipts: 0,
+        }
+    }
+
+    fn fired(&self) -> bool {
+        match self.trigger {
+            None => false,
+            Some(CrashTrigger::AfterSends { count }) => self.sends >= count,
+            Some(CrashTrigger::AfterDeliveries { count }) => self.deliveries >= count,
+            Some(CrashTrigger::AfterReceipts { count }) => self.receipts >= count,
+        }
+    }
+
+    fn on_send(&mut self) -> bool {
+        self.sends += 1;
+        self.fired()
+    }
+
+    fn on_delivery(&mut self) -> bool {
+        self.deliveries += 1;
+        self.fired()
+    }
+
+    fn on_receipt(&mut self) -> bool {
+        self.receipts += 1;
+        self.fired()
+    }
+}
+
+/// Runs the node loop until `Shutdown`, a closed inbox, or the plan's
+/// crash point.
 ///
 /// Each inbox event is injected into the automaton, after which every
-/// available local step is executed: sends become channel messages,
-/// proposals are answered synchronously by the shared oracle (a k-SA object
-/// is atomic; its response latency is the lock hold time), deliveries go to
-/// the application stream, and every step is reported to the trace
-/// collector in program order.
+/// available local step is executed: sends go through the perfect link
+/// (sequenced, retransmitted until acknowledged, faults injected by the
+/// plan's shim), proposals are answered synchronously by the shared oracle
+/// (a k-SA object is atomic; its response latency is the lock hold time),
+/// deliveries go to the application stream, and every step is reported to
+/// the trace collector in program order.
+///
+/// A crashed node stops dead mid-pump: its final trace event is the
+/// [`Action::Crash`] step, it marks itself on the shared crash board (so
+/// peers abandon retransmissions to it and the front-end can degrade
+/// delivery expectations), and its thread exits without draining its inbox.
 pub(crate) fn run_node<B: BroadcastAlgorithm>(ctx: NodeCtx<B>) {
     let NodeCtx {
         me,
@@ -62,11 +115,22 @@ pub(crate) fn run_node<B: BroadcastAlgorithm>(ctx: NodeCtx<B>) {
         trace,
         deliveries,
         msg_ids,
+        plan,
+        crashes,
     } = ctx;
     let mut st = algo.init(me, n);
     let mut pending_broadcast: Option<MessageId> = None;
+    let mut link: PerfectLink<B::Msg> =
+        PerfectLink::new(me, n, Arc::clone(&plan), peers, Arc::clone(&crashes));
+    let mut fuse = CrashFuse::new(plan.crash_for(me));
 
-    let pump = |st: &mut B::State, pending_broadcast: &mut Option<MessageId>| {
+    // Executes every available local step of the automaton; breaks with
+    // `ControlFlow::Break` the moment the crash fuse fires.
+    let pump = |st: &mut B::State,
+                pending_broadcast: &mut Option<MessageId>,
+                link: &mut PerfectLink<B::Msg>,
+                fuse: &mut CrashFuse|
+     -> ControlFlow<()> {
         while let Some(step) = algo.next_step(st) {
             match step {
                 BroadcastStep::Send { to, payload } => {
@@ -84,11 +148,10 @@ pub(crate) fn run_node<B: BroadcastAlgorithm>(ctx: NodeCtx<B>) {
                         me,
                         Action::Send { to, msg: id },
                     )));
-                    let _ = peers[to.index()].send(NodeMsg::Net {
-                        from: me,
-                        id,
-                        payload,
-                    });
+                    link.send_data(to, id, payload);
+                    if fuse.on_send() {
+                        return ControlFlow::Break(());
+                    }
                 }
                 BroadcastStep::Propose { obj, value } => {
                     let _ = trace.send(TraceEvent::Step(Step::new(
@@ -121,6 +184,9 @@ pub(crate) fn run_node<B: BroadcastAlgorithm>(ctx: NodeCtx<B>) {
                         },
                     )));
                     let _ = deliveries.send(Delivery { process: me, msg });
+                    if fuse.on_delivery() {
+                        return ControlFlow::Break(());
+                    }
                 }
                 BroadcastStep::ReturnBroadcast => {
                     let msg = pending_broadcast
@@ -136,10 +202,28 @@ pub(crate) fn run_node<B: BroadcastAlgorithm>(ctx: NodeCtx<B>) {
                 }
             }
         }
+        ControlFlow::Continue(())
     };
 
-    while let Ok(msg) = inbox.recv() {
-        match msg {
+    let mut crashed = false;
+    loop {
+        // Block for the next inbox event, waking early if the link layer
+        // has a retransmission / delayed-frame deadline to service.
+        let msg = match link.next_wake_ms() {
+            None => match inbox.recv() {
+                Ok(m) => m,
+                Err(_) => break,
+            },
+            Some(ms) => match inbox.recv_timeout(Duration::from_millis(ms)) {
+                Ok(m) => m,
+                Err(RecvTimeoutError::Timeout) => {
+                    link.poll();
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            },
+        };
+        let flow = match msg {
             NodeMsg::Invoke(content) => {
                 assert!(
                     pending_broadcast.is_none(),
@@ -168,17 +252,44 @@ pub(crate) fn run_node<B: BroadcastAlgorithm>(ctx: NodeCtx<B>) {
                         sender: me,
                     },
                 );
-                pump(&mut st, &mut pending_broadcast);
+                pump(&mut st, &mut pending_broadcast, &mut link, &mut fuse)
             }
-            NodeMsg::Net { from, id, payload } => {
-                let _ = trace.send(TraceEvent::Step(Step::new(
-                    me,
-                    Action::Receive { from, msg: id },
-                )));
-                algo.on_receive(&mut st, from, payload);
-                pump(&mut st, &mut pending_broadcast);
+            NodeMsg::Frame(frame) => {
+                if let Some((from, id, payload)) = link.on_frame(frame) {
+                    let _ = trace.send(TraceEvent::Step(Step::new(
+                        me,
+                        Action::Receive { from, msg: id },
+                    )));
+                    algo.on_receive(&mut st, from, payload);
+                    // The crash point is counted at the receipt itself,
+                    // matching the model checker's event granularity: a
+                    // node crashing "after its Nth receipt" absorbs the
+                    // message into its state but takes no further step.
+                    if fuse.on_receipt() {
+                        ControlFlow::Break(())
+                    } else {
+                        pump(&mut st, &mut pending_broadcast, &mut link, &mut fuse)
+                    }
+                } else {
+                    ControlFlow::Continue(())
+                }
             }
             NodeMsg::Shutdown => break,
+        };
+        if flow.is_break() {
+            crashed = true;
+            break;
         }
+        link.poll();
     }
+
+    let mut counters = link.take_counters();
+    if crashed {
+        // The crash step is this process's final trace event; peers learn
+        // of the crash through the board and abandon retransmissions.
+        let _ = trace.send(TraceEvent::Step(Step::new(me, Action::Crash)));
+        crashes.mark(me);
+        counters.inc("faults.crashes_fired");
+    }
+    let _ = trace.send(TraceEvent::NodeCounters(counters));
 }

@@ -1,5 +1,5 @@
 //! The runtime front-end: spawn nodes, feed broadcasts, await deliveries,
-//! collect the trace.
+//! collect the trace — optionally under an adversarial [`FaultPlan`].
 
 use std::error::Error;
 use std::fmt;
@@ -8,6 +8,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use camp_faults::FaultPlan;
 use camp_obs::{clock, Counters};
 use camp_sim::{AppMessage, BroadcastAlgorithm, KsaOracle, OwnValueRule};
 use camp_trace::{Execution, ProcessId, Value};
@@ -58,9 +59,46 @@ impl fmt::Display for RuntimeError {
 
 impl Error for RuntimeError {}
 
+/// The shared crash board: which processes have fired their crash point.
+///
+/// Crashing nodes mark themselves; peers consult the board to abandon
+/// retransmissions to dead destinations, and the front-end consults it to
+/// degrade delivery expectations to the correct processes.
+#[derive(Debug)]
+pub(crate) struct CrashBoard {
+    flags: Mutex<Vec<bool>>,
+}
+
+impl CrashBoard {
+    fn new(n: usize) -> Self {
+        Self {
+            flags: Mutex::new(vec![false; n]),
+        }
+    }
+
+    pub(crate) fn mark(&self, p: ProcessId) {
+        self.flags.lock()[p.index()] = true;
+    }
+
+    pub(crate) fn is_crashed(&self, p: ProcessId) -> bool {
+        self.flags.lock()[p.index()]
+    }
+
+    fn crashed(&self) -> Vec<ProcessId> {
+        self.flags
+            .lock()
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c)
+            .map(|(i, _)| ProcessId::new(i + 1))
+            .collect()
+    }
+}
+
 /// A running fleet of `n` node threads executing a broadcast algorithm,
-/// with a shared k-SA oracle, full trace capture, and an application-level
-/// delivery stream.
+/// with a shared k-SA oracle, full trace capture, an application-level
+/// delivery stream, and a (possibly adversarial) fault plan governing the
+/// links between the nodes.
 #[derive(Debug)]
 pub struct ThreadedRuntime {
     n: usize,
@@ -68,8 +106,10 @@ pub struct ThreadedRuntime {
     deliveries: Receiver<Delivery>,
     collected: Vec<Delivery>,
     handles: Vec<JoinHandle<()>>,
+    bridge_handles: Vec<JoinHandle<()>>,
     collector_handle: JoinHandle<(Execution, Counters)>,
     trace_tx: Sender<TraceEvent>,
+    crashes: Arc<CrashBoard>,
 }
 
 /// Type-erased sender wrapper: the front-end does not know `B::Msg`, so it
@@ -83,7 +123,11 @@ struct NodeMsgErased {
 impl ThreadedRuntime {
     /// Spawns `n` node threads running `algo` with a shared `k`-SA oracle
     /// (using the max-disagreement [`OwnValueRule`], which for `k = 1`
-    /// behaves as consensus).
+    /// behaves as consensus) over reliable links and no crash schedule.
+    ///
+    /// Equivalent to [`Self::start_with_plan`] under [`FaultPlan::healthy`];
+    /// the perfect-link layer still runs (frames are sequenced and
+    /// acknowledged), its shim just never injects anything.
     ///
     /// # Panics
     ///
@@ -95,7 +139,28 @@ impl ThreadedRuntime {
         B::State: Send,
         B::Msg: Send,
     {
+        Self::start_with_plan(algo, n, k, FaultPlan::healthy())
+    }
+
+    /// [`start`], but under an explicit [`FaultPlan`]: the plan's link
+    /// rates drive the lossy shim below the retransmitting perfect-link
+    /// layer, and its crash points stop nodes dead mid-run.
+    ///
+    /// [`start`]: Self::start
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `k == 0`.
+    #[must_use]
+    pub fn start_with_plan<B>(algo: B, n: usize, k: usize, plan: FaultPlan) -> Self
+    where
+        B: BroadcastAlgorithm + Clone + Send + 'static,
+        B::State: Send,
+        B::Msg: Send,
+    {
         assert!(n > 0, "at least one node required");
+        let plan = Arc::new(plan);
+        let crashes = Arc::new(CrashBoard::new(n));
         let oracle = Arc::new(Mutex::new(KsaOracle::new(k, Box::new(OwnValueRule))));
         let msg_ids = Arc::new(AtomicU64::new(0));
         let (trace_tx, trace_rx) = unbounded::<TraceEvent>();
@@ -108,6 +173,7 @@ impl ThreadedRuntime {
 
         let mut inboxes = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
+        let mut bridge_handles = Vec::with_capacity(n);
         for (i, (tx, rx)) in typed.into_iter().enumerate() {
             let me = ProcessId::new(i + 1);
             let ctx = NodeCtx {
@@ -120,13 +186,15 @@ impl ThreadedRuntime {
                 trace: trace_tx.clone(),
                 deliveries: deliv_tx.clone(),
                 msg_ids: Arc::clone(&msg_ids),
+                plan: Arc::clone(&plan),
+                crashes: Arc::clone(&crashes),
             };
             handles.push(std::thread::spawn(move || run_node(ctx)));
 
             // Erased bridge: forwards Invoke/Shutdown into the typed inbox.
             let (etx, erx) = unbounded::<NodeMsgErased>();
             let typed_tx = tx;
-            std::thread::spawn(move || {
+            bridge_handles.push(std::thread::spawn(move || {
                 while let Ok(m) = erx.recv() {
                     if m.shutdown {
                         let _ = typed_tx.send(NodeMsg::Shutdown);
@@ -136,7 +204,7 @@ impl ThreadedRuntime {
                         let _ = typed_tx.send(NodeMsg::Invoke(v));
                     }
                 }
-            });
+            }));
             inboxes.push(etx);
         }
 
@@ -154,8 +222,10 @@ impl ThreadedRuntime {
             deliveries: deliv_rx,
             collected: Vec::new(),
             handles,
+            bridge_handles,
             collector_handle,
             trace_tx,
+            crashes,
         }
     }
 
@@ -163,6 +233,12 @@ impl ThreadedRuntime {
     #[must_use]
     pub fn n(&self) -> usize {
         self.n
+    }
+
+    /// Processes whose scheduled crash point has fired so far.
+    #[must_use]
+    pub fn crashed_processes(&self) -> Vec<ProcessId> {
+        self.crashes.crashed()
     }
 
     /// Asks `pid` to `B.broadcast(content)`.
@@ -188,7 +264,9 @@ impl ThreadedRuntime {
     ///
     /// # Errors
     ///
-    /// [`RuntimeError::Timeout`] with the partial count.
+    /// [`RuntimeError::Timeout`] with the partial count if the deadline
+    /// passes, [`RuntimeError::Disconnected`] if every node already exited
+    /// and the delivery stream is closed.
     pub fn wait_deliveries(
         &mut self,
         count: usize,
@@ -206,11 +284,66 @@ impl ThreadedRuntime {
                     self.collected.push(d);
                     got.push(d);
                 }
-                Err(RecvTimeoutError::Timeout | RecvTimeoutError::Disconnected) => {
+                Err(RecvTimeoutError::Timeout) => {
                     return Err(RuntimeError::Timeout {
                         received: got.len(),
                         expected: count,
                     });
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(RuntimeError::Disconnected);
+                }
+            }
+        }
+        Ok(got)
+    }
+
+    /// Crash-aware delivery wait: blocks for up to `full` deliveries, but
+    /// degrades gracefully when the fault plan crashes processes mid-run —
+    /// once at least one crash has fired, a delivery stream that stays
+    /// quiet for `idle` is accepted and the partial batch is returned.
+    ///
+    /// `idle` should comfortably exceed the perfect-link backoff ceiling
+    /// (32 ms), or in-flight retransmissions may be mistaken for quiescence.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Timeout`] if the deadline passes with no crash fired
+    /// and fewer than `full` deliveries, [`RuntimeError::Disconnected`] if
+    /// the delivery stream closed.
+    pub fn wait_deliveries_quorum(
+        &mut self,
+        full: usize,
+        idle: Duration,
+        timeout: Duration,
+    ) -> Result<Vec<Delivery>, RuntimeError> {
+        let start = clock::now();
+        let mut got = Vec::with_capacity(full);
+        while got.len() < full {
+            // Poll in `idle`-sized slices so a crash that fires while we
+            // are blocked is observed at most one slice later — the crash
+            // board must be re-read *after* each timeout, not before.
+            let slice = idle.min(timeout.saturating_sub(start.elapsed()));
+            match self.deliveries.recv_timeout(slice) {
+                Ok(d) => {
+                    self.collected.push(d);
+                    got.push(d);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if !self.crashes.crashed().is_empty() {
+                        // Quiescent under crashes: the correct processes
+                        // have delivered what they can.
+                        return Ok(got);
+                    }
+                    if start.elapsed() >= timeout {
+                        return Err(RuntimeError::Timeout {
+                            received: got.len(),
+                            expected: full,
+                        });
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(RuntimeError::Disconnected);
                 }
             }
         }
@@ -232,11 +365,11 @@ impl ThreadedRuntime {
         self.shutdown_with_metrics().0
     }
 
-    /// [`shutdown`], but also returns the observability counters the trace
-    /// collector recorded while the fleet ran: `runtime.steps`,
-    /// `runtime.sends`, `runtime.deliveries`, `runtime.broadcasts`,
-    /// `runtime.messages_registered`, plus the `runtime.net_in_flight_max`
-    /// and `runtime.collector_deferred_max` gauges.
+    /// [`shutdown`], but also returns the observability counters recorded
+    /// while the fleet ran: the collector's `runtime.*` counts and gauges,
+    /// plus every node's `faults.*` (injections performed by the plan's
+    /// lossy shim) and `perflink.*` (recovery work done by the
+    /// retransmitting perfect-link layer) counters, merged.
     ///
     /// [`shutdown`]: Self::shutdown
     #[must_use]
@@ -248,6 +381,10 @@ impl ThreadedRuntime {
             });
         }
         for h in self.handles {
+            let _ = h.join();
+        }
+        // The shutdown sends above also terminate each bridge loop.
+        for h in self.bridge_handles {
             let _ = h.join();
         }
         // Close the trace channel so the collector finishes.

@@ -17,6 +17,9 @@
 //! * [`ordering`] — ordering specifications as [`BroadcastSpec`] trait
 //!   objects: FIFO, Causal, Total Order, k-Bounded Order, k-Stepped,
 //!   First-k, Mutual, and the content-sensitive `TypedSa` counterexample;
+//! * [`restrict`] — restriction of crash-prone executions to the
+//!   behaviour the correct processes are accountable for (for checkers
+//!   that inspect every process's local view);
 //! * [`symmetry`] — the paper's two novel symmetry properties,
 //!   **compositionality** (Definition 2) and **content-neutrality**
 //!   (Definition 3), implemented as closure tests over a spec and a corpus
@@ -33,6 +36,7 @@ pub mod base;
 pub mod channel;
 pub mod ksa;
 pub mod ordering;
+pub mod restrict;
 pub mod symmetry;
 pub mod wellformed;
 

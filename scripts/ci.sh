@@ -106,4 +106,12 @@ cargo test -q --release -p campkit --test metrics
 echo "==> independence differential: lint-issued certs vs plain engine (release)"
 CAMP_PROPTEST_CASES=6 cargo test -q --release -p campkit --test independence
 
+# The chaos gate: every healthy algorithm under its pinned 25%-drop plan
+# (drops injected, loss recovered by retransmission, restricted trace
+# spec-clean) plus the 32-plan seeded soak with crash points. The crash
+# conformance half lives in tests/differential.rs and already ran under
+# the workspace stage; this re-runs the seeded adversaries in release.
+echo "==> chaos smoke + seeded fault soak (release)"
+cargo test -q --release --test chaos
+
 echo "CI OK"

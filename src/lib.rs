@@ -25,8 +25,12 @@
 //! * [`impossibility`] — the paper's Algorithm 1 adversarial scheduler,
 //!   N-solo machinery, per-lemma verifiers, and the Theorem 1 contradiction
 //!   pipeline;
+//! * [`faults`] — deterministic, seeded fault plans (per-link
+//!   drop/duplicate/delay/reorder rates and per-process crash points),
+//!   serializable to JSON as replayable adversary artifacts;
 //! * [`runtime`] — a threaded (crossbeam) message-passing runtime hosting
-//!   the same algorithms outside the simulator;
+//!   the same algorithms outside the simulator, under a fault plan's lossy
+//!   shim with a retransmitting perfect-link layer on top;
 //! * [`shm`] — the shared-memory contrast model (SWMR atomic registers),
 //!   with the exhaustively-verified write/collect immediacy theorem that
 //!   explains why solo-first executions — the paper's Lemma 10 weapon —
@@ -39,6 +43,7 @@
 
 pub use camp_agreement as agreement;
 pub use camp_broadcast as broadcast;
+pub use camp_faults as faults;
 pub use camp_impossibility as impossibility;
 pub use camp_lint as lint;
 pub use camp_modelcheck as modelcheck;
