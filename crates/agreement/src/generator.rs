@@ -11,6 +11,7 @@
 //! same stream (pigeonhole), and those two are delivered in the same order
 //! by all processes — exactly the k-BO predicate.
 
+use camp_obs::{NoopSink, ObsSink};
 use camp_sim::{AgreementAlgorithm, AgreementStep, AppMessage};
 use camp_trace::{Action, Execution, ExecutionBuilder, MessageId, ProcessId, Value};
 use rand::rngs::StdRng;
@@ -44,6 +45,27 @@ use crate::outcome::AgreementOutcome;
 /// ```
 #[must_use]
 pub fn kbo_execution(proposals: &[Value], k: usize, seed: u64) -> Execution {
+    kbo_execution_obs(proposals, k, seed, &mut NoopSink)
+}
+
+/// [`kbo_execution`] with an observability sink: records the
+/// `generator.broadcasts` and `generator.deliveries` counters plus two
+/// histograms — `generator.stream_len` (messages per k-stream: how the
+/// pigeonhole partitions the broadcasts) and `generator.stream_switches`
+/// (per-process count of stream changes along its delivery order: how much
+/// of the interleaving freedom the seed actually used). The execution is
+/// identical to [`kbo_execution`]'s.
+///
+/// # Panics
+///
+/// Panics if `proposals` is empty or `k == 0`.
+#[must_use]
+pub fn kbo_execution_obs<S: ObsSink>(
+    proposals: &[Value],
+    k: usize,
+    seed: u64,
+    sink: &mut S,
+) -> Execution {
     let n = proposals.len();
     assert!(n > 0, "at least one process required");
     assert!(k > 0, "k must be at least 1");
@@ -56,6 +78,7 @@ pub fn kbo_execution(proposals: &[Value], k: usize, seed: u64) -> Execution {
             let m = b.fresh_broadcast_message(p, proposals[p.index()]);
             b.step(p, Action::Broadcast { msg: m });
             b.step(p, Action::ReturnBroadcast { msg: m });
+            sink.inc("generator.broadcasts");
             m
         })
         .collect();
@@ -70,21 +93,33 @@ pub fn kbo_execution(proposals: &[Value], k: usize, seed: u64) -> Execution {
                 .collect()
         })
         .collect();
+    for stream in &streams {
+        sink.observe("generator.stream_len", stream.len() as u64);
+    }
 
     // Delivery phase: each process interleaves the streams randomly,
     // preserving each stream's internal order.
     for p in ProcessId::all(n) {
         let mut cursors = vec![0usize; k];
+        let mut last_stream: Option<usize> = None;
+        let mut switches = 0u64;
         loop {
             let available: Vec<usize> = (0..k).filter(|&s| cursors[s] < streams[s].len()).collect();
             if available.is_empty() {
                 break;
             }
             let s = available[rng.gen_range(0..available.len())];
+            if last_stream.is_some_and(|prev| prev != s) {
+                switches += 1;
+            }
+            last_stream = Some(s);
             let (from, msg) = streams[s][cursors[s]];
             cursors[s] += 1;
             b.step(p, Action::Deliver { from, msg });
+            sink.inc("generator.deliveries");
         }
+        sink.observe("generator.stream_switches", switches);
+        sink.tick();
     }
     b.build()
 }
@@ -317,6 +352,26 @@ mod tests {
     #[should_panic(expected = "k must be at least 1")]
     fn zero_k_rejected() {
         let _ = kbo_execution(&proposals(2), 0, 0);
+    }
+
+    #[test]
+    fn obs_variant_counts_the_schedule_without_perturbing_it() {
+        use camp_obs::Counters;
+        let (n, k, seed) = (6, 3, 11);
+        let mut sink = Counters::new();
+        let observed = kbo_execution_obs(&proposals(n), k, seed, &mut sink);
+        assert_eq!(
+            observed,
+            kbo_execution(&proposals(n), k, seed),
+            "sink must not perturb the schedule"
+        );
+        assert_eq!(sink.count("generator.broadcasts"), n as u64);
+        assert_eq!(sink.count("generator.deliveries"), (n * n) as u64);
+        let lens = sink.histogram("generator.stream_len").unwrap();
+        assert_eq!(lens.count(), k as u64, "one observation per stream");
+        assert_eq!(lens.sum(), n as u64, "streams partition the messages");
+        let switches = sink.histogram("generator.stream_switches").unwrap();
+        assert_eq!(switches.count(), n as u64, "one observation per process");
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //! independence-cert flag) derived from one instrumented run. Set
 //! `CAMP_BENCH_QUICK=1` for a low-sample CI smoke run, `CAMP_BENCH_OUT` to
 //! redirect the JSON, and `CAMP_BENCH_METRICS` to additionally write the raw
-//! `camp-obs/v1` counter snapshot accumulated across the instrumented runs.
+//! `camp-obs/v2` counter snapshot accumulated across the instrumented runs.
 
 use camp_broadcast::{CausalBroadcast, EagerReliable, FifoBroadcast};
 use camp_modelcheck::crashsweep::{crash_point_sweep_certs, SweepOutcome};

@@ -1,27 +1,37 @@
 //! Experiment tables: regenerates the paper's Figure 1 and every derived
 //! experiment of `EXPERIMENTS.md`.
 //!
-//! Usage: `tables [f1|lemmas|thm1|symmetry|boundaries|modelcheck|all]
-//! [--metrics OUT.json] [--progress]` (default: `all`).
+//! Usage: `tables [f1|lemmas|thm1|symmetry|boundaries|modelcheck|timeline|all]
+//! [--metrics OUT.json] [--progress] [--from TRACE.json]
+//! [--trace-out TRACE.json]` (default: `all`).
 //!
-//! `--metrics` writes a `camp-obs/v1` snapshot of the counters recorded by
-//! the instrumented tables (`f1` and `modelcheck`); `--progress` enables a
-//! stderr ticker during the exhaustive explorations.
+//! `--metrics` writes a `camp-obs/v2` snapshot of the counters, histograms,
+//! and timelines recorded by the instrumented tables (`f1`, `modelcheck`,
+//! and `timeline`); `--progress` enables a stderr ticker during the
+//! exhaustive explorations. The `timeline` table renders per-process
+//! activity lanes — by default from the figure-1 adversarial execution;
+//! with `--from` from a flight-recorder Chrome-trace JSON dump (e.g. the
+//! artifact a failing chaos soak leaves behind); with `--trace-out` it runs
+//! a short seeded lossy threaded-runtime session, writes its flight
+//! recording to the given path, and renders that run's lanes.
 
 use std::collections::BTreeSet;
+use std::time::Duration;
 
 use camp_agreement::generator::{kbo_execution, replay};
 use camp_agreement::{FirstDelivered, Stack, ThresholdKsa, TrivialNsa};
 use camp_broadcast::{
     AgreedBroadcast, CausalBroadcast, EagerReliable, FifoBroadcast, SendToAll, SteppedBroadcast,
 };
+use camp_faults::FaultPlan;
 use camp_impossibility::{adversarial_scheduler, refute_spec, theorem1, verify_lemmas, NSolo};
 use camp_modelcheck::explore::{
     explore_with_certs, explore_with_independence, explore_with_stats, EngineConfig, ExploreConfig,
     ExploreOutcome, Sensitivity,
 };
 use camp_modelcheck::schedules::{is_one_solo_all_own, ScheduleQuery};
-use camp_obs::{Obs, ObsSink};
+use camp_obs::{Obs, ObsSink, SegmentKind, Timeline, TimelineBuilder};
+use camp_runtime::ThreadedRuntime;
 use camp_sim::canonical::CertStore;
 use camp_sim::scheduler::{CrashPlan, Workload};
 use camp_sim::{BroadcastAlgorithm, FirstProposalRule, KsaOracle, OwnValueRule, Simulation};
@@ -30,12 +40,17 @@ use camp_specs::{
     BroadcastSpec, CausalSpec, FifoSpec, FirstKSpec, KBoundedOrderSpec, KSteppedSpec, MutualSpec,
     SendToAllSpec, TotalOrderSpec, TypedSaSpec,
 };
-use camp_trace::{render_timeline, Action, Execution, ExecutionBuilder, ProcessId, Value};
+use camp_trace::{
+    render_timeline, timeline_of, Action, Execution, ExecutionBuilder, ProcessId, Value,
+};
+use serde::Json;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut table: Option<String> = None;
     let mut metrics: Option<String> = None;
+    let mut from: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut progress = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -48,8 +63,25 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--from" => match it.next() {
+                Some(p) => from = Some(p.clone()),
+                None => {
+                    eprintln!("--from needs a Chrome-trace JSON file argument");
+                    std::process::exit(2);
+                }
+            },
+            "--trace-out" => match it.next() {
+                Some(p) => trace_out = Some(p.clone()),
+                None => {
+                    eprintln!("--trace-out needs a file argument");
+                    std::process::exit(2);
+                }
+            },
             other if other.starts_with("--") => {
-                eprintln!("unknown flag `{other}`; flags: --metrics OUT.json, --progress");
+                eprintln!(
+                    "unknown flag `{other}`; flags: --metrics OUT.json, --progress, \
+                     --from TRACE.json, --trace-out TRACE.json"
+                );
                 std::process::exit(2);
             }
             other => table = Some(other.to_string()),
@@ -68,6 +100,7 @@ fn main() {
         "modelcheck" => modelcheck(&mut obs),
         "complexity" => complexity(),
         "shm" => shm(),
+        "timeline" => timeline_table(&mut obs, from.as_deref(), trace_out.as_deref()),
         "all" => {
             figure1(&mut obs);
             lemmas();
@@ -77,9 +110,10 @@ fn main() {
             modelcheck(&mut obs);
             complexity();
             shm();
+            timeline_table(&mut obs, from.as_deref(), trace_out.as_deref());
         }
         other => {
-            eprintln!("unknown table `{other}`; use f1|lemmas|thm1|symmetry|boundaries|modelcheck|complexity|shm|all");
+            eprintln!("unknown table `{other}`; use f1|lemmas|thm1|symmetry|boundaries|modelcheck|complexity|shm|timeline|all");
             std::process::exit(2);
         }
     }
@@ -144,6 +178,133 @@ fn verdict(ok: bool) -> &'static str {
     } else {
         "FAIL"
     }
+}
+
+/// **TIMELINE** — per-process activity lanes. Three sources, by flag:
+/// a flight-recorder Chrome-trace dump (`--from`, the artifact a failing
+/// chaos soak writes), a fresh seeded lossy threaded-runtime session whose
+/// recording is saved to `--trace-out`, or (default) the figure-1
+/// adversarial execution derived through `camp_trace::timeline_of`.
+fn timeline_table(obs: &mut Obs, from: Option<&str>, trace_out: Option<&str>) {
+    header("TIMELINE: per-process activity lanes");
+    obs.begin("timeline");
+    let timeline = if let Some(path) = from {
+        match load_chrome_trace(path) {
+            Ok(t) => {
+                println!("source: flight-recorder dump {path}\n");
+                t
+            }
+            Err(e) => {
+                eprintln!("tables timeline: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else if let Some(path) = trace_out {
+        recorded_runtime_timeline(path)
+    } else {
+        let run = adversarial_scheduler(3, 2, AgreedBroadcast::new(), 10_000_000)
+            .expect("candidate ℬ is a correct broadcast algorithm");
+        println!(
+            "source: figure-1 adversarial execution α_{{k,N,B,ℬ}} (k = 3, N = 2), {} steps\n",
+            run.execution.len()
+        );
+        timeline_of(&run.execution)
+    };
+    print!("{}", timeline.render(96));
+    obs.record_timeline("timeline", timeline);
+    obs.end("timeline");
+}
+
+/// Runs a short seeded lossy threaded-runtime session with a flight
+/// recorder attached, writes the Chrome-trace dump to `path`, and returns
+/// the run's collector-built timeline.
+fn recorded_runtime_timeline(path: &str) -> Timeline {
+    let (n, m) = (3usize, 2usize);
+    let mut rt = ThreadedRuntime::start_recorded(
+        EagerReliable::uniform(),
+        n,
+        1,
+        FaultPlan::lossy(0xF11E, 250),
+        4096,
+    );
+    for p in ProcessId::all(n) {
+        for s in 0..m {
+            rt.broadcast(p, Value::new((p.id() * 1000 + s) as u64))
+                .expect("runtime accepts broadcasts");
+        }
+    }
+    rt.wait_deliveries_quorum(
+        n * n * m,
+        Duration::from_millis(300),
+        Duration::from_secs(30),
+    )
+    .expect("lossy run completes under retransmission");
+    let recorder =
+        std::sync::Arc::clone(rt.recorder().expect("start_recorded attaches a recorder"));
+    let (_exec, _counters, timeline) = rt.shutdown_full();
+    if let Err(e) = std::fs::write(path, recorder.to_chrome_trace_json()) {
+        eprintln!("tables timeline: cannot write trace to {path}: {e}");
+        std::process::exit(2);
+    }
+    println!(
+        "source: seeded lossy runtime run (eager-reliable, n = {n}, 25% drop); \
+         wrote {} flight events to {path}\n",
+        recorder.len()
+    );
+    timeline
+}
+
+/// Rebuilds a step-indexed [`Timeline`] from a flight-recorder Chrome-trace
+/// dump: events are ranked by timestamp (the rank is the step index), each
+/// event marks its process's lane, and the event name picks the segment
+/// kind (`crash` ⇒ crashed, `retransmit`/`backoff`/`abandon` ⇒
+/// retransmitting, anything else ⇒ compute). Collector events (pid 0) are
+/// counted but get no lane.
+fn load_chrome_trace(path: &str) -> Result<Timeline, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = serde_json::from_str::<Json>(&text)
+        .map_err(|e| format!("{path} is not valid JSON: {e:?}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{path} has no traceEvents array — not a Chrome trace dump"))?;
+    let mut marks: Vec<(u64, u64, SegmentKind)> = Vec::new(); // (ts, pid, kind)
+    let mut collector_events = 0usize;
+    for ev in events {
+        let Some(pid) = ev.get("pid").and_then(Json::as_u64) else {
+            continue;
+        };
+        let ts = ev.get("ts").and_then(Json::as_u64).unwrap_or(0);
+        let name = ev.get("name").and_then(Json::as_str).unwrap_or("");
+        if pid == 0 {
+            collector_events += 1;
+            continue;
+        }
+        let kind = if name.contains("crash") {
+            SegmentKind::Crashed
+        } else if name.contains("retransmit")
+            || name.contains("backoff")
+            || name.contains("abandon")
+        {
+            SegmentKind::Retransmitting
+        } else {
+            SegmentKind::Compute
+        };
+        marks.push((ts, pid, kind));
+    }
+    if marks.is_empty() {
+        return Err(format!("{path} holds no process events to render"));
+    }
+    marks.sort_unstable();
+    let n = marks.iter().map(|&(_, pid, _)| pid).max().unwrap_or(0) as usize;
+    let mut b = TimelineBuilder::new(n);
+    for (step, &(_, pid, kind)) in marks.iter().enumerate() {
+        b.mark(pid as usize - 1, step as u64, kind);
+    }
+    if collector_events > 0 {
+        println!("({collector_events} collector events not shown)");
+    }
+    Ok(b.finish())
 }
 
 /// **E-L1..L8, E-L10** — lemma certification grid.

@@ -3,8 +3,10 @@
 //! ```text
 //! camp-lint trace <file.json> [--json] [--strict]   lint a JSON execution trace
 //! camp-lint check [--json] [--deny-warnings]        source + graph + symmetry + dataflow analysis
-//! camp-lint symmetry [--json] [--certs OUT.json]    symmetry analysis alone, with certificates
-//! camp-lint dataflow [--json] [--certs OUT.json]    dataflow analysis alone, with certificates
+//! camp-lint symmetry [--json] [--certs OUT.json] [--metrics OUT.json]
+//!                                                    symmetry analysis alone, with certificates
+//! camp-lint dataflow [--json] [--certs OUT.json] [--metrics OUT.json]
+//!                                                    dataflow analysis alone, with certificates
 //! camp-lint audit [--seeds N] [--metrics OUT.json]  audit the built-in algorithms
 //! camp-lint rules [--json]                          list the rule registry
 //! ```
@@ -35,19 +37,23 @@ const USAGE: &str = "usage:
                   [--metrics OUT.json]   source lints (S0xx) + static protocol-graph (S02x)
                                          + symmetry (S03x) + dataflow (S04x) analysis of the
                                          registered broadcast algorithms; --metrics writes a
-                                         camp-obs/v1 counter snapshot
+                                         camp-obs/v2 counter snapshot
   camp-lint symmetry [--json] [--certs OUT.json] [--deny-warnings] [--timings]
-                     [--root DIR]        symmetry engine alone: S03x rules plus the
+                     [--root DIR] [--metrics OUT.json]
+                                         symmetry engine alone: S03x rules plus the
                                          camp-symmetry-cert/v1 certificates that license
-                                         renaming-quotient canonicalization in camp-modelcheck
+                                         renaming-quotient canonicalization in camp-modelcheck;
+                                         --metrics writes the lint.symmetry.* snapshot
   camp-lint dataflow [--json] [--certs OUT.json] [--deny-warnings] [--timings]
-                     [--root DIR]        dataflow engine alone: S04x rules (quorum bounds,
+                     [--root DIR] [--metrics OUT.json]
+                                         dataflow engine alone: S04x rules (quorum bounds,
                                          content taint, handler footprints) plus the
                                          camp-independence-cert/v1 certificates that widen
-                                         sleep-set POR in camp-modelcheck
+                                         sleep-set POR in camp-modelcheck; --metrics writes
+                                         the lint.dataflow.* snapshot
   camp-lint audit [--seeds N] [--metrics OUT.json]
                                          determinism + branch audit of the built-in
-                                         algorithms; --metrics writes a camp-obs/v1
+                                         algorithms; --metrics writes a camp-obs/v2
                                          counter snapshot
   camp-lint rules [--json]               list the rule registry";
 
@@ -295,6 +301,13 @@ fn cmd_symmetry(args: &[&str]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let metrics_path = match parse_value(args, "--metrics") {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("camp-lint: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
     let report = match camp_lint::symmetry_check(&root, timings) {
         Ok(r) => r,
         Err(e) => {
@@ -305,6 +318,14 @@ fn cmd_symmetry(args: &[&str]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(path) = metrics_path {
+        let mut counters = camp_obs::Counters::new();
+        symmetry_metrics_into(&report, &mut counters);
+        if let Err(e) = std::fs::write(&path, counters.snapshot().to_json_string()) {
+            eprintln!("camp-lint: cannot write metrics to {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
     if let Some(path) = certs_path {
         let store = report.cert_store();
         let text = match serde_json::to_string_pretty(&store) {
@@ -356,6 +377,13 @@ fn cmd_dataflow(args: &[&str]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let metrics_path = match parse_value(args, "--metrics") {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("camp-lint: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
     let report = match camp_lint::dataflow_check(&root, timings) {
         Ok(r) => r,
         Err(e) => {
@@ -366,6 +394,14 @@ fn cmd_dataflow(args: &[&str]) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(path) = metrics_path {
+        let mut counters = camp_obs::Counters::new();
+        dataflow_metrics_into(&report, &mut counters);
+        if let Err(e) = std::fs::write(&path, counters.snapshot().to_json_string()) {
+            eprintln!("camp-lint: cannot write metrics to {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
     if let Some(path) = certs_path {
         let store = report.cert_store();
         let text = match serde_json::to_string_pretty(&store) {
@@ -400,7 +436,7 @@ fn cmd_dataflow(args: &[&str]) -> ExitCode {
 }
 
 /// Distills a [`camp_lint::CheckReport`] into the `lint.*` counter
-/// namespace of a `camp-obs/v1` snapshot. All values are derived from the
+/// namespace of a `camp-obs/v2` snapshot. All values are derived from the
 /// (deterministic) report, so the snapshot is byte-identical across runs.
 fn check_metrics(report: &camp_lint::CheckReport) -> camp_obs::Counters {
     use camp_obs::ObsSink;
@@ -423,13 +459,26 @@ fn check_metrics(report: &camp_lint::CheckReport) -> camp_obs::Counters {
     c.add("lint.graph.errors", g.errors as u64);
     c.add("lint.graph.warnings", g.warnings as u64);
     c.add("lint.graph.algorithms_probed", g.algorithms.len() as u64);
-    let y = &report.symmetry;
+    symmetry_metrics_into(&report.symmetry, &mut c);
+    dataflow_metrics_into(&report.dataflow, &mut c);
+    c
+}
+
+/// The `lint.symmetry.*` keys — shared by `check --metrics` and the
+/// standalone `symmetry --metrics` so the two snapshots agree.
+fn symmetry_metrics_into(y: &camp_lint::SymmetryReport, c: &mut camp_obs::Counters) {
+    use camp_obs::ObsSink;
     c.add("lint.symmetry.rules_checked", y.rules_checked.len() as u64);
     c.add("lint.symmetry.errors", y.errors as u64);
     c.add("lint.symmetry.warnings", y.warnings as u64);
     c.add("lint.symmetry.algorithms_probed", y.algorithms.len() as u64);
     c.add("lint.symmetry.certs_issued", y.certs.len() as u64);
-    let d = &report.dataflow;
+}
+
+/// The `lint.dataflow.*` keys — shared by `check --metrics` and the
+/// standalone `dataflow --metrics` so the two snapshots agree.
+fn dataflow_metrics_into(d: &camp_lint::DataflowReport, c: &mut camp_obs::Counters) {
+    use camp_obs::ObsSink;
     c.add("lint.dataflow.rules_checked", d.rules_checked.len() as u64);
     c.add("lint.dataflow.errors", d.errors as u64);
     c.add("lint.dataflow.warnings", d.warnings as u64);
@@ -442,7 +491,6 @@ fn check_metrics(report: &camp_lint::CheckReport) -> camp_obs::Counters {
         "lint.dataflow.receives_commute",
         d.algorithms.iter().filter(|a| a.receives_commute).count() as u64,
     );
-    c
 }
 
 /// Parses `--flag value` into `Some(value)`; `Ok(None)` when absent.
@@ -494,7 +542,7 @@ fn cmd_audit(args: &[&str]) -> ExitCode {
     };
     let seeds: Vec<u64> = (1..=seed_count as u64).collect();
     let mut failed = false;
-    // The audit's own telemetry, exported as a camp-obs/v1 snapshot with
+    // The audit's own telemetry, exported as a camp-obs/v2 snapshot with
     // --metrics. Every counter is derived from the deterministic audit, so
     // the snapshot is byte-identical across runs.
     let mut counters = camp_obs::Counters::new();

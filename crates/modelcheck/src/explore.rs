@@ -577,6 +577,8 @@ impl<'a, S: ObsSink> Engine<'a, S> {
         collect_choices(sim, self.workload, issued, &mut choices);
         self.sink
             .record_max("modelcheck.max_frontier", choices.len() as u64);
+        self.sink
+            .observe("modelcheck.branch_fanout", choices.len() as u64);
 
         if choices.is_empty() {
             self.stats.completed += 1;
@@ -1104,6 +1106,11 @@ mod tests {
         assert!(sink.count("modelcheck.steps_replayed") > 0);
         assert!(sink.gauge("modelcheck.max_depth") > 0);
         assert!(sink.gauge("modelcheck.max_frontier") > 0);
+        let fanout = sink
+            .histogram("modelcheck.branch_fanout")
+            .expect("every expanded node records its fanout");
+        assert_eq!(fanout.count(), stats.nodes as u64);
+        assert_eq!(fanout.max(), sink.gauge("modelcheck.max_frontier"));
     }
 
     #[test]

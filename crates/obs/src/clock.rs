@@ -49,6 +49,13 @@ impl Tick {
     pub fn elapsed_millis(&self) -> u64 {
         u64::try_from(self.0.elapsed().as_millis()).unwrap_or(u64::MAX)
     }
+
+    /// Elapsed whole microseconds since this tick (saturating) — the
+    /// flight recorder's timestamp unit (Chrome traces count in µs).
+    #[must_use]
+    pub fn elapsed_micros(&self) -> u64 {
+        u64::try_from(self.0.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
 }
 
 /// An `Option`-gated stopwatch: started for real only when `enabled`.

@@ -13,14 +13,17 @@
 
 use std::collections::BTreeMap;
 
+use crate::histogram::{Histogram, Histograms};
 use crate::sink::ObsSink;
 use crate::snapshot::Snapshot;
 
-/// A registry of monotone counts and high-water-mark gauges.
+/// A registry of monotone counts, high-water-mark gauges, and power-of-two
+/// histograms.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Counters {
     counts: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, u64>,
+    histograms: Histograms,
 }
 
 impl Counters {
@@ -54,18 +57,31 @@ impl Counters {
         &self.gauges
     }
 
+    /// The histogram registry.
+    #[must_use]
+    pub fn histograms(&self) -> &Histograms {
+        &self.histograms
+    }
+
+    /// The histogram named `key`, if anything was ever observed into it.
+    #[must_use]
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.histograms.get(key)
+    }
+
     /// True when nothing has been recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.counts.is_empty() && self.gauges.is_empty()
+        self.counts.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
     }
 
-    /// Folds `other` into `self`: counts add, gauges take the max.
+    /// Folds `other` into `self`: counts add, gauges take the max,
+    /// histograms add bucket-wise.
     ///
     /// Used to combine per-worker registries from the parallel explorer;
-    /// callers merge in deterministic (unit-index) order, and because both
-    /// operations are commutative and associative the result would be the
-    /// same in any order — the fixed order is belt and braces.
+    /// callers merge in deterministic (unit-index) order, and because all
+    /// three operations are commutative and associative the result would be
+    /// the same in any order — the fixed order is belt and braces.
     pub fn merge(&mut self, other: &Counters) {
         for (k, v) in &other.counts {
             *self.counts.entry(k).or_insert(0) += v;
@@ -74,17 +90,22 @@ impl Counters {
             let g = self.gauges.entry(k).or_insert(0);
             *g = (*g).max(*v);
         }
+        self.histograms.merge(&other.histograms);
     }
 
     /// Replays this registry into any sink: counts as `add`, gauges as
-    /// `record_max`. The generic dual of [`Counters::merge`], for folding a
-    /// worker's local registry into a caller-supplied [`ObsSink`].
+    /// `record_max`, histograms as `merge_histogram`. The generic dual of
+    /// [`Counters::merge`], for folding a worker's local registry into a
+    /// caller-supplied [`ObsSink`].
     pub fn replay_into<S: ObsSink>(&self, sink: &mut S) {
         for (k, v) in &self.counts {
             sink.add(k, *v);
         }
         for (k, v) in &self.gauges {
             sink.record_max(k, *v);
+        }
+        for (k, h) in self.histograms.iter() {
+            sink.merge_histogram(k, h);
         }
     }
 
@@ -103,6 +124,14 @@ impl ObsSink for Counters {
     fn record_max(&mut self, key: &'static str, n: u64) {
         let g = self.gauges.entry(key).or_insert(0);
         *g = (*g).max(n);
+    }
+
+    fn observe(&mut self, key: &'static str, value: u64) {
+        self.histograms.observe(key, value);
+    }
+
+    fn merge_histogram(&mut self, key: &'static str, hist: &Histogram) {
+        self.histograms.merge_one(key, hist);
     }
 }
 
@@ -136,6 +165,23 @@ mod tests {
         assert_eq!(a.count("n"), 5);
         assert_eq!(a.count("m"), 1);
         assert_eq!(a.gauge("g"), 7);
+    }
+
+    #[test]
+    fn histograms_ride_merge_and_replay() {
+        let mut a = Counters::new();
+        a.observe("h.steps", 3);
+        let mut b = Counters::new();
+        b.observe("h.steps", 100);
+        b.observe("h.other", 0);
+        a.merge(&b);
+        let h = a.histogram("h.steps").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 100);
+
+        let mut sink = Counters::new();
+        a.replay_into(&mut sink);
+        assert_eq!(sink.histograms(), a.histograms());
     }
 
     #[test]

@@ -5,19 +5,25 @@
 //! scanned, channel pressure — reported without compromising the replay
 //! and byte-identical-golden guarantees the rest of the toolkit depends on.
 //!
-//! Three layers, strictly separated:
+//! Four layers, strictly separated:
 //!
-//! * **deterministic core** — [`Counters`]: plain `u64` counts and gauges in
-//!   `BTreeMap`s, recorded through the [`ObsSink`] trait by the simulator,
-//!   model checker, spec checkers, and runtime. A seeded run fills them as a
-//!   pure function of the run, so two identical runs produce byte-identical
-//!   [`Snapshot`]s;
+//! * **deterministic core** — [`Counters`]: plain `u64` counts, gauges, and
+//!   power-of-two [`Histogram`]s in `BTreeMap`s, recorded through the
+//!   [`ObsSink`] trait by the simulator, model checker, spec checkers, and
+//!   runtime; plus step-indexed per-process [`Timeline`]s. A seeded run
+//!   fills them as a pure function of the run, so two identical runs
+//!   produce byte-identical [`Snapshot`]s;
 //! * **span/event layer** — [`Obs`] additionally records begin/end spans
-//!   with nested phases. Span structure is deterministic; durations are
-//!   `Option`-gated and `None` by default;
+//!   with nested phases and a per-span-name latency skeleton. Span and
+//!   latency *structure* is deterministic; durations are `Option`-gated
+//!   and `None` by default;
 //! * **wall-clock boundary** — [`clock`] owns every `Instant::now` read in
 //!   the workspace. Nothing else may name the std clock types (rule S002,
-//!   enforced by `camp-lint` over this crate too).
+//!   enforced by `camp-lint` over this crate too);
+//! * **flight recorder** — [`FlightRecorder`], the deliberately
+//!   nondeterministic post-mortem instrument: a bounded ring of
+//!   microsecond-stamped runtime events exported as Chrome-trace JSON. It
+//!   never feeds a [`Snapshot`].
 //!
 //! Sinks are explicitly passed handles — no globals (rule S007). The default
 //! [`NoopSink`] has empty inline methods, so uninstrumented call sites
@@ -28,14 +34,22 @@
 
 pub mod clock;
 pub mod counters;
+pub mod histogram;
 pub mod progress;
+pub mod recorder;
 pub mod sink;
 pub mod snapshot;
+pub mod timeline;
 
 pub use counters::Counters;
+pub use histogram::{Histogram, Histograms, LatencySummary};
 pub use progress::Progress;
+pub use recorder::{FlightEvent, FlightRecorder};
 pub use sink::{NoopSink, ObsSink};
 pub use snapshot::{Snapshot, SpanRecord, SCHEMA};
+pub use timeline::{Lane, Segment, SegmentKind, Timeline, TimelineBuilder};
+
+use std::collections::BTreeMap;
 
 use clock::Stopwatch;
 
@@ -48,6 +62,8 @@ use clock::Stopwatch;
 pub struct Obs {
     counters: Counters,
     spans: Vec<SpanRecord>,
+    latency: BTreeMap<&'static str, LatencySummary>,
+    timelines: BTreeMap<&'static str, Timeline>,
     stack: Vec<(usize, Stopwatch)>,
     timings: bool,
     progress: Option<Progress>,
@@ -85,6 +101,14 @@ impl Obs {
         self.counters.merge(other);
     }
 
+    /// Attaches a named per-process timeline to the next snapshot.
+    ///
+    /// Re-recording under the same name replaces the previous timeline, so
+    /// retried phases stay idempotent.
+    pub fn record_timeline(&mut self, name: &'static str, timeline: Timeline) {
+        self.timelines.insert(name, timeline);
+    }
+
     /// Terminates the progress ticker line, if one is active.
     pub fn finish_progress(&mut self) {
         if let Some(p) = self.progress.as_mut() {
@@ -101,7 +125,10 @@ impl Obs {
         Snapshot {
             counters: self.counters.counts().clone(),
             gauges: self.counters.gauges().clone(),
+            histograms: self.counters.histograms().as_map().clone(),
+            latency: self.latency.clone(),
             spans: self.spans.clone(),
+            timelines: self.timelines.clone(),
         }
     }
 }
@@ -113,6 +140,14 @@ impl ObsSink for Obs {
 
     fn record_max(&mut self, key: &'static str, n: u64) {
         self.counters.record_max(key, n);
+    }
+
+    fn observe(&mut self, key: &'static str, value: u64) {
+        self.counters.observe(key, value);
+    }
+
+    fn merge_histogram(&mut self, key: &'static str, hist: &Histogram) {
+        self.counters.merge_histogram(key, hist);
     }
 
     fn begin(&mut self, name: &'static str) {
@@ -131,7 +166,16 @@ impl ObsSink for Obs {
             return;
         };
         debug_assert_eq!(self.spans[idx].name, name, "mismatched span end");
-        self.spans[idx].millis = watch.elapsed_millis();
+        let millis = watch.elapsed_millis();
+        self.spans[idx].millis = millis;
+        // The latency skeleton (key set + counts) is recorded even without
+        // timings, so a timed snapshot stripped of wall time is
+        // byte-identical to an untimed one.
+        let entry = self.latency.entry(name).or_default();
+        entry.count += 1;
+        if let Some(ms) = millis {
+            entry.millis.get_or_insert_with(Histogram::new).observe(ms);
+        }
     }
 
     fn tick(&mut self) {
@@ -187,6 +231,54 @@ mod tests {
             obs.snapshot().to_json_string()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn latency_skeleton_is_deterministic_and_millis_gated() {
+        let run = |timings: bool| {
+            let mut obs = if timings {
+                Obs::new().with_timings()
+            } else {
+                Obs::new()
+            };
+            obs.begin("phase");
+            obs.end("phase");
+            obs.begin("phase");
+            obs.end("phase");
+            obs.snapshot()
+        };
+        let untimed = run(false);
+        assert_eq!(untimed.latency["phase"].count, 2);
+        assert_eq!(untimed.latency["phase"].millis, None);
+        let mut timed = run(true);
+        assert!(timed.latency["phase"].millis.is_some());
+        assert_eq!(timed.latency["phase"].millis.as_ref().unwrap().count(), 2);
+        timed.strip_wall_time();
+        assert_eq!(
+            timed.to_json_string(),
+            untimed.to_json_string(),
+            "stripped timed snapshot equals the untimed one"
+        );
+    }
+
+    #[test]
+    fn timelines_reach_the_snapshot() {
+        let mut b = TimelineBuilder::new(2);
+        b.mark(0, 0, SegmentKind::Compute);
+        b.mark(1, 1, SegmentKind::Crashed);
+        let mut obs = Obs::new();
+        obs.record_timeline("run", b.finish());
+        let snap = obs.snapshot();
+        assert!(!snap.timelines["run"].is_empty());
+        assert!(snap.to_json_string().contains("\"crashed\""));
+    }
+
+    #[test]
+    fn observe_fills_counter_histograms() {
+        let mut obs = Obs::new();
+        obs.observe("fanout", 3);
+        obs.observe("fanout", 5);
+        assert_eq!(obs.counters().histogram("fanout").unwrap().count(), 2);
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! generic over `S: ObsSink`, so the default [`NoopSink`] monomorphizes to
 //! empty inline bodies and the uninstrumented path compiles to nothing.
 
+use crate::histogram::Histogram;
+
 /// A receiver for observability events.
 ///
 /// Every method has an empty default body: implementors override only what
@@ -24,6 +26,18 @@ pub trait ObsSink {
     /// Raises the gauge named `key` to at least `n` (high-water mark).
     fn record_max(&mut self, key: &'static str, n: u64) {
         let _ = (key, n);
+    }
+
+    /// Records one observation into the histogram named `key`.
+    fn observe(&mut self, key: &'static str, value: u64) {
+        let _ = (key, value);
+    }
+
+    /// Folds a whole pre-bucketed histogram into the one named `key` — the
+    /// histogram dual of replaying counts, used when a worker's registry is
+    /// folded into a caller's sink.
+    fn merge_histogram(&mut self, key: &'static str, hist: &Histogram) {
+        let _ = (key, hist);
     }
 
     /// Opens a span named `name`, nested under any currently open span.
@@ -61,6 +75,14 @@ impl<S: ObsSink + ?Sized> ObsSink for &mut S {
         (**self).record_max(key, n);
     }
 
+    fn observe(&mut self, key: &'static str, value: u64) {
+        (**self).observe(key, value);
+    }
+
+    fn merge_histogram(&mut self, key: &'static str, hist: &Histogram) {
+        (**self).merge_histogram(key, hist);
+    }
+
     fn begin(&mut self, name: &'static str) {
         (**self).begin(name);
     }
@@ -85,6 +107,8 @@ mod tests {
         s.inc("x");
         s.add("x", 3);
         s.record_max("g", 9);
+        s.observe("h", 5);
+        s.merge_histogram("h", &Histogram::new());
         s.begin("span");
         s.tick();
         s.end("span");

@@ -1,30 +1,40 @@
-//! The versioned `camp-obs/v1` metrics snapshot.
+//! The versioned `camp-obs/v2` metrics snapshot.
 //!
 //! Shape (field order fixed; see `docs/OBSERVABILITY.md`):
 //!
 //! ```json
 //! {
-//!   "schema": "camp-obs/v1",
+//!   "schema": "camp-obs/v2",
 //!   "counters": { "modelcheck.nodes": 83, ... },
 //!   "gauges": { "modelcheck.max_depth": 12, ... },
-//!   "spans": [ { "name": "explore", "depth": 0, "millis": null }, ... ]
+//!   "histograms": { "modelcheck.branch_fanout": { "count": 9, ... }, ... },
+//!   "latency": { "explore": { "count": 1, "millis": null }, ... },
+//!   "spans": [ { "name": "explore", "depth": 0, "millis": null }, ... ],
+//!   "timelines": { "figure1": { "horizon": 21, "lanes": [ ... ] }, ... }
 //! }
 //! ```
 //!
-//! Determinism contract: counters, gauges, and span *structure* (names,
-//! nesting depth, order) are pure functions of the run. The only
-//! nondeterministic fields are the `Option`-gated `millis` values, which are
+//! Determinism contract: counters, gauges, histogram buckets, latency
+//! *counts*, timelines, and span *structure* (names, nesting depth, order)
+//! are pure functions of the run. The only nondeterministic fields are the
+//! `Option`-gated `millis` values (on spans and latency entries), which are
 //! `null` unless timings were explicitly enabled — so a snapshot of a seeded
-//! run serializes byte-identically across re-runs by default.
+//! run serializes byte-identically across re-runs by default, and a timed
+//! snapshot equals the untimed one after [`Snapshot::strip_wall_time`].
+//!
+//! v1 → v2: added `histograms`, `latency`, and `timelines`. Field order and
+//! the meaning of the v1 fields are unchanged.
 
 use std::collections::BTreeMap;
 
 use serde::{Json, Serialize};
 
 use crate::counters::Counters;
+use crate::histogram::{Histogram, LatencySummary};
+use crate::timeline::Timeline;
 
 /// The schema tag written into every snapshot.
-pub const SCHEMA: &str = "camp-obs/v1";
+pub const SCHEMA: &str = "camp-obs/v2";
 
 /// One completed span: a named phase with its nesting depth and optional
 /// wall-clock duration.
@@ -46,18 +56,40 @@ pub struct Snapshot {
     pub counters: BTreeMap<&'static str, u64>,
     /// High-water-mark gauges, in key order.
     pub gauges: BTreeMap<&'static str, u64>,
+    /// Power-of-two histograms, in key order.
+    pub histograms: BTreeMap<&'static str, Histogram>,
+    /// Span-latency summaries, in key order: deterministic counts with
+    /// `Option`-gated bucketed milliseconds.
+    pub latency: BTreeMap<&'static str, LatencySummary>,
     /// Completed spans, in begin order (preorder of the phase tree).
     pub spans: Vec<SpanRecord>,
+    /// Named per-process timelines, in key order.
+    pub timelines: BTreeMap<&'static str, Timeline>,
 }
 
 impl Snapshot {
-    /// A snapshot of a bare counter registry (no spans).
+    /// A snapshot of a bare counter registry (no spans, no timelines).
     #[must_use]
     pub fn from_counters(counters: &Counters) -> Self {
         Self {
             counters: counters.counts().clone(),
             gauges: counters.gauges().clone(),
-            spans: Vec::new(),
+            histograms: counters.histograms().as_map().clone(),
+            ..Self::default()
+        }
+    }
+
+    /// Clears every wall-clock field: span `millis` and latency `millis`.
+    ///
+    /// After stripping, a snapshot taken `with_timings()` is byte-identical
+    /// to one taken without — the golden-comparison move `tests/metrics.rs`
+    /// pins.
+    pub fn strip_wall_time(&mut self) {
+        for span in &mut self.spans {
+            span.millis = None;
+        }
+        for entry in self.latency.values_mut() {
+            entry.millis = None;
         }
     }
 
@@ -94,7 +126,34 @@ impl Serialize for Snapshot {
             ("schema".to_string(), Json::Str(SCHEMA.to_string())),
             ("counters".to_string(), map(&self.counters)),
             ("gauges".to_string(), map(&self.gauges)),
+            (
+                "histograms".to_string(),
+                Json::Object(
+                    self.histograms
+                        .iter()
+                        .map(|(k, h)| ((*k).to_string(), h.to_json()))
+                        .collect(),
+                ),
+            ),
+            (
+                "latency".to_string(),
+                Json::Object(
+                    self.latency
+                        .iter()
+                        .map(|(k, l)| ((*k).to_string(), l.to_json()))
+                        .collect(),
+                ),
+            ),
             ("spans".to_string(), Json::Array(spans)),
+            (
+                "timelines".to_string(),
+                Json::Object(
+                    self.timelines
+                        .iter()
+                        .map(|(k, t)| ((*k).to_string(), t.to_json()))
+                        .collect(),
+                ),
+            ),
         ])
     }
 }
@@ -112,7 +171,7 @@ mod tests {
         c.record_max("z.gauge", 9);
         let snap = c.snapshot();
         let json = snap.to_json_string();
-        assert!(json.contains("\"schema\": \"camp-obs/v1\""));
+        assert!(json.contains("\"schema\": \"camp-obs/v2\""));
         let a = json.find("a.one").unwrap();
         let b = json.find("b.two").unwrap();
         assert!(a < b, "counter keys must serialize in sorted order");
@@ -124,6 +183,7 @@ mod tests {
         let fill = |c: &mut Counters| {
             c.add("x", 3);
             c.record_max("g", 4);
+            c.observe("h", 17);
         };
         let mut a = Counters::new();
         let mut b = Counters::new();
@@ -143,5 +203,53 @@ mod tests {
             ..Snapshot::default()
         };
         assert!(snap.to_json_string().contains("\"millis\": null"));
+    }
+
+    #[test]
+    fn histograms_reach_the_snapshot() {
+        let mut c = Counters::new();
+        c.observe("h.fanout", 2);
+        c.observe("h.fanout", 9);
+        let json = c.snapshot().to_json_string();
+        assert!(json.contains("\"histograms\""));
+        assert!(json.contains("\"h.fanout\""));
+        assert!(json.contains("\"buckets\""));
+    }
+
+    #[test]
+    fn strip_wall_time_clears_spans_and_latency() {
+        let mut hist = Histogram::new();
+        hist.observe(4);
+        let mut snap = Snapshot {
+            spans: vec![SpanRecord {
+                name: "phase",
+                depth: 0,
+                millis: Some(12),
+            }],
+            ..Snapshot::default()
+        };
+        snap.latency.insert(
+            "phase",
+            LatencySummary {
+                count: 1,
+                millis: Some(hist),
+            },
+        );
+        snap.strip_wall_time();
+        assert_eq!(snap.spans[0].millis, None);
+        assert_eq!(snap.latency["phase"].millis, None);
+        assert_eq!(snap.latency["phase"].count, 1, "skeleton survives");
+    }
+
+    #[test]
+    fn field_order_is_fixed() {
+        let json = Snapshot::default().to_json_string();
+        let pos = |k: &str| json.find(k).unwrap();
+        assert!(pos("\"schema\"") < pos("\"counters\""));
+        assert!(pos("\"counters\"") < pos("\"gauges\""));
+        assert!(pos("\"gauges\"") < pos("\"histograms\""));
+        assert!(pos("\"histograms\"") < pos("\"latency\""));
+        assert!(pos("\"latency\"") < pos("\"spans\""));
+        assert!(pos("\"spans\"") < pos("\"timelines\""));
     }
 }

@@ -2,9 +2,10 @@
 //! [`Execution`], repairing cross-thread arrival races.
 
 use std::collections::{BTreeSet, VecDeque};
+use std::sync::Arc;
 
-use camp_obs::{Counters, ObsSink};
-use camp_trace::{Action, Execution, MessageId, MessageInfo, ProcessId, Step};
+use camp_obs::{Counters, FlightRecorder, ObsSink, SegmentKind, Timeline};
+use camp_trace::{timeline_builder_of, Action, Execution, MessageId, MessageInfo, ProcessId, Step};
 
 /// An event reported by a node to the collector.
 #[derive(Debug)]
@@ -13,6 +14,9 @@ pub(crate) enum TraceEvent {
     Register(MessageId, MessageInfo),
     /// A step taken by a process.
     Step(Step),
+    /// The process's perfect link just retransmitted unacked frames — a
+    /// link-layer fact no [`Step`] can express, marked on the timeline.
+    Retransmit(ProcessId),
     /// A node's local `faults.*` / `perflink.*` counters, reported once as
     /// the node exits (normally, or by crashing).
     NodeCounters(Counters),
@@ -43,6 +47,15 @@ pub(crate) struct Collector {
     /// lag the wire by however far the collector queue is behind — and
     /// under faults a dropped frame's send legitimately never drains).
     in_flight: u64,
+    /// Steps seen per process (program order, so deterministic per lane) —
+    /// feeds the `runtime.delivery_steps` histogram.
+    per_proc_steps: Vec<u64>,
+    /// Retransmission marks for the timeline: `(process, step index at
+    /// arrival)`. The index is the trace-arrival position, so the mark
+    /// lands where the link activity interleaved with the collected steps.
+    retransmit_marks: Vec<(ProcessId, u64)>,
+    /// Optional flight recorder; deferral races land on track 0.
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl Collector {
@@ -52,7 +65,16 @@ impl Collector {
             deferred: VecDeque::new(),
             counters: Counters::new(),
             in_flight: 0,
+            per_proc_steps: vec![0; n],
+            retransmit_marks: Vec::new(),
+            recorder: None,
         }
+    }
+
+    /// Attaches a flight recorder; collector-side events (deferrals) land
+    /// on track 0.
+    pub(crate) fn set_recorder(&mut self, recorder: Option<Arc<FlightRecorder>>) {
+        self.recorder = recorder;
     }
 
     pub(crate) fn handle(&mut self, event: TraceEvent) {
@@ -66,6 +88,7 @@ impl Collector {
             }
             TraceEvent::Step(step) => {
                 self.counters.inc("runtime.steps");
+                self.per_proc_steps[step.process.index()] += 1;
                 match step.action {
                     Action::Send { .. } => {
                         self.counters.inc("runtime.sends");
@@ -77,13 +100,25 @@ impl Collector {
                         self.in_flight = self.in_flight.saturating_sub(1);
                     }
                     Action::Broadcast { .. } => self.counters.inc("runtime.broadcasts"),
-                    Action::Deliver { .. } => self.counters.inc("runtime.deliveries"),
+                    Action::Deliver { .. } => {
+                        self.counters.inc("runtime.deliveries");
+                        // How many program-order steps this process needed
+                        // to reach this delivery: deterministic per lane,
+                        // whatever the cross-thread arrival order did.
+                        self.counters.observe(
+                            "runtime.delivery_steps",
+                            self.per_proc_steps[step.process.index()],
+                        );
+                    }
                     Action::Crash => self.counters.inc("runtime.crashes"),
                     _ => {}
                 }
                 self.push_or_defer(step);
                 self.counters
                     .record_max("runtime.collector_deferred_max", self.deferred.len() as u64);
+            }
+            TraceEvent::Retransmit(p) => {
+                self.retransmit_marks.push((p, self.exec.len() as u64));
             }
             TraceEvent::NodeCounters(c) => {
                 self.counters.merge(&c);
@@ -128,6 +163,9 @@ impl Collector {
             self.exec.push(step).expect("validated above");
             self.retry_deferred();
         } else {
+            if let Some(rec) = &self.recorder {
+                rec.record_with(0, "collector.deferred", self.deferred.len() as u64 + 1);
+            }
             self.deferred.push_back(step);
         }
     }
@@ -161,13 +199,30 @@ impl Collector {
     /// Finishes the build, returning the execution together with the
     /// counters recorded while collecting it. Any still-deferred step
     /// indicates a protocol bug (a reception whose emission never happened).
+    #[cfg(test)]
     pub(crate) fn finish(self) -> (Execution, Counters) {
+        let (exec, counters, _) = self.finish_full();
+        (exec, counters)
+    }
+
+    /// [`finish`](Self::finish), plus the per-process activity timeline:
+    /// the compute/blocked/crashed lanes derived from the final execution,
+    /// overlaid with the retransmission marks only the live trace stream
+    /// could see.
+    pub(crate) fn finish_full(self) -> (Execution, Counters, Timeline) {
         assert!(
             self.deferred.is_empty(),
             "unmatched steps at shutdown: {:?}",
             self.deferred
         );
-        (self.exec, self.counters)
+        let mut builder = timeline_builder_of(&self.exec);
+        for (p, at) in &self.retransmit_marks {
+            // Marks arriving after the last collected step clamp onto it so
+            // the lane view's horizon stays the execution length.
+            let step = (*at).min((self.exec.len() as u64).saturating_sub(1));
+            builder.mark(p.index(), step, SegmentKind::Retransmitting);
+        }
+        (self.exec, self.counters, builder.finish())
     }
 }
 
@@ -317,6 +372,56 @@ mod tests {
         assert_eq!(counters.count("faults.drops_injected"), 2);
         assert_eq!(counters.count("perflink.retransmits"), 1);
         assert_eq!(counters.gauge("perflink.unacked_max"), 4);
+    }
+
+    #[test]
+    fn delivery_steps_histogram_counts_program_order_steps() {
+        let mut c = Collector::new(2);
+        let m = MessageId::new(0);
+        let mut i = info(1);
+        i.kind = MessageKind::Broadcast;
+        c.handle(TraceEvent::Register(m, i));
+        c.handle(TraceEvent::Step(Step::new(
+            p(1),
+            Action::Broadcast { msg: m },
+        )));
+        c.handle(TraceEvent::Step(Step::new(
+            p(1),
+            Action::Deliver { from: p(1), msg: m },
+        )));
+        c.handle(TraceEvent::Step(Step::new(
+            p(2),
+            Action::Deliver { from: p(1), msg: m },
+        )));
+        let (_, counters) = c.finish();
+        let h = counters.histogram("runtime.delivery_steps").unwrap();
+        assert_eq!(h.count(), 2);
+        // p1 delivered at its 2nd step, p2 at its 1st.
+        assert_eq!(h.max(), 2);
+        assert_eq!(h.min(), 1);
+    }
+
+    #[test]
+    fn timeline_carries_retransmit_marks() {
+        let mut c = Collector::new(2);
+        let m = MessageId::new(0);
+        c.handle(TraceEvent::Register(m, info(1)));
+        c.handle(TraceEvent::Step(Step::new(
+            p(1),
+            Action::Send { to: p(2), msg: m },
+        )));
+        c.handle(TraceEvent::Retransmit(p(1)));
+        c.handle(TraceEvent::Step(Step::new(
+            p(2),
+            Action::Receive { from: p(1), msg: m },
+        )));
+        let (exec, _, timeline) = c.finish_full();
+        assert_eq!(timeline.horizon, exec.len() as u64);
+        let kinds: Vec<_> = timeline.lanes[0].segments.iter().map(|s| s.kind).collect();
+        assert!(
+            kinds.contains(&camp_obs::SegmentKind::Retransmitting),
+            "retransmit mark missing from lane 1: {kinds:?}"
+        );
     }
 
     #[test]

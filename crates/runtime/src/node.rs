@@ -9,7 +9,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use camp_faults::{CrashTrigger, FaultPlan};
-use camp_obs::ObsSink;
+use camp_obs::{FlightRecorder, ObsSink};
 use camp_sim::{AppMessage, BroadcastAlgorithm, BroadcastStep, KsaOracle};
 use camp_trace::{Action, MessageId, MessageInfo, MessageKind, ProcessId, Step, Value};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
@@ -43,6 +43,8 @@ pub(crate) struct NodeCtx<B: BroadcastAlgorithm> {
     pub msg_ids: Arc<AtomicU64>,
     pub plan: Arc<FaultPlan>,
     pub crashes: Arc<CrashBoard>,
+    /// Optional flight recorder shared by the whole fleet.
+    pub recorder: Option<Arc<FlightRecorder>>,
 }
 
 /// The node's crash fuse: counts the events named by the plan's trigger
@@ -117,12 +119,25 @@ pub(crate) fn run_node<B: BroadcastAlgorithm>(ctx: NodeCtx<B>) {
         msg_ids,
         plan,
         crashes,
+        recorder,
     } = ctx;
     let mut st = algo.init(me, n);
     let mut pending_broadcast: Option<MessageId> = None;
     let mut link: PerfectLink<B::Msg> =
         PerfectLink::new(me, n, Arc::clone(&plan), peers, Arc::clone(&crashes));
+    link.set_recorder(recorder.clone());
     let mut fuse = CrashFuse::new(plan.crash_for(me));
+    let flight = |name: &'static str| {
+        if let Some(rec) = &recorder {
+            rec.record(me.id() as u64, name);
+        }
+    };
+    // Reports link retransmission activity to the collector's timeline.
+    let report_poll = |retransmitted: usize| {
+        if retransmitted > 0 {
+            let _ = trace.send(TraceEvent::Retransmit(me));
+        }
+    };
 
     // Executes every available local step of the automaton; breaks with
     // `ControlFlow::Break` the moment the crash fuse fires.
@@ -183,6 +198,7 @@ pub(crate) fn run_node<B: BroadcastAlgorithm>(ctx: NodeCtx<B>) {
                             msg: msg.id,
                         },
                     )));
+                    flight("node.deliver");
                     let _ = deliveries.send(Delivery { process: me, msg });
                     if fuse.on_delivery() {
                         return ControlFlow::Break(());
@@ -217,7 +233,7 @@ pub(crate) fn run_node<B: BroadcastAlgorithm>(ctx: NodeCtx<B>) {
             Some(ms) => match inbox.recv_timeout(Duration::from_millis(ms)) {
                 Ok(m) => m,
                 Err(RecvTimeoutError::Timeout) => {
-                    link.poll();
+                    report_poll(link.poll());
                     continue;
                 }
                 Err(RecvTimeoutError::Disconnected) => break,
@@ -225,6 +241,7 @@ pub(crate) fn run_node<B: BroadcastAlgorithm>(ctx: NodeCtx<B>) {
         };
         let flow = match msg {
             NodeMsg::Invoke(content) => {
+                flight("node.invoke");
                 assert!(
                     pending_broadcast.is_none(),
                     "well-formedness: broadcast invoked while one is pending at {me}"
@@ -256,6 +273,7 @@ pub(crate) fn run_node<B: BroadcastAlgorithm>(ctx: NodeCtx<B>) {
             }
             NodeMsg::Frame(frame) => {
                 if let Some((from, id, payload)) = link.on_frame(frame) {
+                    flight("node.receive");
                     let _ = trace.send(TraceEvent::Step(Step::new(
                         me,
                         Action::Receive { from, msg: id },
@@ -280,13 +298,14 @@ pub(crate) fn run_node<B: BroadcastAlgorithm>(ctx: NodeCtx<B>) {
             crashed = true;
             break;
         }
-        link.poll();
+        report_poll(link.poll());
     }
 
     let mut counters = link.take_counters();
     if crashed {
         // The crash step is this process's final trace event; peers learn
         // of the crash through the board and abandon retransmissions.
+        flight("node.crash_fuse");
         let _ = trace.send(TraceEvent::Step(Step::new(me, Action::Crash)));
         crashes.mark(me);
         counters.inc("faults.crashes_fired");

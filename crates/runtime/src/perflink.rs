@@ -27,7 +27,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use camp_faults::{FaultPlan, FrameClass};
-use camp_obs::{clock, clock::Tick, Counters, ObsSink};
+use camp_obs::{clock, clock::Tick, Counters, FlightRecorder, ObsSink};
 use camp_trace::{MessageId, ProcessId};
 use crossbeam::channel::Sender;
 
@@ -110,6 +110,8 @@ pub(crate) struct PerfectLink<M> {
     /// Reorder hold slot, one per destination link.
     held: Vec<Option<HeldFrame<M>>>,
     counters: Counters,
+    /// Optional flight recorder for post-mortem Chrome traces.
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl<M: Clone> PerfectLink<M> {
@@ -131,6 +133,20 @@ impl<M: Clone> PerfectLink<M> {
             delayed: VecDeque::new(),
             held: (0..n).map(|_| None).collect(),
             counters: Counters::new(),
+            recorder: None,
+        }
+    }
+
+    /// Attaches a flight recorder; link-layer events (sends, acks,
+    /// retransmissions, backoff-ceiling hits, abandonments) land on this
+    /// node's track.
+    pub(crate) fn set_recorder(&mut self, recorder: Option<Arc<FlightRecorder>>) {
+        self.recorder = recorder;
+    }
+
+    fn flight(&self, name: &'static str, detail: u64) {
+        if let Some(rec) = &self.recorder {
+            rec.record_with(self.me.id() as u64, name, detail);
         }
     }
 
@@ -152,6 +168,7 @@ impl<M: Clone> PerfectLink<M> {
         );
         self.counters
             .record_max("perflink.unacked_max", self.unacked.len() as u64);
+        self.flight("perflink.send", seq);
         let frame = Frame::Data {
             from: self.me,
             seq,
@@ -166,8 +183,14 @@ impl<M: Clone> PerfectLink<M> {
     pub(crate) fn on_frame(&mut self, frame: Frame<M>) -> Option<(ProcessId, MessageId, M)> {
         match frame {
             Frame::Ack { from, seq } => {
-                if self.unacked.remove(&(from.index(), seq)).is_some() {
+                if let Some(p) = self.unacked.remove(&(from.index(), seq)) {
                     self.counters.inc("perflink.acks_received");
+                    // How many retransmissions this frame needed before the
+                    // ack landed: 0 on a clean link, the tail buckets fill
+                    // up as the lossy shim bites.
+                    self.counters
+                        .observe("perflink.retransmit_attempts", u64::from(p.attempt));
+                    self.flight("perflink.ack_received", seq);
                 }
                 None
             }
@@ -199,8 +222,10 @@ impl<M: Clone> PerfectLink<M> {
     /// Performs due maintenance: releases delayed frames, flushes stale
     /// reorder holds, retransmits overdue unacked frames, and abandons
     /// frames destined to crashed peers (perfect links only promise
-    /// delivery between correct processes).
-    pub(crate) fn poll(&mut self) {
+    /// delivery between correct processes). Returns how many frames were
+    /// retransmitted, so the node loop can report retransmission activity
+    /// to the collector's timeline.
+    pub(crate) fn poll(&mut self) -> usize {
         // Delayed frames whose hold expired.
         let mut due = Vec::new();
         let mut rest = VecDeque::new();
@@ -242,8 +267,14 @@ impl<M: Clone> PerfectLink<M> {
                 .copied()
                 .collect();
             for key in dropped {
-                self.unacked.remove(&key);
+                let p = self.unacked.remove(&key).expect("key just listed");
                 self.counters.inc("perflink.abandoned_to_crashed");
+                // An abandoned frame still reports its attempt tally: the
+                // histogram covers every frame whose story ended, acked or
+                // not.
+                self.counters
+                    .observe("perflink.retransmit_attempts", u64::from(p.attempt));
+                self.flight("perflink.abandon_to_crashed", key.1);
             }
         }
 
@@ -254,6 +285,7 @@ impl<M: Clone> PerfectLink<M> {
             .filter(|(_, p)| p.sent.elapsed_millis() >= p.wait_ms)
             .map(|(&k, _)| k)
             .collect();
+        let mut retransmitted = 0;
         for (dest, seq) in overdue {
             let (attempt, frame) = {
                 let p = self.unacked.get_mut(&(dest, seq)).expect("key just listed");
@@ -271,11 +303,15 @@ impl<M: Clone> PerfectLink<M> {
                 )
             };
             self.counters.inc("perflink.retransmits");
+            retransmitted += 1;
+            self.flight("perflink.retransmit", u64::from(attempt));
             if self.unacked[&(dest, seq)].wait_ms == BACKOFF_CAP_MS {
                 self.counters.inc("perflink.backoff_ceiling_hits");
+                self.flight("perflink.backoff_ceiling", seq);
             }
             self.transmit(dest, seq, attempt, frame, FrameClass::Data);
         }
+        retransmitted
     }
 
     /// Milliseconds until the earliest pending deadline, if any work is

@@ -9,7 +9,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use camp_faults::FaultPlan;
-use camp_obs::{clock, Counters};
+use camp_obs::{clock, Counters, FlightRecorder, Timeline};
 use camp_sim::{AppMessage, BroadcastAlgorithm, KsaOracle, OwnValueRule};
 use camp_trace::{Execution, ProcessId, Value};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
@@ -107,9 +107,10 @@ pub struct ThreadedRuntime {
     collected: Vec<Delivery>,
     handles: Vec<JoinHandle<()>>,
     bridge_handles: Vec<JoinHandle<()>>,
-    collector_handle: JoinHandle<(Execution, Counters)>,
+    collector_handle: JoinHandle<(Execution, Counters, Timeline)>,
     trace_tx: Sender<TraceEvent>,
     crashes: Arc<CrashBoard>,
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 /// Type-erased sender wrapper: the front-end does not know `B::Msg`, so it
@@ -158,6 +159,49 @@ impl ThreadedRuntime {
         B::State: Send,
         B::Msg: Send,
     {
+        Self::start_inner(algo, n, k, plan, None)
+    }
+
+    /// [`start_with_plan`], with a flight recorder attached: node pumps,
+    /// perfect links, and the collector record microsecond-stamped events
+    /// into the shared bounded ring, retrievable via [`Self::recorder`]
+    /// and exportable as Chrome-trace JSON
+    /// ([`FlightRecorder::to_chrome_trace_json`]). `capacity` bounds the
+    /// ring; the newest events win.
+    ///
+    /// [`start_with_plan`]: Self::start_with_plan
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `k == 0`.
+    #[must_use]
+    pub fn start_recorded<B>(algo: B, n: usize, k: usize, plan: FaultPlan, capacity: usize) -> Self
+    where
+        B: BroadcastAlgorithm + Clone + Send + 'static,
+        B::State: Send,
+        B::Msg: Send,
+    {
+        Self::start_inner(
+            algo,
+            n,
+            k,
+            plan,
+            Some(Arc::new(FlightRecorder::new(capacity))),
+        )
+    }
+
+    fn start_inner<B>(
+        algo: B,
+        n: usize,
+        k: usize,
+        plan: FaultPlan,
+        recorder: Option<Arc<FlightRecorder>>,
+    ) -> Self
+    where
+        B: BroadcastAlgorithm + Clone + Send + 'static,
+        B::State: Send,
+        B::Msg: Send,
+    {
         assert!(n > 0, "at least one node required");
         let plan = Arc::new(plan);
         let crashes = Arc::new(CrashBoard::new(n));
@@ -188,6 +232,7 @@ impl ThreadedRuntime {
                 msg_ids: Arc::clone(&msg_ids),
                 plan: Arc::clone(&plan),
                 crashes: Arc::clone(&crashes),
+                recorder: recorder.clone(),
             };
             handles.push(std::thread::spawn(move || run_node(ctx)));
 
@@ -208,12 +253,14 @@ impl ThreadedRuntime {
             inboxes.push(etx);
         }
 
+        let collector_recorder = recorder.clone();
         let collector_handle = std::thread::spawn(move || {
             let mut c = Collector::new(n);
+            c.set_recorder(collector_recorder);
             while let Ok(event) = trace_rx.recv() {
                 c.handle(event);
             }
-            c.finish()
+            c.finish_full()
         });
 
         Self {
@@ -226,7 +273,18 @@ impl ThreadedRuntime {
             collector_handle,
             trace_tx,
             crashes,
+            recorder,
         }
+    }
+
+    /// The flight recorder, when started via [`Self::start_recorded`].
+    ///
+    /// Live while the fleet runs — dump it with
+    /// [`FlightRecorder::to_chrome_trace_json`] at any point, including
+    /// from a failure handler before the runtime is shut down.
+    #[must_use]
+    pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.recorder.as_ref()
     }
 
     /// Number of nodes.
@@ -374,6 +432,17 @@ impl ThreadedRuntime {
     /// [`shutdown`]: Self::shutdown
     #[must_use]
     pub fn shutdown_with_metrics(self) -> (Execution, Counters) {
+        let (exec, counters, _) = self.shutdown_full();
+        (exec, counters)
+    }
+
+    /// The full shutdown: the execution, the merged counters (now including
+    /// the `runtime.delivery_steps` and `perflink.retransmit_attempts`
+    /// histograms), and the per-process activity [`Timeline`] — compute /
+    /// blocked-on-quorum / crashed lanes derived from the collected trace,
+    /// overlaid with retransmission marks from the link layer.
+    #[must_use]
+    pub fn shutdown_full(self) -> (Execution, Counters, Timeline) {
         for inbox in &self.inboxes {
             let _ = inbox.send(NodeMsgErased {
                 invoke: None,

@@ -102,8 +102,10 @@ pub fn run_fair<B: BroadcastAlgorithm>(
 
 /// [`run_fair`] with an observability sink: records `sim.invocations`,
 /// `sim.steps`, `sim.responses`, `sim.receptions`, the `sim.net_sends`
-/// delta, and the `sim.net_in_flight_max` high-water mark. The schedule (and
-/// hence the trace) is identical to [`run_fair`]'s.
+/// delta, the `sim.net_in_flight_max` high-water mark, and a
+/// `sim.round_len` histogram of events per fair round (one outer sweep over
+/// all processes). The schedule (and hence the trace) is identical to
+/// [`run_fair`]'s.
 ///
 /// # Errors
 ///
@@ -120,6 +122,7 @@ pub fn run_fair_obs<B: BroadcastAlgorithm, S: ObsSink>(
     let sends_before = sim.network().total_sent();
 
     let report = loop {
+        let round_start = events;
         let mut progressed = false;
         for pid in ProcessId::all(n) {
             if sim.is_crashed(pid) {
@@ -168,6 +171,7 @@ pub fn run_fair_obs<B: BroadcastAlgorithm, S: ObsSink>(
                 progressed = true;
             }
         }
+        sink.observe("sim.round_len", (events - round_start) as u64);
         let done = ProcessId::all(n)
             .all(|p| sim.is_crashed(p) || workload.next_for(p, issued[p.index()]).is_none());
         if done && sim.is_quiescent() {

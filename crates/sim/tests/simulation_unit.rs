@@ -268,6 +268,15 @@ fn fair_obs_counters_account_for_every_event() {
     assert_eq!(sink.count("sim.invocations"), 4);
     assert!(sink.count("sim.net_sends") > 0);
     assert!(sink.gauge("sim.net_in_flight_max") > 0);
+    let rounds = sink
+        .histogram("sim.round_len")
+        .expect("fair driver records per-round event counts");
+    assert_eq!(
+        rounds.sum(),
+        report.events as u64,
+        "round lengths partition the event count"
+    );
+    assert!(rounds.count() >= 2, "quiescence needs a closing round");
 }
 
 #[test]

@@ -54,6 +54,7 @@ mod mermaid;
 mod render;
 mod stats;
 mod surgery;
+mod timeline;
 mod views;
 
 pub use action::{Action, Step};
@@ -66,4 +67,5 @@ pub use mermaid::render_mermaid;
 pub use render::render_timeline;
 pub use stats::{EventCounts, ExecutionStats};
 pub use surgery::Renaming;
+pub use timeline::{timeline_builder_of, timeline_of};
 pub use views::{DeliveryView, ProcessView};

@@ -1,0 +1,152 @@
+//! Deriving per-process activity [`Timeline`]s from an [`Execution`].
+//!
+//! The lane axis is the execution's **global step index**, so a timeline of
+//! a seeded run is exactly as deterministic as the execution itself. Three
+//! of the four segment kinds are derivable from the step sequence alone:
+//!
+//! * every step a process takes is a [`SegmentKind::Compute`] point;
+//! * the window from a `Propose` to the same process's next `Decide` is
+//!   [`SegmentKind::BlockedOnQuorum`] — the quorum-blocked shape the
+//!   paper's Lemma-7 argument reasons about;
+//! * a `Crash` step opens a [`SegmentKind::Crashed`] segment that runs to
+//!   the end of the execution.
+//!
+//! The fourth kind, [`SegmentKind::Retransmitting`], is a link-layer fact
+//! an `Execution` cannot express; the threaded runtime's collector adds
+//! those marks live from its trace stream. [`timeline_builder_of`] returns
+//! the open builder so such callers can layer extra marks before
+//! finishing; [`timeline_of`] is the closed convenience form.
+
+use camp_obs::{SegmentKind, Timeline, TimelineBuilder};
+
+use crate::action::Action;
+use crate::execution::Execution;
+
+/// A [`TimelineBuilder`] pre-filled with compute, quorum-blocked, and
+/// crashed marks derived from `exec`, horizon extended to `exec.len()`.
+#[must_use]
+pub fn timeline_builder_of(exec: &Execution) -> TimelineBuilder {
+    let n = exec.process_count();
+    let mut b = TimelineBuilder::new(n);
+    let mut open_propose: Vec<Option<u64>> = vec![None; n];
+    for (i, step) in exec.steps().iter().enumerate() {
+        let i = i as u64;
+        let lane = step.process.index();
+        match step.action {
+            Action::Crash => {
+                let len = exec.len() as u64 - i;
+                b.span(lane, i, len.max(1), SegmentKind::Crashed);
+            }
+            Action::Propose { .. } => {
+                b.mark(lane, i, SegmentKind::Compute);
+                open_propose[lane] = Some(i);
+            }
+            Action::Decide { .. } => {
+                b.mark(lane, i, SegmentKind::Compute);
+                if let Some(start) = open_propose[lane].take() {
+                    b.span(lane, start, i - start + 1, SegmentKind::BlockedOnQuorum);
+                }
+            }
+            _ => b.mark(lane, i, SegmentKind::Compute),
+        }
+    }
+    // A proposal whose decision never arrived blocks to the horizon.
+    for (lane, open) in open_propose.into_iter().enumerate() {
+        if let Some(start) = open {
+            let len = exec.len() as u64 - start;
+            b.span(lane, start, len.max(1), SegmentKind::BlockedOnQuorum);
+        }
+    }
+    b.extend_horizon(exec.len() as u64);
+    b
+}
+
+/// The per-process activity timeline of `exec`.
+#[must_use]
+pub fn timeline_of(exec: &Execution) -> Timeline {
+    timeline_builder_of(exec).finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ExecutionBuilder;
+    use crate::ids::{KsaId, ProcessId, Value};
+
+    #[test]
+    fn compute_marks_cover_every_step() {
+        let p1 = ProcessId::new(1);
+        let p2 = ProcessId::new(2);
+        let mut b = ExecutionBuilder::new(2);
+        let m = b.fresh_broadcast_message(p1, Value::new(1));
+        b.step(p1, Action::Broadcast { msg: m });
+        b.step(p2, Action::Deliver { from: p1, msg: m });
+        let t = timeline_of(&b.build());
+        assert_eq!(t.horizon, 2);
+        assert_eq!(t.lanes.len(), 2);
+        assert_eq!(t.lanes[0].segments[0].kind, SegmentKind::Compute);
+        assert_eq!(t.lanes[1].segments[0].start, 1);
+    }
+
+    #[test]
+    fn propose_decide_window_is_quorum_blocked() {
+        let p1 = ProcessId::new(1);
+        let p2 = ProcessId::new(2);
+        let obj = KsaId::new(0);
+        let mut b = ExecutionBuilder::new(2);
+        b.step(
+            p1,
+            Action::Propose {
+                obj,
+                value: Value::new(5),
+            },
+        );
+        let m = b.fresh_broadcast_message(p2, Value::new(9));
+        b.step(p2, Action::Broadcast { msg: m });
+        b.step(
+            p1,
+            Action::Decide {
+                obj,
+                value: Value::new(5),
+            },
+        );
+        let t = timeline_of(&b.build());
+        let blocked: Vec<_> = t.lanes[0]
+            .segments
+            .iter()
+            .filter(|s| s.kind == SegmentKind::BlockedOnQuorum)
+            .collect();
+        assert_eq!(blocked.len(), 1);
+        assert_eq!(blocked[0].start, 0);
+        assert_eq!(blocked[0].len, 3, "propose at 0, decide at 2, inclusive");
+    }
+
+    #[test]
+    fn crash_extends_to_horizon() {
+        let p1 = ProcessId::new(1);
+        let p2 = ProcessId::new(2);
+        let mut b = ExecutionBuilder::new(2);
+        let m = b.fresh_broadcast_message(p2, Value::new(0));
+        b.step(p1, Action::Crash);
+        b.step(p2, Action::Broadcast { msg: m });
+        b.step(p2, Action::Deliver { from: p2, msg: m });
+        let t = timeline_of(&b.build());
+        let crashed = &t.lanes[0].segments[0];
+        assert_eq!(crashed.kind, SegmentKind::Crashed);
+        assert_eq!(crashed.start, 0);
+        assert_eq!(crashed.len, 3, "crash segment runs to the horizon");
+    }
+
+    #[test]
+    fn derivation_is_deterministic() {
+        let build = || {
+            let p1 = ProcessId::new(1);
+            let mut b = ExecutionBuilder::new(1);
+            let m = b.fresh_broadcast_message(p1, Value::new(3));
+            b.step(p1, Action::Broadcast { msg: m });
+            b.step(p1, Action::Deliver { from: p1, msg: m });
+            timeline_of(&b.build())
+        };
+        assert_eq!(build(), build());
+    }
+}

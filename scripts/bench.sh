@@ -6,7 +6,7 @@
 #   scripts/bench.sh                    # full run (10 samples per bench)
 #   scripts/bench.sh --quick            # CI smoke run (3 samples per bench)
 #   scripts/bench.sh --all              # explore benches plus the legacy suites
-#   scripts/bench.sh --metrics OUT.json # also write the camp-obs/v1 snapshot
+#   scripts/bench.sh --metrics OUT.json # also write the camp-obs/v2 snapshot
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

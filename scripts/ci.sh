@@ -97,8 +97,24 @@ assert not rows["explore_causal_3"]["independence_cert"], "causal must stay unwi
 assert rows["explore_causal_3"]["independence_prunes"] == 0, "causal independence_prunes must be zero"
 print("bench smoke: v4 reduction + canonicalization + independence counters live")
 PY
-grep -q '"camp-obs/v1"' "$smoke_metrics" \
-  || { echo "$smoke_metrics malformed: missing camp-obs/v1 schema" >&2; exit 1; }
+grep -q '"camp-obs/v2"' "$smoke_metrics" \
+  || { echo "$smoke_metrics malformed: missing camp-obs/v2 schema" >&2; exit 1; }
+
+# The timeline view over the figure-1 scope must render non-empty lanes:
+# every process row needs at least one non-idle glyph, or the
+# Execution→Timeline derivation has silently decayed.
+echo "==> tables timeline: figure-1 lanes render non-empty"
+timeline_out="$PWD/target/ci.timeline.txt"
+cargo run --release -q -p camp-bench --bin tables -- timeline > "$timeline_out"
+python3 - "$timeline_out" <<'PY'
+import re, sys
+text = open(sys.argv[1]).read()
+lanes = re.findall(r"^p(\d+) \|(.*)$", text, re.M)
+assert len(lanes) >= 4, f"expected at least 4 process lanes, got {len(lanes)}"
+for pid, row in lanes:
+    assert row.strip("."), f"lane p{pid} is empty: {row!r}"
+print(f"timeline: {len(lanes)} non-empty lanes")
+PY
 
 echo "==> metrics goldens: camp-lint check --metrics matches tests/golden"
 cargo test -q --release -p campkit --test metrics
@@ -107,8 +123,10 @@ echo "==> independence differential: lint-issued certs vs plain engine (release)
 CAMP_PROPTEST_CASES=6 cargo test -q --release -p campkit --test independence
 
 # The chaos gate: every healthy algorithm under its pinned 25%-drop plan
-# (drops injected, loss recovered by retransmission, restricted trace
-# spec-clean) plus the 32-plan seeded soak with crash points. The crash
+# (drops injected, loss recovered by retransmission, retransmit-attempts
+# histogram showing tail-bucket mass, restricted trace spec-clean) plus
+# the 32-plan seeded soak with crash points — a failing soak plan dumps
+# its flight recording as target/chaos-soak-seed<N>.trace.json. The crash
 # conformance half lives in tests/differential.rs and already ran under
 # the workspace stage; this re-runs the seeded adversaries in release.
 echo "==> chaos smoke + seeded fault soak (release)"

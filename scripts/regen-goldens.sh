@@ -5,7 +5,7 @@
 #   tests/golden/check.json            camp-lint check --json (all four engines)
 #   tests/golden/symmetry.json         camp-lint symmetry --json
 #   tests/golden/dataflow.json         camp-lint dataflow --json
-#   tests/golden/metrics_figure1.json  the figure-1 camp-obs/v1 snapshot
+#   tests/golden/metrics_figure1.json  the figure-1 camp-obs/v2 snapshot
 #
 # Run after any intentional change to a lint rule, a registered algorithm,
 # or a handler the static engines read (the reports embed file:line:col

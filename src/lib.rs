@@ -19,7 +19,7 @@
 //! * [`modelcheck`] — bounded exhaustive exploration of scheduler choices;
 //! * [`obs`] — deterministic metrics & tracing: counter/gauge registries,
 //!   span logs, the audited wall-clock boundary, and the versioned
-//!   `camp-obs/v1` snapshot the binaries emit behind `--metrics`;
+//!   `camp-obs/v2` snapshot the binaries emit behind `--metrics`;
 //! * [`lint`] — static analysis: the trace linter, the determinism auditor,
 //!   and the algorithm auditor (also available as the `camp-lint` binary);
 //! * [`impossibility`] — the paper's Algorithm 1 adversarial scheduler,

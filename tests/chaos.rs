@@ -10,6 +10,7 @@
 //!   A failing plan panics with its JSON so the exact adversary can be
 //!   replayed from the test log.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use campkit::broadcast::{
@@ -17,7 +18,7 @@ use campkit::broadcast::{
     SteppedBroadcast,
 };
 use campkit::faults::{CrashTrigger, FaultPlan};
-use campkit::obs::Counters;
+use campkit::obs::{Counters, FlightRecorder};
 use campkit::runtime::ThreadedRuntime;
 use campkit::specs::{base, restrict, wellformed};
 use campkit::trace::{Execution, ProcessId, Value};
@@ -48,6 +49,33 @@ where
     (trace, counters, delivered)
 }
 
+/// [`run_plan`] with a flight recorder attached, so a failing plan can dump
+/// its Chrome-trace artifact next to the replayable plan JSON.
+fn run_plan_recorded<B>(
+    algo: B,
+    n: usize,
+    m: usize,
+    plan: FaultPlan,
+) -> (Execution, Counters, usize, Arc<FlightRecorder>)
+where
+    B: campkit::sim::BroadcastAlgorithm + Clone + Send + 'static,
+    B::State: Send,
+    B::Msg: Send,
+{
+    let mut rt = ThreadedRuntime::start_recorded(algo, n, 1, plan, 8192);
+    for p in ProcessId::all(n) {
+        for s in 0..m {
+            rt.broadcast(p, Value::new((p.id() * 1000 + s) as u64))
+                .unwrap();
+        }
+    }
+    let got = rt.wait_deliveries_quorum(n * n * m, IDLE, TIMEOUT).unwrap();
+    let delivered = got.len();
+    let recorder = Arc::clone(rt.recorder().expect("start_recorded attaches a recorder"));
+    let (trace, counters) = rt.shutdown_with_metrics();
+    (trace, counters, delivered, recorder)
+}
+
 /// CI chaos gate: one pinned 25%-drop plan per healthy algorithm. Each run
 /// must inject real loss, recover it by retransmission, deliver the full
 /// pattern anyway, and leave a spec-clean correct-process view.
@@ -69,6 +97,16 @@ fn chaos_smoke_every_algorithm_under_its_pinned_lossy_plan() {
         assert!(
             counters.count("perflink.retransmits") > 0,
             "{name}: loss was never recovered"
+        );
+        // The retransmit-attempts histogram must show mass in its tail
+        // buckets (attempt ≥ 1): under 25% loss some frames needed
+        // re-driving before their ack landed.
+        let attempts = counters
+            .histogram("perflink.retransmit_attempts")
+            .unwrap_or_else(|| panic!("{name}: no retransmit-attempts histogram recorded"));
+        assert!(
+            attempts.tail_count(1) > 0,
+            "{name}: every ack arrived on attempt 0 despite injected loss"
         );
         wellformed::check_structure(&trace).unwrap_or_else(|v| panic!("{name}: {v}"));
         base::check_all(&restrict::correct_view(&trace)).unwrap_or_else(|v| panic!("{name}: {v}"));
@@ -111,23 +149,38 @@ fn soak_thirty_two_seeded_plans_stay_spec_clean() {
         }
 
         let artifact = plan.to_json();
-        let (trace, counters, delivered) = match seed % 4 {
-            0 => run_plan(SendToAll::new(), n, m, plan),
-            1 => run_plan(EagerReliable::uniform(), n, m, plan),
-            2 => run_plan(FifoBroadcast::new(), n, m, plan),
-            _ => run_plan(CausalBroadcast::new(), n, m, plan),
+        let (trace, counters, delivered, recorder) = match seed % 4 {
+            0 => run_plan_recorded(SendToAll::new(), n, m, plan),
+            1 => run_plan_recorded(EagerReliable::uniform(), n, m, plan),
+            2 => run_plan_recorded(FifoBroadcast::new(), n, m, plan),
+            _ => run_plan_recorded(CausalBroadcast::new(), n, m, plan),
         };
-        if trace.faulty_processes().count() == 0 {
-            assert_eq!(
-                delivered,
-                n * n * m,
-                "seed {seed}: crash-free plans must fully deliver\n{artifact}"
+        // A conformance failure ships with two artifacts: the replayable
+        // plan JSON and the flight recording (`tables timeline --from` or
+        // chrome://tracing render the latter).
+        let fail = |what: String| -> String {
+            let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/target");
+            let path = format!("{dir}/chaos-soak-seed{seed}.trace.json");
+            let dumped = std::fs::write(&path, recorder.to_chrome_trace_json()).is_ok();
+            let hint = if dumped {
+                format!("\nflight recording: {path} (render: tables timeline --from {path})")
+            } else {
+                String::new()
+            };
+            format!("seed {seed}: {what}\nreplay with plan: {artifact}{hint}")
+        };
+        if trace.faulty_processes().count() == 0 && delivered != n * n * m {
+            panic!(
+                "{}",
+                fail(format!(
+                    "crash-free plans must fully deliver ({delivered} of {})",
+                    n * n * m
+                ))
             );
         }
-        wellformed::check_structure(&trace)
-            .unwrap_or_else(|v| panic!("seed {seed}: {v}\nreplay with plan: {artifact}"));
+        wellformed::check_structure(&trace).unwrap_or_else(|v| panic!("{}", fail(v.to_string())));
         base::check_all(&restrict::correct_view(&trace))
-            .unwrap_or_else(|v| panic!("seed {seed}: {v}\nreplay with plan: {artifact}"));
+            .unwrap_or_else(|v| panic!("{}", fail(v.to_string())));
         crashes_fired += counters.count("faults.crashes_fired");
         drops_injected += counters.count("faults.drops_injected");
     }

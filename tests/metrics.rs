@@ -1,6 +1,6 @@
 //! Workspace-level acceptance tests for the `camp-obs` metrics layer: a
 //! seeded run fills the counter registries as a pure function of the run, so
-//! two identical runs serialize to byte-identical `camp-obs/v1` snapshots —
+//! two identical runs serialize to byte-identical `camp-obs/v2` snapshots —
 //! even with wall-clock timings enabled, once the `Option`-gated `millis`
 //! fields are stripped.
 //!
@@ -14,13 +14,15 @@
 //! cargo test -p campkit --test metrics -- --ignored regenerate
 //! ```
 
-use campkit::broadcast::AgreedBroadcast;
+use campkit::broadcast::{AgreedBroadcast, EagerReliable};
+use campkit::faults::FaultPlan;
 use campkit::modelcheck::explore::{explore_with_obs, EngineConfig};
 use campkit::obs::{Obs, ObsSink, Snapshot};
+use campkit::runtime::ThreadedRuntime;
 use campkit::sim::scheduler::{run_random_obs, CrashPlan, Workload};
 use campkit::sim::{KsaOracle, OwnValueRule, Simulation};
 use campkit::specs::{base, BroadcastSpec, TotalOrderSpec};
-use campkit::trace::Execution;
+use campkit::trace::{timeline_of, Execution, ProcessId, Value};
 use proptest::prelude::*;
 
 const GOLDEN_PATH: &str = concat!(
@@ -67,15 +69,19 @@ fn figure1_metrics(timings: bool) -> Snapshot {
     // here only the specs.* counters it records matter.
     let _ = TotalOrderSpec::new().admits_obs(&fig1, &mut obs);
     obs.end("specs");
+    // The v2 instruments: the exploration above fills the
+    // `modelcheck.branch_fanout` histogram through the same sink, and the
+    // committed execution derives a per-process timeline — both pure
+    // functions of the run, so both belong in the pinned snapshot.
+    obs.record_timeline("figure1", timeline_of(&fig1));
     obs.snapshot()
 }
 
 /// Drops the only legitimately nondeterministic fields (wall-clock span
-/// durations), leaving a snapshot that must be a pure function of the run.
+/// durations and latency-histogram values), leaving a snapshot that must be
+/// a pure function of the run.
 fn strip_wall_time(mut snap: Snapshot) -> Snapshot {
-    for span in &mut snap.spans {
-        span.millis = None;
-    }
+    snap.strip_wall_time();
     snap
 }
 
@@ -113,6 +119,59 @@ fn seeded_simulator_runs_fill_identical_registries() {
     for seed in [1u64, 7, 42] {
         assert_eq!(run(seed), run(seed), "seed {seed}");
     }
+}
+
+#[test]
+fn v2_snapshot_carries_histograms_and_timelines() {
+    let snap = figure1_metrics(false);
+    let json = snap.to_json_string();
+    assert!(json.contains("\"camp-obs/v2\""), "schema must be v2");
+    assert!(
+        snap.histograms.contains_key("modelcheck.branch_fanout"),
+        "the exploration must fill the fanout histogram"
+    );
+    let tl = snap.timelines.get("figure1").expect("timeline recorded");
+    assert!(!tl.is_empty(), "figure-1 lanes must not be empty");
+    assert_eq!(tl.lanes.len(), 4, "figure 1 has four processes");
+}
+
+/// A healthy plan must leave the entire `faults.*` namespace at zero: the
+/// injection shim sits on every link, so any nonzero count under
+/// [`FaultPlan::healthy`] means faults leak into unfaulted runs.
+#[test]
+fn healthy_runtime_runs_keep_every_fault_counter_at_zero() {
+    let (n, m) = (3usize, 2usize);
+    let mut rt =
+        ThreadedRuntime::start_with_plan(EagerReliable::uniform(), n, 1, FaultPlan::healthy());
+    for p in ProcessId::all(n) {
+        for s in 0..m {
+            rt.broadcast(p, Value::new((p.id() * 100 + s) as u64))
+                .expect("runtime accepts broadcasts");
+        }
+    }
+    rt.wait_deliveries_quorum(
+        n * n * m,
+        std::time::Duration::from_millis(300),
+        std::time::Duration::from_secs(30),
+    )
+    .expect("healthy run delivers everything");
+    let (_trace, counters) = rt.shutdown_with_metrics();
+    for key in [
+        "faults.crashes_fired",
+        "faults.drops_injected",
+        "faults.dups_injected",
+        "faults.delays_injected",
+        "faults.reorders_injected",
+    ] {
+        assert_eq!(counters.count(key), 0, "{key} must stay zero when healthy");
+    }
+    // The retransmit-attempts histogram must still exist — and sit entirely
+    // in bucket 0 (every send acked on attempt 0).
+    let h = counters
+        .histogram("perflink.retransmit_attempts")
+        .expect("acked sends record their attempt count");
+    assert!(h.count() > 0, "acks must be observed");
+    assert_eq!(h.tail_count(1), 0, "no retransmissions on a clean link");
 }
 
 #[test]
